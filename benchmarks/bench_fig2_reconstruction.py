@@ -1,0 +1,17 @@
+"""Benchmark + shape check for Figure 2 (reconstruction quality)."""
+
+from repro.experiments import fig2_reconstruction
+
+SCALE = 0.12
+
+
+def test_fig2_reconstruction_quality(run_once):
+    result = run_once(fig2_reconstruction.run, scale=SCALE, seed=0)
+    print()
+    print(result.format_report())
+    assert result.all_checks_pass, result.checks
+    # Both tasks must favour OrcoDCS on PSNR even at benchmark scale.
+    assert result.summary["digits_mean_psnr_orco"] > \
+        result.summary["digits_mean_psnr_dcsnet"]
+    assert result.summary["signs_mean_psnr_orco"] > \
+        result.summary["signs_mean_psnr_dcsnet"]

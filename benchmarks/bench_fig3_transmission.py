@@ -1,0 +1,21 @@
+"""Benchmark + shape check for Figure 3 (transmission cost)."""
+
+from repro.experiments import fig3_transmission
+
+
+def test_fig3_transmission_cost(run_once):
+    result = run_once(fig3_transmission.run, scale=0.15, seed=0)
+    print()
+    print(result.format_report())
+    assert result.all_checks_pass, result.checks
+    # The paper's headline: OrcoDCS saves close to an order of magnitude
+    # on the digits task's backhaul.
+    assert result.summary["digits_backhaul_savings"] > 5.0
+
+
+def test_fig3_per_image_cost_model(benchmark):
+    """Microbenchmark: the per-image WSN cost simulation itself."""
+    from repro.experiments.fig3_transmission import pipeline_cost_models
+
+    orco, dcsnet = benchmark(pipeline_cost_models, 128, 16, 0)
+    assert orco.per_image_bytes < dcsnet.per_image_bytes

@@ -1,0 +1,23 @@
+"""Benchmark + shape check for Figure 4 (time-to-loss)."""
+
+from repro.experiments import fig4_time_to_loss
+
+SCALE = 0.12
+
+
+def _speedup_is_favourable(value) -> bool:
+    """Speedup is either a float (DCSNet caught up after that multiple of
+    OrcoDCS's time) or a censored string '>X (censored)' meaning it never
+    caught up within its longer run — the strongest possible outcome."""
+    if isinstance(value, str):
+        return value.startswith(">")
+    return value > 1.5
+
+
+def test_fig4_time_to_loss(run_once):
+    result = run_once(fig4_time_to_loss.run, scale=SCALE, seed=0)
+    print()
+    print(result.format_report())
+    assert result.all_checks_pass, result.checks
+    assert _speedup_is_favourable(result.summary["digits_time_to_loss_speedup"])
+    assert _speedup_is_favourable(result.summary["signs_time_to_loss_speedup"])

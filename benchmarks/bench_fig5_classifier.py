@@ -1,0 +1,16 @@
+"""Benchmark + shape check for Figure 5 (follow-up classifier)."""
+
+from repro.experiments import fig5_classifier
+
+SCALE = 0.2
+
+
+def test_fig5_classifier_performance(run_once):
+    result = run_once(fig5_classifier.run, scale=SCALE, seed=0)
+    print()
+    print(result.format_report())
+    assert result.all_checks_pass, result.checks
+    # The digits classifier must clear the 10-class random floor.
+    best_digit_rows = [row["best_accuracy"] for row in result.rows
+                       if row["dataset"] == "digits"]
+    assert max(best_digit_rows) > 0.2

@@ -1,0 +1,12 @@
+"""Benchmark + shape check for Figure 6 (latent-dimension sensitivity)."""
+
+from repro.experiments import fig6_latent_dims
+
+SCALE = 0.12
+
+
+def test_fig6_latent_dimension_sweep(run_once):
+    result = run_once(fig6_latent_dims.run, scale=SCALE, seed=0)
+    print()
+    print(result.format_report())
+    assert result.all_checks_pass, result.checks

@@ -1,0 +1,12 @@
+"""Benchmark + shape check for Figure 7 (latent-noise sensitivity)."""
+
+from repro.experiments import fig7_noise
+
+SCALE = 0.12
+
+
+def test_fig7_noise_sweep(run_once):
+    result = run_once(fig7_noise.run, scale=SCALE, seed=0)
+    print()
+    print(result.format_report())
+    assert result.all_checks_pass, result.checks

@@ -1,0 +1,12 @@
+"""Benchmark + shape check for Figure 8 (decoder-depth sensitivity)."""
+
+from repro.experiments import fig8_decoder_depth
+
+SCALE = 0.12
+
+
+def test_fig8_decoder_depth_sweep(run_once):
+    result = run_once(fig8_decoder_depth.run, scale=SCALE, seed=0)
+    print()
+    print(result.format_report())
+    assert result.all_checks_pass, result.checks

@@ -1,0 +1,13 @@
+"""Benchmark + shape check for the Sec. III-D fine-tuning behaviour."""
+
+from repro.experiments import finetune_drift
+
+
+def test_finetune_under_drift(run_once):
+    result = run_once(finetune_drift.run, scale=0.3, seed=0)
+    print()
+    print(result.format_report())
+    assert result.all_checks_pass, result.checks
+    assert result.summary["num_retrains"] >= 1
+    assert result.summary["post_retrain_mean_error"] < \
+        result.summary["at_drift_mean_error"]

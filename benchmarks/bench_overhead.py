@@ -1,0 +1,14 @@
+"""Benchmark + shape check for the Sec. III-E overhead analysis."""
+
+from repro.experiments import overhead_analysis
+
+
+def test_overhead_analysis(run_once):
+    result = run_once(overhead_analysis.run, scale=1.0, seed=0)
+    print()
+    print(result.format_report())
+    assert result.all_checks_pass, result.checks
+    # Core claims, quantified: the aggregator-side cost gap vs DCSNet is
+    # the latent-dimension ratio (8x digits / 2x signs).
+    assert result.summary["digits_aggregator_cost_ratio_dcsnet_over_orco"] > 6
+    assert result.summary["signs_aggregator_cost_ratio_dcsnet_over_orco"] > 1.8

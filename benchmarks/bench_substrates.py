@@ -1,0 +1,110 @@
+"""Microbenchmarks for the substrates (repeated-timing mode).
+
+These measure the hot paths the figure experiments sit on: autograd
+training rounds, conv forward/backward, sparse solvers, WSN aggregation
+simulation and dataset generation.
+"""
+
+import numpy as np
+
+from repro import nn
+from repro.cs import gaussian_matrix, omp
+from repro.datasets import generate_digits, render_sign
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+from repro.wsn import (
+    WSNetwork,
+    build_aggregation_tree,
+    select_aggregator,
+    simulate_raw_aggregation,
+)
+
+
+class TestNNSubstrate:
+    def test_dense_training_round(self, benchmark):
+        rng = np.random.default_rng(0)
+        model = nn.Sequential(nn.Dense(784, 128, rng=rng), nn.Sigmoid(),
+                              nn.Dense(128, 784, rng=rng), nn.Sigmoid())
+        optimizer = nn.Adam(model.parameters(), lr=1e-3)
+        loss = nn.HuberLoss(1.0)
+        batch = rng.random((32, 784))
+
+        def round_step():
+            out = model(Tensor(batch))
+            value = loss(out, batch)
+            optimizer.zero_grad()
+            value.backward()
+            optimizer.step()
+            return value.item()
+
+        result = benchmark(round_step)
+        assert result > 0
+
+    def test_conv2d_forward_backward(self, benchmark):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.random((16, 8, 28, 28)), requires_grad=True)
+        w = Tensor(rng.standard_normal((16, 8, 3, 3)) * 0.1,
+                   requires_grad=True)
+
+        def step():
+            out = F.conv2d(x, w, padding=1)
+            out.sum().backward()
+            x.zero_grad()
+            w.zero_grad()
+            return out.shape
+
+        assert benchmark(step) == (16, 16, 28, 28)
+
+    def test_maxpool_forward_backward(self, benchmark):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.random((32, 16, 28, 28)), requires_grad=True)
+
+        def step():
+            out = F.max_pool2d(x, 2)
+            out.sum().backward()
+            x.zero_grad()
+            return out.shape
+
+        assert benchmark(step) == (32, 16, 14, 14)
+
+
+class TestCSSubstrate:
+    def test_omp_solve(self, benchmark):
+        rng = np.random.default_rng(0)
+        A = gaussian_matrix(64, 256, rng)
+        x = np.zeros(256)
+        x[rng.choice(256, 8, replace=False)] = rng.standard_normal(8)
+        y = A @ x
+
+        result = benchmark(omp, A, y, 8)
+        assert result.residual_norm < 1e-6
+
+
+class TestWSNSubstrate:
+    def test_tree_build_and_raw_round(self, benchmark):
+        rng = np.random.default_rng(0)
+        positions = rng.uniform(0, 150, (256, 2))
+
+        def simulate():
+            network = WSNetwork(positions, comm_range_m=30.0,
+                                battery_capacity_j=1e6)
+            network.set_aggregator(select_aggregator(positions))
+            tree = build_aggregation_tree(network)
+            return simulate_raw_aggregation(network, tree)
+
+        report = benchmark(simulate)
+        assert report.values_transmitted >= 255
+
+
+class TestDatasetSubstrate:
+    def test_digit_generation(self, benchmark):
+        def generate():
+            images, labels = generate_digits(64, np.random.default_rng(0))
+            return images.shape
+
+        assert benchmark(generate) == (64, 28, 28)
+
+    def test_sign_rendering(self, benchmark):
+        rng = np.random.default_rng(0)
+        shape = benchmark(lambda: render_sign(7, rng).shape)
+        assert shape == (32, 32, 3)

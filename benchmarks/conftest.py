@@ -1,0 +1,20 @@
+"""Shared configuration for the benchmark harness.
+
+Each figure benchmark runs the corresponding experiment once (pedantic
+mode — training loops are too heavy for repeated timing rounds) at a
+reduced scale and asserts the experiment's own scale-aware shape checks.
+Full-scale numbers come from ``python -m repro.experiments <fig>``.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Scenario: one edge server, two different sensing tasks.
+
+The paper's core argument for *online* DCDA is flexibility: different
+device groups have different sensing tasks, each needing its own model
+size and compression ratio.  This example runs two clusters —
+
+* a grayscale-digit-like task (low intrinsic dimension), and
+* a colour-sign-like task (high intrinsic dimension),
+
+lets OrcoDCS pick a task-sized latent for each, and contrasts with the
+one-size-fits-all DCSNet code (1024 for everything).  It then shows
+adaptivity: when the first cluster's task changes (new data family),
+OrcoDCS simply retrains online, while an offline framework would need a
+fresh cloud round-trip.
+
+Usage::
+
+    python examples/adaptive_task_compression.py
+"""
+
+import numpy as np
+
+from repro.baselines.dcsnet import DCSNET_LATENT_DIM
+from repro.core import OrcoDCSConfig, OrcoDCSFramework
+from repro.datasets import (
+    flatten_images,
+    generate_digits,
+    generate_signs,
+)
+from repro.metrics import psnr
+
+
+def train_task(name: str, rows: np.ndarray, latent_dim: int,
+               epochs: int = 15) -> OrcoDCSFramework:
+    config = OrcoDCSConfig(input_dim=rows.shape[1], latent_dim=latent_dim,
+                           noise_sigma=0.1, seed=0)
+    framework = OrcoDCSFramework(config)
+    history = framework.fit_config(rows, epochs=epochs)
+    print(f"  [{name}] M={latent_dim} "
+          f"(compression {config.compression_ratio:.1f}x) "
+          f"loss={history.epochs[-1].train_loss:.4f} "
+          f"modeled_time={history.total_time_s:.0f}s")
+    return framework
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    print("Task A: grayscale digits (784-dim, low complexity)")
+    digit_rows = flatten_images(generate_digits(500, rng)[0])
+    print("Task B: colour signs (3072-dim, high complexity)")
+    sign_rows = flatten_images(generate_signs(300, rng)[0])
+
+    print("\nOrcoDCS sizes the latent per task:")
+    task_a = train_task("digits", digit_rows, latent_dim=128)
+    task_b = train_task("signs", sign_rows, latent_dim=512)
+
+    print("\nPer-image uplink cost (4-byte scalars):")
+    for name, latent, dim in (("digits", 128, 784), ("signs", 512, 3072)):
+        orco_bytes = latent * 4
+        dcs_bytes = DCSNET_LATENT_DIM * 4
+        print(f"  {name:7s}: OrcoDCS {orco_bytes:5d} B vs DCSNet "
+              f"{dcs_bytes} B -> {dcs_bytes / orco_bytes:.1f}x saving")
+
+    quality_a = psnr(digit_rows[:50], task_a.reconstruct(digit_rows[:50]))
+    quality_b = psnr(sign_rows[:50], task_b.reconstruct(sign_rows[:50]))
+    print(f"\nReconstruction PSNR: digits {quality_a:.1f} dB, "
+          f"signs {quality_b:.1f} dB")
+
+    # ------------------------------------------------------------------
+    # Adaptivity: cluster A's task changes to a new data family.
+    # ------------------------------------------------------------------
+    print("\nTask change on cluster A: digits -> inverted digits")
+    inverted = 1.0 - digit_rows
+    error_before = task_a.evaluate(inverted[:64])
+    adapt_history = task_a.fit_config(inverted, epochs=10)
+    error_after = task_a.evaluate(inverted[:64])
+    print(f"  reconstruction error on the new family: "
+          f"{error_before:.4f} -> {error_after:.4f} after "
+          f"{adapt_history.total_time_s - adapt_history.rounds[0].time_s:.0f} "
+          f"modeled s of online adaptation")
+    print("  (an offline DCDA framework would retrain from scratch in the "
+          "cloud and redeploy)")
+
+
+if __name__ == "__main__":
+    main()

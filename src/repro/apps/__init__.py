@@ -1,0 +1,5 @@
+"""`repro.apps` — follow-up DL applications fed by reconstructed data."""
+
+from .classifier import ClassifierHistory, ImageClassifier, build_simple_cnn
+
+__all__ = ["ClassifierHistory", "ImageClassifier", "build_simple_cnn"]

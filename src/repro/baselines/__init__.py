@@ -1,0 +1,20 @@
+"""`repro.baselines` — comparison systems re-implemented from their
+published descriptions.
+
+DCSNet (the paper's main baseline) and the classical random-projection
+CDA pipeline live in :mod:`repro.cs`.
+"""
+
+from .dcsnet import (
+    DCSNET_LATENT_DIM,
+    DCSNetOffline,
+    DCSNetOnline,
+    build_dcsnet_decoder,
+    build_dcsnet_encoder,
+    dcsnet_decoder_flops,
+)
+
+__all__ = [
+    "DCSNET_LATENT_DIM", "DCSNetOffline", "DCSNetOnline",
+    "build_dcsnet_decoder", "build_dcsnet_encoder", "dcsnet_decoder_flops",
+]

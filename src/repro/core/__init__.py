@@ -1,0 +1,62 @@
+"""`repro.core` — the OrcoDCS framework (the paper's contribution).
+
+Asymmetric autoencoder (Sec. III-B), latent Gaussian noise (eq. 2),
+IoT-Edge orchestrated online trainer with compute/byte accounting,
+trained-encoder deployment into the WSN (Sec. III-C) and the
+fine-tuning monitor (Sec. III-D).
+"""
+
+from .autoencoder import AsymmetricAutoencoder, build_decoder, build_encoder
+from .config import OrcoDCSConfig, gtsrb_task_config, mnist_task_config
+from .deployment import CompressedRound, EncoderDeployment
+from .finetune import (
+    AdaptationEvent,
+    AdaptationLog,
+    FineTuningMonitor,
+    OnlineAdaptationLoop,
+)
+from .noise import GaussianNoiseInjector
+from .scheduler import (
+    EdgeTrainingScheduler,
+    ScheduledCluster,
+    ScheduleReport,
+    compare_policies,
+)
+from .orchestrator import (
+    EpochRecord,
+    OrchestratedTrainer,
+    OrcoDCSFramework,
+    RoundRecord,
+    TrainingHistory,
+)
+from .timing import (
+    DeviceProfile,
+    OrchestrationTimingModel,
+    OverheadReport,
+    RoundTiming,
+    cloud_profile,
+    conv2d_flops,
+    dense_flops,
+    dense_stack_flops,
+    edge_server_profile,
+    iot_aggregator_profile,
+    overhead_report,
+    training_flops,
+)
+
+__all__ = [
+    "AsymmetricAutoencoder", "build_decoder", "build_encoder",
+    "OrcoDCSConfig", "gtsrb_task_config", "mnist_task_config",
+    "CompressedRound", "EncoderDeployment",
+    "AdaptationEvent", "AdaptationLog", "FineTuningMonitor",
+    "OnlineAdaptationLoop",
+    "GaussianNoiseInjector",
+    "EdgeTrainingScheduler", "ScheduledCluster", "ScheduleReport",
+    "compare_policies",
+    "EpochRecord", "OrchestratedTrainer", "OrcoDCSFramework", "RoundRecord",
+    "TrainingHistory",
+    "DeviceProfile", "OrchestrationTimingModel", "OverheadReport",
+    "RoundTiming", "cloud_profile", "conv2d_flops", "dense_flops",
+    "dense_stack_flops", "edge_server_profile", "iot_aggregator_profile",
+    "overhead_report", "training_flops",
+]

@@ -1,0 +1,109 @@
+"""Configuration for the OrcoDCS framework.
+
+The whole point of OrcoDCS (vs. offline DCDA) is that these knobs —
+latent dimension, decoder depth, noise level, loss — are chosen *per
+sensing task* instead of being fixed in the cloud, so they live in one
+explicit config object that experiments sweep over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+
+@dataclass
+class OrcoDCSConfig:
+    """Hyperparameters of one OrcoDCS deployment.
+
+    Attributes
+    ----------
+    input_dim:
+        Raw data dimension ``N`` (number of IoT devices in the cluster,
+        i.e. flattened pixel count for the image tasks).
+    latent_dim:
+        Latent dimension ``M`` — the paper uses 128 for MNIST-class and
+        512 for GTSRB-class tasks.
+    noise_sigma:
+        Standard deviation of the Gaussian noise added to latent vectors
+        during training (eq. 2 uses variance sigma^2; this is sigma).
+    decoder_layers:
+        Number of trainable layers in the decoder (1 = the paper's
+        single dense layer; 3/5 are the Fig. 8 sensitivity points).
+    decoder_hidden:
+        Hidden width for decoders deeper than one layer; ``None`` picks
+        ``max(latent_dim, input_dim // 2)``.
+    activation:
+        Activation for encoder/decoder layers (final decoder layer is
+        always sigmoid so outputs live in [0, 1]).
+    loss / huber_delta:
+        Reconstruction loss ("huber" per eq. 4, or "mse"/"l1" for
+        ablations) and the Huber threshold.
+    learning_rate / optimizer / batch_size:
+        Online-training knobs shared by aggregator and edge.
+    seed:
+        Seed for parameter init and noise draws.
+    """
+
+    input_dim: int
+    latent_dim: int = 128
+    noise_sigma: float = 0.1
+    decoder_layers: int = 1
+    decoder_hidden: Optional[int] = None
+    activation: str = "sigmoid"
+    loss: str = "huber"
+    huber_delta: float = 1.0
+    learning_rate: float = 3e-3
+    optimizer: str = "adam"
+    batch_size: int = 32
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.input_dim <= 0:
+            raise ValueError("input_dim must be positive")
+        if self.latent_dim <= 0:
+            raise ValueError("latent_dim must be positive")
+        if self.noise_sigma < 0:
+            raise ValueError("noise_sigma must be non-negative")
+        if self.decoder_layers < 1:
+            raise ValueError("decoder needs at least one layer")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+
+    @property
+    def compression_ratio(self) -> float:
+        """N / M — how many times smaller the latent is than the raw data.
+
+        Values below 1 mean the code is *larger* than the input; the
+        paper's Fig. 6 sensitivity sweep deliberately includes such
+        settings (M=1024 on the 784-dimensional digits task).
+        """
+        return self.input_dim / self.latent_dim
+
+    @property
+    def is_compressive(self) -> bool:
+        """True when the latent is strictly smaller than the input."""
+        return self.latent_dim < self.input_dim
+
+    @property
+    def hidden_width(self) -> int:
+        """Resolved hidden width for multi-layer decoders."""
+        if self.decoder_hidden is not None:
+            return self.decoder_hidden
+        return max(self.latent_dim, self.input_dim // 2)
+
+    def with_overrides(self, **kwargs) -> "OrcoDCSConfig":
+        """Functional update — used by the sensitivity sweeps."""
+        return replace(self, **kwargs)
+
+
+def mnist_task_config(**overrides) -> OrcoDCSConfig:
+    """The paper's grayscale-digits task: N=784, M=128."""
+    base = OrcoDCSConfig(input_dim=784, latent_dim=128)
+    return base.with_overrides(**overrides) if overrides else base
+
+
+def gtsrb_task_config(**overrides) -> OrcoDCSConfig:
+    """The paper's colour traffic-sign task: N=3072, M=512."""
+    base = OrcoDCSConfig(input_dim=3072, latent_dim=512)
+    return base.with_overrides(**overrides) if overrides else base

@@ -1,0 +1,142 @@
+"""Deploying the trained encoder into the sensor network (Sec. III-C).
+
+After orchestrated training finishes, each IoT device needs only *its*
+column of the encoder weight matrix to participate in compressed
+aggregation: device ``i`` computes ``We[:, i] * x_i`` and partial sums
+accumulate up the aggregation tree (the hybrid-CS reading of eq. 6 — see
+DESIGN.md for the dimensional note).  The aggregator finishes with the
+bias and activation, recovering exactly the centralized eq. (1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..wsn.aggregation import (
+    AggregationReport,
+    AggregationTree,
+    hybrid_encode,
+    simulate_encoder_distribution,
+    simulate_hybrid_aggregation,
+)
+from ..wsn.network import WSNetwork
+from .autoencoder import AsymmetricAutoencoder
+
+_ACTIVATIONS: Dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "sigmoid": lambda z: 1.0 / (1.0 + np.exp(-z)),
+    "tanh": np.tanh,
+    "relu": lambda z: np.maximum(z, 0.0),
+    "identity": lambda z: z,
+    "linear": lambda z: z,
+}
+
+
+@dataclass
+class CompressedRound:
+    """Result of one compressed data-collection round."""
+
+    latent: np.ndarray
+    report: AggregationReport
+
+
+class EncoderDeployment:
+    """Binds a trained autoencoder to a WSN cluster for data collection.
+
+    Parameters
+    ----------
+    model:
+        Trained :class:`AsymmetricAutoencoder`; ``model.config.input_dim``
+        must equal the cluster's device count (every device, including
+        the aggregator, contributes one reading per round).
+    network / tree:
+        The cluster and its aggregation tree.
+    """
+
+    def __init__(self, model: AsymmetricAutoencoder, network: WSNetwork,
+                 tree: AggregationTree):
+        if network.num_devices != model.config.input_dim:
+            raise ValueError(
+                f"model expects {model.config.input_dim} devices, network has "
+                f"{network.num_devices}")
+        if model.config.activation not in _ACTIVATIONS:
+            raise ValueError(f"unsupported activation {model.config.activation!r} "
+                             "for distributed encoding")
+        self.model = model
+        self.network = network
+        self.tree = tree
+        self.weight_e, self.bias_e = model.encoder_weights()
+        # Device -> encoder column assignment: sorted node ids map to
+        # columns 0..N-1 so the stacked vector X is well defined.
+        self.device_index = {nid: idx for idx, nid in enumerate(network.device_ids)}
+        self._activation = _ACTIVATIONS[model.config.activation]
+        self.distributed = False
+
+    # ------------------------------------------------------------------
+    def distribute(self) -> AggregationReport:
+        """Ship each device its encoder column down the tree; returns the
+        cost report (the one-time deployment overhead of Fig. 3)."""
+        report = simulate_encoder_distribution(
+            self.network, self.tree, self.model.config.latent_dim,
+            self.network.value_bytes)
+        self.distributed = True
+        return report
+
+    def compressed_round(self, readings: Dict[int, float],
+                         charge_network: bool = True) -> CompressedRound:
+        """Collect one round of readings as an M-dimensional latent vector.
+
+        Performs the actual distributed numerics (partial-sum hybrid
+        aggregation) and — when ``charge_network`` — bills the network for
+        the transmissions of the hybrid scheme.
+
+        Raises
+        ------
+        RuntimeError
+            If the encoder has not been distributed yet.
+        """
+        if not self.distributed:
+            raise RuntimeError("call distribute() before compressed rounds")
+        missing = [nid for nid in self.network.device_ids if nid not in readings]
+        if missing:
+            raise ValueError(f"missing readings for devices {missing[:5]}")
+        partial, _ = hybrid_encode(self.tree, readings, self.weight_e,
+                                   self.device_index)
+        latent = self._activation(partial + self.bias_e)
+        if charge_network:
+            report = simulate_hybrid_aggregation(
+                self.network, self.tree, self.model.config.latent_dim,
+                values_per_node=1, value_bytes=self.network.value_bytes,
+                kind="compressed_round")
+        else:
+            report = AggregationReport()
+        return CompressedRound(latent, report)
+
+    def centralized_latent(self, readings: Dict[int, float]) -> np.ndarray:
+        """Reference eq. (1) computation for equivalence checks."""
+        stacked = np.array([readings[nid] for nid in self.network.device_ids])
+        return self._activation(self.weight_e @ stacked + self.bias_e)
+
+    def uplink_latent(self, latent: np.ndarray) -> float:
+        """Send the aggregated latent to the edge; returns elapsed seconds."""
+        payload = latent.size * self.network.value_bytes
+        return self.network.uplink_to_edge(payload, kind="latent_uplink")
+
+    def reconstruct_at_edge(self, latent: np.ndarray) -> np.ndarray:
+        """Edge-side decode of an aggregated latent vector."""
+        from ..nn.tensor import Tensor
+        was_training = self.model.training
+        self.model.eval()
+        out = self.model.decode(Tensor(np.atleast_2d(latent))).data[0]
+        self.model.train(was_training)
+        return out
+
+    def end_to_end_round(self, readings: Dict[int, float]) -> Tuple[np.ndarray, np.ndarray]:
+        """Full Sec. III-C data path: distributed encode -> uplink ->
+        edge decode.  Returns (latent, reconstruction)."""
+        collected = self.compressed_round(readings)
+        self.uplink_latent(collected.latent)
+        reconstruction = self.reconstruct_at_edge(collected.latent)
+        return collected.latent, reconstruction

@@ -1,0 +1,62 @@
+"""Latent-space Gaussian noise injection (eq. 2 of the paper).
+
+OrcoDCS perturbs latent vectors with zero-mean Gaussian noise during
+training so the decoder learns to reconstruct from a *neighbourhood* of
+each code, improving robustness and downstream-classifier diversity
+(Sec. III-B).  The noise is treated as a constant w.r.t. the autograd
+graph — gradients flow through the identity, exactly as in denoising
+autoencoders.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn.tensor import Tensor
+
+
+class GaussianNoiseInjector:
+    """Adds ``N(0, sigma^2)`` noise to latent tensors during training.
+
+    Parameters
+    ----------
+    sigma:
+        Noise standard deviation; 0 disables injection.
+    rng:
+        Generator for the draws (seeded by the orchestrator).
+    decay:
+        Optional multiplicative decay applied per epoch via
+        :meth:`on_epoch_end`, letting long runs anneal the noise.
+    """
+
+    def __init__(self, sigma: float, rng: Optional[np.random.Generator] = None,
+                 decay: float = 1.0):
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        if not 0 < decay <= 1.0:
+            raise ValueError("decay must be in (0, 1]")
+        self.initial_sigma = float(sigma)
+        self.sigma = float(sigma)
+        self.decay = decay
+        self.rng = rng or np.random.default_rng()
+
+    @property
+    def variance(self) -> float:
+        """The sigma^2 the paper reports on its Fig. 7 axis labels."""
+        return self.sigma ** 2
+
+    def __call__(self, latent: Tensor, training: bool = True) -> Tensor:
+        """Return ``latent + noise`` (or ``latent`` unchanged at inference)."""
+        if not training or self.sigma == 0.0:
+            return latent
+        noise = self.rng.normal(0.0, self.sigma, latent.shape)
+        return latent + Tensor(noise)
+
+    def on_epoch_end(self) -> None:
+        """Apply the per-epoch decay schedule."""
+        self.sigma *= self.decay
+
+    def reset(self) -> None:
+        self.sigma = self.initial_sigma

@@ -1,0 +1,349 @@
+"""IoT-Edge orchestrated online training (the paper's central mechanism).
+
+One *round* of the protocol (Sec. III-B, "Training procedure"):
+
+1. the data aggregator encodes a raw minibatch into latent vectors
+   (eq. 1) and perturbs them with Gaussian noise (eq. 2);
+2. the noisy latents travel over the uplink to the edge server;
+3. the edge decodes them into reconstructions (eq. 3);
+4. reconstructions (and latent gradients) travel back over the cheap
+   downlink; the reconstruction error (eq. 4) is evaluated;
+5. the edge updates the decoder, the aggregator updates the encoder.
+
+The :class:`OrchestratedTrainer` executes these rounds with one shared
+autograd graph (mathematically identical updates to the distributed
+message exchange) while *accounting* for the distribution: every round is
+charged modeled compute seconds on each side and bytes on each link.
+The same trainer class drives both OrcoDCS and the online-DCSNet
+baseline, which differ only in their modules, loss and noise policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..nn import losses as losses_mod
+from ..nn import optim as optim_mod
+from ..nn.layers import Module
+from ..nn.tensor import Tensor
+from ..wsn.network import TransmissionLedger
+from .autoencoder import AsymmetricAutoencoder
+from .config import OrcoDCSConfig
+from .noise import GaussianNoiseInjector
+from .timing import (
+    OrchestrationTimingModel,
+    dense_flops,
+    dense_stack_flops,
+    overhead_report,
+)
+
+
+@dataclass
+class RoundRecord:
+    """One orchestrated minibatch round."""
+
+    round_index: int
+    epoch: int
+    time_s: float          # cumulative modeled seconds after this round
+    train_loss: float
+    uplink_bytes: int
+    downlink_bytes: int
+
+
+@dataclass
+class EpochRecord:
+    """Aggregated view at an epoch boundary."""
+
+    epoch: int
+    time_s: float
+    train_loss: float
+    val_loss: Optional[float]
+
+
+class TrainingHistory:
+    """Loss-vs-modeled-time trajectory of one training run.
+
+    This is the object Figures 4 and 6-8 are drawn from.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.rounds: List[RoundRecord] = []
+        self.epochs: List[EpochRecord] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def times(self) -> np.ndarray:
+        return np.array([r.time_s for r in self.rounds])
+
+    @property
+    def losses(self) -> np.ndarray:
+        return np.array([r.train_loss for r in self.rounds])
+
+    @property
+    def epoch_times(self) -> np.ndarray:
+        return np.array([e.time_s for e in self.epochs])
+
+    @property
+    def epoch_losses(self) -> np.ndarray:
+        return np.array([e.train_loss for e in self.epochs])
+
+    @property
+    def val_losses(self) -> np.ndarray:
+        return np.array([e.val_loss if e.val_loss is not None else np.nan
+                         for e in self.epochs])
+
+    @property
+    def final_loss(self) -> float:
+        if not self.rounds:
+            raise ValueError("history is empty")
+        return self.rounds[-1].train_loss
+
+    @property
+    def total_time_s(self) -> float:
+        return self.rounds[-1].time_s if self.rounds else 0.0
+
+    def time_to_loss(self, threshold: float) -> Optional[float]:
+        """Modeled seconds until train loss first dips below ``threshold``
+        (None if never)."""
+        for record in self.rounds:
+            if record.train_loss <= threshold:
+                return record.time_s
+        return None
+
+    def smoothed_losses(self, window: int = 10) -> np.ndarray:
+        """Running-mean loss curve (round-level losses are noisy)."""
+        losses = self.losses
+        if window <= 1 or len(losses) < 2:
+            return losses
+        kernel = np.ones(min(window, len(losses))) / min(window, len(losses))
+        return np.convolve(losses, kernel, mode="valid")
+
+
+class OrchestratedTrainer:
+    """Generic IoT-Edge orchestrated online trainer.
+
+    Parameters
+    ----------
+    encoder / decoder:
+        Aggregator-side and edge-side modules.  ``decoder(encoder(x))``
+        must map ``(B, input_dim)`` rows back to ``(B, input_dim)`` rows.
+    input_dim / latent_dim:
+        Data and code dimensions (drive the byte accounting).
+    loss:
+        Reconstruction loss object.
+    noise:
+        Latent-noise injector (``None`` disables — DCSNet's setting).
+    encoder_forward_flops / decoder_forward_flops:
+        Per-sample forward FLOPs of each side, for the timing model.
+    timing:
+        :class:`OrchestrationTimingModel` (devices + links).
+    optimizer / learning_rate:
+        Optimiser spec, instantiated separately per side — the aggregator
+        and the edge each keep their own optimiser state, as in the real
+        deployment.
+    """
+
+    def __init__(self, encoder: Module, decoder: Module, *,
+                 input_dim: int, latent_dim: int,
+                 loss: losses_mod.Loss,
+                 noise: Optional[GaussianNoiseInjector],
+                 encoder_forward_flops: float,
+                 decoder_forward_flops: float,
+                 timing: Optional[OrchestrationTimingModel] = None,
+                 optimizer: str = "adam",
+                 learning_rate: float = 1e-3,
+                 rng: Optional[np.random.Generator] = None,
+                 name: str = "orchestrated"):
+        self.encoder = encoder
+        self.decoder = decoder
+        self.input_dim = input_dim
+        self.latent_dim = latent_dim
+        self.loss = loss
+        self.noise = noise
+        self.encoder_forward_flops = encoder_forward_flops
+        self.decoder_forward_flops = decoder_forward_flops
+        self.timing = timing or OrchestrationTimingModel()
+        self.rng = rng or np.random.default_rng()
+        self.name = name
+        self.encoder_optimizer = optim_mod.make_optimizer(
+            optimizer, encoder.parameters(), lr=learning_rate)
+        self.decoder_optimizer = optim_mod.make_optimizer(
+            optimizer, decoder.parameters(), lr=learning_rate)
+        self.ledger = TransmissionLedger()
+        self.clock_s = 0.0
+        self._round_index = 0
+        self._training = True
+
+    # ------------------------------------------------------------------
+    # Protocol steps
+    # ------------------------------------------------------------------
+    def _forward(self, batch: np.ndarray, training: bool) -> Tensor:
+        x = Tensor(batch)
+        latent = self.encoder(x)
+        if self.noise is not None and training:
+            latent = self.noise(latent, training=True)
+        return self.decoder(latent)
+
+    def train_round(self, batch: np.ndarray, epoch: int = 0) -> RoundRecord:
+        """Run one orchestrated minibatch round and account for it."""
+        batch = np.atleast_2d(np.asarray(batch, dtype=float))
+        if batch.shape[1] != self.input_dim:
+            raise ValueError(f"batch dim {batch.shape[1]} != input_dim {self.input_dim}")
+        reconstruction = self._forward(batch, training=True)
+        loss_value = self.loss(reconstruction, batch)
+
+        self.encoder_optimizer.zero_grad()
+        self.decoder_optimizer.zero_grad()
+        loss_value.backward()
+        self.decoder_optimizer.step()   # edge updates first (has grads first)
+        self.encoder_optimizer.step()
+
+        batch_size = batch.shape[0]
+        round_time = self.timing.training_round(
+            batch_size, self.input_dim, self.latent_dim,
+            self.encoder_forward_flops, self.decoder_forward_flops)
+        up_bytes, down_bytes = self.timing.round_bytes(
+            batch_size, self.input_dim, self.latent_dim)
+        self.clock_s += round_time.total_s
+        self.ledger.record(0, -1, up_bytes,
+                           self.timing.up.wire_bytes(up_bytes),
+                           "latent_uplink", round_time.uplink_s)
+        self.ledger.record(-1, 0, down_bytes,
+                           self.timing.down.wire_bytes(down_bytes),
+                           "recon_downlink", round_time.downlink_s)
+        self._round_index += 1
+        return RoundRecord(self._round_index, epoch, self.clock_s,
+                           float(loss_value.item()), up_bytes, down_bytes)
+
+    def evaluate(self, rows: np.ndarray) -> float:
+        """Reconstruction loss without noise or parameter updates."""
+        rows = np.atleast_2d(np.asarray(rows, dtype=float))
+        reconstruction = self._forward(rows, training=False)
+        return float(self.loss(reconstruction, rows).item())
+
+    def reconstruct(self, rows: np.ndarray) -> np.ndarray:
+        """Reconstruct rows (inference path, no noise)."""
+        rows = np.atleast_2d(np.asarray(rows, dtype=float))
+        return self._forward(rows, training=False).data
+
+    # ------------------------------------------------------------------
+    # Training loop
+    # ------------------------------------------------------------------
+    def fit(self, train_rows: np.ndarray, epochs: int = 10,
+            batch_size: int = 32, val_rows: Optional[np.ndarray] = None,
+            shuffle: bool = True, time_budget_s: Optional[float] = None,
+            max_rounds: Optional[int] = None,
+            history: Optional[TrainingHistory] = None) -> TrainingHistory:
+        """Online training over ``train_rows`` (``(num_samples, N)``).
+
+        Stops early when the modeled clock exceeds ``time_budget_s`` or
+        after ``max_rounds`` minibatch rounds.  Passing an existing
+        ``history`` continues it (used by fine-tuning relaunches).
+        """
+        train_rows = np.atleast_2d(np.asarray(train_rows, dtype=float))
+        if epochs <= 0 or batch_size <= 0:
+            raise ValueError("epochs and batch_size must be positive")
+        history = history or TrainingHistory(self.name)
+        for epoch in range(1, epochs + 1):
+            order = np.arange(len(train_rows))
+            if shuffle:
+                self.rng.shuffle(order)
+            epoch_losses: List[float] = []
+            for start in range(0, len(order), batch_size):
+                batch = train_rows[order[start:start + batch_size]]
+                record = self.train_round(batch, epoch)
+                history.rounds.append(record)
+                epoch_losses.append(record.train_loss)
+                if time_budget_s is not None and self.clock_s >= time_budget_s:
+                    break
+                if max_rounds is not None and self._round_index >= max_rounds:
+                    break
+            val_loss = self.evaluate(val_rows) if val_rows is not None else None
+            history.epochs.append(EpochRecord(
+                epoch, self.clock_s, float(np.mean(epoch_losses)), val_loss))
+            if self.noise is not None:
+                self.noise.on_epoch_end()
+            if time_budget_s is not None and self.clock_s >= time_budget_s:
+                break
+            if max_rounds is not None and self._round_index >= max_rounds:
+                break
+        return history
+
+
+class OrcoDCSFramework(OrchestratedTrainer):
+    """OrcoDCS wired from an :class:`OrcoDCSConfig`.
+
+    Builds the asymmetric autoencoder, the Huber loss and the Gaussian
+    noise injector, computes the FLOP profile of both sides and exposes
+    the trained model for deployment (Sec. III-C).
+    """
+
+    def __init__(self, config: OrcoDCSConfig,
+                 timing: Optional[OrchestrationTimingModel] = None,
+                 rng: Optional[np.random.Generator] = None):
+        rng = rng or np.random.default_rng(config.seed)
+        model = AsymmetricAutoencoder(config, rng)
+        if config.loss in ("huber", "vector_huber"):
+            loss = losses_mod.make_loss(config.loss, delta=config.huber_delta)
+        else:
+            loss = losses_mod.make_loss(config.loss)
+        decoder_dims = self._decoder_dims(config)
+        super().__init__(
+            model.encoder, model.decoder,
+            input_dim=config.input_dim, latent_dim=config.latent_dim,
+            loss=loss, noise=model.noise,
+            encoder_forward_flops=dense_flops(config.input_dim, config.latent_dim),
+            decoder_forward_flops=dense_stack_flops(decoder_dims),
+            timing=timing, optimizer=config.optimizer,
+            learning_rate=config.learning_rate, rng=rng, name="OrcoDCS")
+        self.config = config
+        self.model = model
+
+    @staticmethod
+    def _decoder_dims(config: OrcoDCSConfig) -> List[int]:
+        if config.decoder_layers == 1:
+            return [config.latent_dim, config.input_dim]
+        hidden = config.hidden_width
+        return ([config.latent_dim]
+                + [hidden] * (config.decoder_layers - 1)
+                + [config.input_dim])
+
+    def fit_config(self, train_rows: np.ndarray, epochs: int = 10,
+                   val_rows: Optional[np.ndarray] = None,
+                   **kwargs) -> TrainingHistory:
+        """`fit` with the batch size taken from the config."""
+        return self.fit(train_rows, epochs=epochs,
+                        batch_size=self.config.batch_size,
+                        val_rows=val_rows, **kwargs)
+
+    def reconstruct_diverse(self, rows: np.ndarray,
+                            copies: int = 2) -> np.ndarray:
+        """Decode one clean and ``copies - 1`` noise-perturbed latents
+        per row.
+
+        This is the mechanism behind the paper's Fig. 5 claim: "the
+        addition of Gaussian noise to the latent spaces ... leads to the
+        generation of more diverse data by the decoder", which the
+        follow-up classifier benefits from.  Returns ``copies *
+        len(rows)`` rows; the first ``len(rows)`` are clean decodes.
+        """
+        if copies < 1:
+            raise ValueError("copies must be >= 1")
+        rows = np.atleast_2d(np.asarray(rows, dtype=float))
+        outputs = [self.reconstruct(rows)]
+        for _ in range(copies - 1):
+            latent = self.encoder(Tensor(rows))
+            noisy = self.noise(latent, training=True)
+            outputs.append(self.decoder(noisy).data)
+        return np.vstack(outputs)
+
+    def overhead(self):
+        """Sec. III-E's overhead breakdown for this configuration."""
+        return overhead_report(
+            self.config.batch_size, self.config.input_dim,
+            self.config.latent_dim, self.encoder_forward_flops,
+            self.decoder_forward_flops)

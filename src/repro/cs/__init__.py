@@ -1,0 +1,42 @@
+"""`repro.cs` — classical compressed sensing substrate.
+
+Measurement matrices, sparsifying bases, sparse-recovery solvers and the
+traditional (non-learned) compressed-data-aggregation pipeline that
+OrcoDCS and DCSNet both improve upon.
+"""
+
+from .cda import CDAResult, ClassicalCDA
+from .measurement import (
+    bernoulli_matrix,
+    gaussian_matrix,
+    mutual_coherence,
+    restricted_isometry_estimate,
+    sparse_binary_matrix,
+)
+from .solvers import (
+    SolverResult,
+    cosamp,
+    fista,
+    get_solver,
+    ista,
+    omp,
+    ridge_lstsq,
+)
+from .sparsify import (
+    best_k_term_error,
+    dct_basis,
+    effective_sparsity,
+    from_dct,
+    hard_threshold,
+    to_dct,
+)
+
+__all__ = [
+    "CDAResult", "ClassicalCDA",
+    "bernoulli_matrix", "gaussian_matrix", "mutual_coherence",
+    "restricted_isometry_estimate", "sparse_binary_matrix",
+    "SolverResult", "cosamp", "fista", "get_solver", "ista", "omp",
+    "ridge_lstsq",
+    "best_k_term_error", "dct_basis", "effective_sparsity", "from_dct",
+    "hard_threshold", "to_dct",
+]

@@ -1,0 +1,96 @@
+"""Classical compressed data aggregation (the traditional CDA of Sec. I).
+
+The pipeline the paper describes as the pre-deep-learning baseline:
+
+1. the aggregator multiplies raw data by a random measurement matrix
+   ``Phi`` (``m << n``) and uplinks the measurements;
+2. the edge reconstructs by solving a sparse-recovery problem in a
+   sparsifying basis ``Psi`` (``y = Phi Psi s``, then ``x = Psi s``).
+
+Its per-sample transmission cost is ``m`` scalars — the same as
+OrcoDCS's latent dimension — but its reconstruction quality is limited by
+how sparse the data actually is in ``Psi``, which is precisely the
+shortcoming motivating learned codecs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .measurement import gaussian_matrix
+from .solvers import get_solver
+from .sparsify import dct_basis
+
+
+@dataclass
+class CDAResult:
+    """Round-trip result for a batch of signals."""
+
+    measurements: np.ndarray
+    reconstructions: np.ndarray
+    values_per_sample: int
+
+
+class ClassicalCDA:
+    """Random-projection encode + sparse-recovery decode.
+
+    Parameters
+    ----------
+    signal_dim:
+        Raw data dimension ``n`` (e.g. number of IoT devices).
+    num_measurements:
+        Compressed dimension ``m``.
+    solver:
+        One of ``"omp"``, ``"ista"``, ``"fista"``, ``"lstsq"``.
+    sparsity:
+        Support size passed to OMP (ignored by the l1 solvers).
+    rng:
+        Generator for drawing the measurement matrix.
+    """
+
+    def __init__(self, signal_dim: int, num_measurements: int,
+                 solver: str = "omp", sparsity: Optional[int] = None,
+                 lam: float = 0.01,
+                 rng: Optional[np.random.Generator] = None):
+        if num_measurements > signal_dim:
+            raise ValueError("num_measurements must be <= signal_dim")
+        self.signal_dim = signal_dim
+        self.num_measurements = num_measurements
+        self.solver_name = solver
+        self._solver = get_solver(solver)
+        self.sparsity = sparsity or max(1, num_measurements // 4)
+        self.lam = lam
+        rng = rng or np.random.default_rng()
+        self.measurement = gaussian_matrix(num_measurements, signal_dim, rng)
+        self.basis = dct_basis(signal_dim)
+        self._sensing = self.measurement @ self.basis  # Phi Psi
+
+    def encode(self, signals: np.ndarray) -> np.ndarray:
+        """Project ``(batch, n)`` signals to ``(batch, m)`` measurements."""
+        signals = np.atleast_2d(np.asarray(signals, dtype=float))
+        if signals.shape[1] != self.signal_dim:
+            raise ValueError(f"expected signals of dim {self.signal_dim}")
+        return signals @ self.measurement.T
+
+    def decode(self, measurements: np.ndarray) -> np.ndarray:
+        """Reconstruct ``(batch, n)`` signals from measurements."""
+        measurements = np.atleast_2d(np.asarray(measurements, dtype=float))
+        out = np.zeros((measurements.shape[0], self.signal_dim))
+        for row in range(measurements.shape[0]):
+            if self.solver_name == "omp":
+                result = self._solver(self._sensing, measurements[row], self.sparsity)
+            elif self.solver_name == "lstsq":
+                result = self._solver(self._sensing, measurements[row])
+            else:
+                result = self._solver(self._sensing, measurements[row], self.lam)
+            out[row] = self.basis @ result.solution
+        return out
+
+    def round_trip(self, signals: np.ndarray) -> CDAResult:
+        """Encode then decode a batch; returns measurements and recon."""
+        measurements = self.encode(signals)
+        reconstructions = self.decode(measurements)
+        return CDAResult(measurements, reconstructions, self.num_measurements)

@@ -1,0 +1,100 @@
+"""Measurement matrices for classical compressed sensing.
+
+Traditional CDA (Sec. I of the paper) encodes raw data with randomly
+generated Gaussian or Bernoulli measurement matrices; OrcoDCS replaces
+these with a *learned* encoder.  These generators provide the classical
+comparison point and the substrate for the hybrid-CS aggregation of
+Luo et al. [1].
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def gaussian_matrix(m: int, n: int, rng: Optional[np.random.Generator] = None,
+                    normalize: bool = True) -> np.ndarray:
+    """Dense i.i.d. Gaussian measurement matrix ``(m, n)``.
+
+    With ``normalize=True`` entries are drawn from ``N(0, 1/m)`` so that
+    column norms concentrate near 1 (the standard RIP scaling).
+    """
+    _check_dims(m, n)
+    rng = rng or np.random.default_rng()
+    scale = 1.0 / np.sqrt(m) if normalize else 1.0
+    return rng.standard_normal((m, n)) * scale
+
+
+def bernoulli_matrix(m: int, n: int, rng: Optional[np.random.Generator] = None,
+                     normalize: bool = True) -> np.ndarray:
+    """Random ±1 (Rademacher) measurement matrix, optionally 1/sqrt(m)-scaled."""
+    _check_dims(m, n)
+    rng = rng or np.random.default_rng()
+    signs = rng.integers(0, 2, size=(m, n)) * 2 - 1
+    scale = 1.0 / np.sqrt(m) if normalize else 1.0
+    return signs.astype(float) * scale
+
+
+def sparse_binary_matrix(m: int, n: int, ones_per_column: int = 4,
+                         rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Sparse binary measurement matrix with ``ones_per_column`` ones per
+    column — the lightweight choice for in-network encoding [11]."""
+    _check_dims(m, n)
+    if not 0 < ones_per_column <= m:
+        raise ValueError("ones_per_column must be in (0, m]")
+    rng = rng or np.random.default_rng()
+    matrix = np.zeros((m, n))
+    for col in range(n):
+        rows = rng.choice(m, size=ones_per_column, replace=False)
+        matrix[rows, col] = 1.0 / np.sqrt(ones_per_column)
+    return matrix
+
+
+def mutual_coherence(matrix: np.ndarray) -> float:
+    """Maximum absolute normalized inner product between distinct columns.
+
+    Lower coherence gives better sparse-recovery guarantees; useful for
+    sanity-checking generated measurement matrices.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    norms = np.linalg.norm(matrix, axis=0)
+    norms = np.where(norms == 0, 1.0, norms)
+    normalized = matrix / norms
+    gram = np.abs(normalized.T @ normalized)
+    np.fill_diagonal(gram, 0.0)
+    return float(gram.max())
+
+
+def restricted_isometry_estimate(matrix: np.ndarray, sparsity: int,
+                                 trials: int = 200,
+                                 rng: Optional[np.random.Generator] = None) -> float:
+    """Monte-Carlo estimate of the RIP constant of order ``sparsity``.
+
+    Samples random ``sparsity``-sparse unit vectors and measures how far
+    ``||Ax||^2`` deviates from 1; returns the worst deviation seen.  An
+    estimate (a lower bound on the true constant), good enough to verify
+    that Gaussian matrices beat badly conditioned ones.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    m, n = matrix.shape
+    if not 0 < sparsity <= n:
+        raise ValueError("sparsity must be in (0, n]")
+    rng = rng or np.random.default_rng()
+    worst = 0.0
+    for _ in range(trials):
+        support = rng.choice(n, size=sparsity, replace=False)
+        x = np.zeros(n)
+        x[support] = rng.standard_normal(sparsity)
+        x /= np.linalg.norm(x)
+        deviation = abs(float(np.linalg.norm(matrix @ x) ** 2) - 1.0)
+        worst = max(worst, deviation)
+    return worst
+
+
+def _check_dims(m: int, n: int) -> None:
+    if m <= 0 or n <= 0:
+        raise ValueError("matrix dimensions must be positive")
+    if m > n:
+        raise ValueError("compressed sensing requires m <= n")

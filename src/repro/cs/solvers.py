@@ -1,0 +1,210 @@
+"""Sparse-recovery solvers for classical compressed sensing.
+
+These are the "computationally intensive algorithms" the paper contrasts
+with learned decoders (Sec. I): greedy orthogonal matching pursuit and
+proximal-gradient l1 solvers (ISTA / FISTA), plus a ridge least-squares
+fallback.  All solve ``y = A s`` for sparse ``s``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class SolverResult:
+    """Solution plus convergence diagnostics."""
+
+    solution: np.ndarray
+    iterations: int
+    residual_norm: float
+    converged: bool
+
+
+def omp(measurement: np.ndarray, observation: np.ndarray, sparsity: int,
+        tol: float = 1e-8) -> SolverResult:
+    """Orthogonal Matching Pursuit.
+
+    Greedily selects the column most correlated with the residual, then
+    re-fits by least squares on the selected support.
+
+    Parameters
+    ----------
+    measurement:
+        Sensing matrix ``A`` of shape ``(m, n)``.
+    observation:
+        Measurement vector ``y`` of shape ``(m,)``.
+    sparsity:
+        Maximum support size to select.
+    """
+    A = np.asarray(measurement, dtype=float)
+    y = np.asarray(observation, dtype=float).reshape(-1)
+    m, n = A.shape
+    if y.shape[0] != m:
+        raise ValueError("observation length must equal measurement rows")
+    if not 0 < sparsity <= min(m, n):
+        raise ValueError("sparsity must be in (0, min(m, n)]")
+
+    norms = np.linalg.norm(A, axis=0)
+    norms = np.where(norms == 0, 1.0, norms)
+    residual = y.copy()
+    support: list = []
+    solution = np.zeros(n)
+    iterations = 0
+    for iterations in range(1, sparsity + 1):
+        correlations = np.abs(A.T @ residual) / norms
+        correlations[support] = -np.inf
+        best = int(np.argmax(correlations))
+        support.append(best)
+        subset = A[:, support]
+        coef, *_ = np.linalg.lstsq(subset, y, rcond=None)
+        residual = y - subset @ coef
+        if np.linalg.norm(residual) <= tol:
+            break
+    solution = np.zeros(n)
+    solution[support] = coef
+    res_norm = float(np.linalg.norm(residual))
+    return SolverResult(solution, iterations, res_norm, res_norm <= max(tol, 1e-6 * np.linalg.norm(y)))
+
+
+def ista(measurement: np.ndarray, observation: np.ndarray, lam: float = 0.01,
+         max_iters: int = 500, tol: float = 1e-7,
+         step: Optional[float] = None) -> SolverResult:
+    """Iterative Shrinkage-Thresholding for the LASSO problem
+    ``min 0.5 ||As - y||^2 + lam ||s||_1``."""
+    A = np.asarray(measurement, dtype=float)
+    y = np.asarray(observation, dtype=float).reshape(-1)
+    _validate(A, y, lam, max_iters)
+    if step is None:
+        lipschitz = np.linalg.norm(A, 2) ** 2
+        step = 1.0 / lipschitz if lipschitz > 0 else 1.0
+    s = np.zeros(A.shape[1])
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iters + 1):
+        gradient = A.T @ (A @ s - y)
+        nxt = _soft_threshold(s - step * gradient, step * lam)
+        if np.linalg.norm(nxt - s) <= tol * max(1.0, np.linalg.norm(s)):
+            s = nxt
+            converged = True
+            break
+        s = nxt
+    residual = float(np.linalg.norm(A @ s - y))
+    return SolverResult(s, iterations, residual, converged)
+
+
+def fista(measurement: np.ndarray, observation: np.ndarray, lam: float = 0.01,
+          max_iters: int = 500, tol: float = 1e-7,
+          step: Optional[float] = None) -> SolverResult:
+    """FISTA: Nesterov-accelerated ISTA; same problem, O(1/k^2) rate."""
+    A = np.asarray(measurement, dtype=float)
+    y = np.asarray(observation, dtype=float).reshape(-1)
+    _validate(A, y, lam, max_iters)
+    if step is None:
+        lipschitz = np.linalg.norm(A, 2) ** 2
+        step = 1.0 / lipschitz if lipschitz > 0 else 1.0
+    s = np.zeros(A.shape[1])
+    momentum_point = s.copy()
+    t = 1.0
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iters + 1):
+        gradient = A.T @ (A @ momentum_point - y)
+        nxt = _soft_threshold(momentum_point - step * gradient, step * lam)
+        t_next = 0.5 * (1.0 + np.sqrt(1.0 + 4.0 * t * t))
+        momentum_point = nxt + ((t - 1.0) / t_next) * (nxt - s)
+        if np.linalg.norm(nxt - s) <= tol * max(1.0, np.linalg.norm(s)):
+            s = nxt
+            converged = True
+            break
+        s, t = nxt, t_next
+    residual = float(np.linalg.norm(A @ s - y))
+    return SolverResult(s, iterations, residual, converged)
+
+
+def cosamp(measurement: np.ndarray, observation: np.ndarray, sparsity: int,
+           max_iters: int = 50, tol: float = 1e-8) -> SolverResult:
+    """Compressive Sampling Matching Pursuit (Needell & Tropp, 2009).
+
+    Keeps a 2k-candidate support per iteration, solves least squares on
+    the merged support and prunes back to the best ``k`` — usually more
+    robust than plain OMP at moderate sparsity.
+    """
+    A = np.asarray(measurement, dtype=float)
+    y = np.asarray(observation, dtype=float).reshape(-1)
+    m, n = A.shape
+    if y.shape[0] != m:
+        raise ValueError("observation length must equal measurement rows")
+    if not 0 < sparsity <= m // 2:
+        raise ValueError("CoSaMP requires 0 < sparsity <= m // 2")
+
+    solution = np.zeros(n)
+    residual = y.copy()
+    y_norm = np.linalg.norm(y)
+    iterations = 0
+    for iterations in range(1, max_iters + 1):
+        proxy = A.T @ residual
+        candidates = np.argsort(np.abs(proxy))[-2 * sparsity:]
+        support = np.union1d(candidates, np.flatnonzero(solution))
+        coef, *_ = np.linalg.lstsq(A[:, support], y, rcond=None)
+        pruned = np.zeros(n)
+        pruned_idx = support[np.argsort(np.abs(coef))[-sparsity:]]
+        keep = {int(i): c for i, c in zip(support, coef)}
+        pruned[pruned_idx] = [keep[int(i)] for i in pruned_idx]
+        # Re-fit on the pruned support for the final estimate.
+        refit, *_ = np.linalg.lstsq(A[:, pruned_idx], y, rcond=None)
+        solution = np.zeros(n)
+        solution[pruned_idx] = refit
+        new_residual = y - A @ solution
+        if np.linalg.norm(new_residual - residual) <= tol * max(y_norm, 1.0):
+            residual = new_residual
+            break
+        residual = new_residual
+        if np.linalg.norm(residual) <= tol:
+            break
+    res_norm = float(np.linalg.norm(residual))
+    return SolverResult(solution, iterations, res_norm,
+                        res_norm <= max(tol, 1e-6 * y_norm))
+
+
+def ridge_lstsq(measurement: np.ndarray, observation: np.ndarray,
+                alpha: float = 1e-6) -> SolverResult:
+    """Tikhonov-regularised least squares — the non-sparse fallback
+    (minimum-norm solution); fast but no sparsity prior."""
+    A = np.asarray(measurement, dtype=float)
+    y = np.asarray(observation, dtype=float).reshape(-1)
+    if alpha < 0:
+        raise ValueError("alpha must be non-negative")
+    m, n = A.shape
+    gram = A @ A.T + alpha * np.eye(m)
+    s = A.T @ np.linalg.solve(gram, y)
+    residual = float(np.linalg.norm(A @ s - y))
+    return SolverResult(s, 1, residual, True)
+
+
+def _soft_threshold(x: np.ndarray, threshold: float) -> np.ndarray:
+    return np.sign(x) * np.maximum(np.abs(x) - threshold, 0.0)
+
+
+def _validate(A: np.ndarray, y: np.ndarray, lam: float, max_iters: int) -> None:
+    if y.shape[0] != A.shape[0]:
+        raise ValueError("observation length must equal measurement rows")
+    if lam < 0:
+        raise ValueError("lam must be non-negative")
+    if max_iters <= 0:
+        raise ValueError("max_iters must be positive")
+
+
+_SOLVERS = {"omp": omp, "cosamp": cosamp, "ista": ista, "fista": fista,
+            "lstsq": ridge_lstsq}
+
+
+def get_solver(name: str):
+    """Look up a solver function by name."""
+    try:
+        return _SOLVERS[name]
+    except KeyError:
+        raise KeyError(f"unknown solver {name!r}; choose from {sorted(_SOLVERS)}")

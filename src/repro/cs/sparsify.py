@@ -1,0 +1,80 @@
+"""Sparsifying bases and sparsity utilities.
+
+Natural sensing data is rarely sparse in the sample domain but is
+compressible in a transform domain; classical CDA reconstructs in that
+domain.  We provide an orthonormal DCT-II basis (the workhorse for
+smooth sensor fields and images) and helpers to measure compressibility.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy.fft import dct, idct
+
+
+def dct_basis(n: int) -> np.ndarray:
+    """Orthonormal DCT-II synthesis basis ``Psi`` with ``x = Psi @ s``.
+
+    Columns are the DCT basis vectors, so ``s = Psi.T @ x`` is the
+    (orthonormal) DCT of ``x``.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    identity = np.eye(n)
+    # idct of unit vectors gives the synthesis basis columns.
+    return idct(identity, axis=0, norm="ortho")
+
+
+def to_dct(x: np.ndarray) -> np.ndarray:
+    """Orthonormal DCT-II coefficients of ``x`` along its last axis."""
+    return dct(np.asarray(x, dtype=float), axis=-1, norm="ortho")
+
+
+def from_dct(s: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`to_dct`."""
+    return idct(np.asarray(s, dtype=float), axis=-1, norm="ortho")
+
+
+def hard_threshold(coeffs: np.ndarray, keep: int) -> np.ndarray:
+    """Keep the ``keep`` largest-magnitude coefficients, zero the rest."""
+    coeffs = np.asarray(coeffs, dtype=float)
+    if not 0 < keep <= coeffs.shape[-1]:
+        raise ValueError("keep must be in (0, n]")
+    out = np.zeros_like(coeffs)
+    flat = coeffs.reshape(-1, coeffs.shape[-1])
+    flat_out = out.reshape(-1, coeffs.shape[-1])
+    for row in range(flat.shape[0]):
+        top = np.argsort(np.abs(flat[row]))[-keep:]
+        flat_out[row, top] = flat[row, top]
+    return out
+
+
+def best_k_term_error(x: np.ndarray, keep: int) -> float:
+    """Relative L2 error of the best ``keep``-term DCT approximation.
+
+    A direct measure of compressibility: smooth sensor fields score low,
+    white noise scores near ``sqrt(1 - keep/n)``.
+    """
+    x = np.asarray(x, dtype=float)
+    coeffs = to_dct(x)
+    approx = from_dct(hard_threshold(coeffs, keep))
+    denom = np.linalg.norm(x)
+    if denom == 0:
+        return 0.0
+    return float(np.linalg.norm(x - approx) / denom)
+
+
+def effective_sparsity(x: np.ndarray, energy_fraction: float = 0.99) -> int:
+    """Smallest number of DCT coefficients capturing ``energy_fraction``
+    of the signal energy."""
+    if not 0 < energy_fraction <= 1:
+        raise ValueError("energy_fraction must be in (0, 1]")
+    coeffs = np.abs(to_dct(np.asarray(x, dtype=float).reshape(-1))) ** 2
+    total = coeffs.sum()
+    if total == 0:
+        return 0
+    sorted_energy = np.sort(coeffs)[::-1]
+    cumulative = np.cumsum(sorted_energy) / total
+    return int(np.searchsorted(cumulative, energy_fraction) + 1)

@@ -1,0 +1,43 @@
+"""CLI entry point: ``python -m repro.experiments <name> [--scale S]``."""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from . import EXPERIMENTS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's figures (as tables/series).")
+    parser.add_argument("experiment",
+                        choices=sorted(EXPERIMENTS) + ["all"],
+                        help="which figure to regenerate")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale factor (default 1.0 = paper-scale)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=str, default=None,
+                        help="directory for JSON result dumps")
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    failures = 0
+    for name in names:
+        started = time.time()
+        result = EXPERIMENTS[name](scale=args.scale, seed=args.seed)
+        elapsed = time.time() - started
+        print(result.format_report())
+        print(f"[{name} finished in {elapsed:.1f}s]\n")
+        if args.out:
+            result.save_json(os.path.join(args.out, f"{name}.json"))
+        if not result.all_checks_pass:
+            failures += 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,120 @@
+"""Figure 4 — time-to-loss breakdown.
+
+The paper trains both frameworks online over the WSN and plots loss
+against wall-clock seconds; OrcoDCS "can achieve lower loss faster".
+We run the identical protocol against the modeled clock (see
+DESIGN.md / :mod:`repro.core.timing`): both sides are charged their
+FLOPs on their device class and their bytes on their links.
+
+Because the two frameworks optimise different objectives (Huber vs L2),
+the curves report a *common* metric — reconstruction MSE on a shared
+held-out set — sampled at epoch boundaries (see
+:func:`repro.experiments.common.common_val_mse`).
+
+OrcoDCS wins for the paper's stated reasons, all captured by the model:
+a one-dense-layer encoder on the weak aggregator (vs DCSNet's 1024-wide
+projection), an 8x (digits) / 2x (signs) smaller latent uplink,
+task-sized hyperparameters, and access to all (vs 50 %) of the data.
+DCSNet's modeled round is several times slower, so in any shared time
+window its curve sits above OrcoDCS's.
+
+Expected shape: at OrcoDCS's end-of-run time, DCSNet's loss is still
+higher; OrcoDCS reaches DCSNet's same-time loss level in a fraction of
+the time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..baselines import DCSNetOnline
+from ..core import OrcoDCSConfig, OrcoDCSFramework
+from .common import (
+    ExperimentResult,
+    ImageWorkload,
+    digits_workload,
+    epochs_for_scale,
+    mse_at_time,
+    signs_workload,
+    train_with_mse_curve,
+)
+
+
+def run_task(workload: ImageWorkload, epochs: int, seed: int,
+             result: ExperimentResult) -> None:
+    val_rows = workload.test_rows
+
+    config = OrcoDCSConfig(input_dim=workload.input_dim,
+                           latent_dim=workload.default_latent,
+                           noise_sigma=0.1, seed=seed)
+    orco = OrcoDCSFramework(config)
+    orco_times, orco_mses, _ = train_with_mse_curve(
+        orco, workload.train_rows, val_rows, epochs,
+        batch_size=config.batch_size)
+
+    dcsnet = DCSNetOnline(image_shape=workload.image_shape, seed=seed,
+                          data_fraction=0.5)
+    half = workload.train_rows[
+        dcsnet.rng.choice(len(workload.train_rows),
+                          max(1, len(workload.train_rows) // 2),
+                          replace=False)]
+    # DCSNet gets 3x the epochs so its (slower) curve extends well past
+    # OrcoDCS's run — needed to measure when it catches up, if ever.
+    dcs_times, dcs_mses, _ = train_with_mse_curve(
+        dcsnet, half, val_rows, epochs * 3, batch_size=32)
+
+    result.add_series(f"OrcoDCS/{workload.name}", orco_times, orco_mses,
+                      "modeled_s", "val_mse")
+    result.add_series(f"DCSNet/{workload.name}", dcs_times, dcs_mses,
+                      "modeled_s", "val_mse")
+
+    orco_end = orco_times[-1]
+    orco_final = orco_mses[-1]
+    dcs_at_orco_end = mse_at_time(dcs_times, dcs_mses, orco_end)
+    # How long does DCSNet need to match OrcoDCS's final quality?
+    dcs_reach: Optional[float] = None
+    for t, m in zip(dcs_times, dcs_mses):
+        if m <= orco_final:
+            dcs_reach = t
+            break
+
+    result.add_row(dataset=workload.name, framework="OrcoDCS",
+                   final_val_mse=round(orco_final, 6),
+                   total_modeled_s=round(orco_end, 1))
+    result.add_row(dataset=workload.name, framework="DCSNet-50%",
+                   final_val_mse=round(dcs_mses[-1], 6),
+                   total_modeled_s=round(dcs_times[-1], 1),
+                   val_mse_at_orco_end=round(dcs_at_orco_end, 6))
+    result.summary[f"{workload.name}_orco_final_mse"] = orco_final
+    result.summary[f"{workload.name}_dcsnet_mse_at_same_time"] = dcs_at_orco_end
+    if dcs_reach is not None:
+        speedup = dcs_reach / max(orco_end, 1e-9)
+        result.summary[f"{workload.name}_time_to_loss_speedup"] = round(speedup, 1)
+    else:
+        # Censored: DCSNet never matched OrcoDCS within its (longer) run.
+        speedup = dcs_times[-1] / max(orco_end, 1e-9)
+        result.summary[f"{workload.name}_time_to_loss_speedup"] = \
+            f">{speedup:.1f} (censored)"
+
+    result.check(f"{workload.name}: OrcoDCS lower loss at equal time",
+                 orco_final < dcs_at_orco_end)
+    result.check(f"{workload.name}: DCSNet needs multiples of OrcoDCS's time",
+                 dcs_reach is None or dcs_reach > 1.5 * orco_end)
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    """Reproduce Fig. 4 on both tasks."""
+    result = ExperimentResult(
+        "Figure 4 — time-to-loss performance",
+        "Held-out reconstruction MSE vs modeled seconds for OrcoDCS and "
+        "online DCSNet-50% under the IoT-Edge orchestration cost model.")
+    epochs = epochs_for_scale(10, scale)
+    run_task(digits_workload(scale, seed), epochs, seed, result)
+    run_task(signs_workload(scale, seed), epochs, seed, result)
+    return result
+
+
+if __name__ == "__main__":
+    print(run().format_report())

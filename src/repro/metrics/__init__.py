@@ -1,0 +1,16 @@
+"""`repro.metrics` — reconstruction quality and transmission cost metrics."""
+
+from .cost import CostBreakdown, bytes_to_kb, savings_factor, scalars_to_bytes
+from .quality import (
+    batch_psnr,
+    mse,
+    nmse,
+    psnr,
+    reconstruction_snr,
+    ssim,
+)
+
+__all__ = [
+    "CostBreakdown", "bytes_to_kb", "savings_factor", "scalars_to_bytes",
+    "batch_psnr", "mse", "nmse", "psnr", "reconstruction_snr", "ssim",
+]

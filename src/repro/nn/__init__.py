@@ -1,0 +1,82 @@
+"""`repro.nn` — a from-scratch autograd + neural-network framework.
+
+Built because the reproduction environment has no deep-learning package;
+the OrcoDCS models (one-dense-layer encoder, shallow decoders, a 2-conv
+classifier) train comfortably on numpy.
+
+Public surface::
+
+    from repro import nn
+    model = nn.Sequential(nn.Dense(784, 128), nn.Sigmoid())
+    loss = nn.HuberLoss(delta=1.0)
+    opt = nn.Adam(model.parameters(), lr=1e-3)
+"""
+
+from . import functional
+from .data import ArrayDataset, DataLoader, one_hot, train_test_split
+from .init import get_initializer
+from .layers import (
+    AvgPool2D,
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2D,
+    ConvTranspose2D,
+    Dense,
+    Dropout,
+    Flatten,
+    Identity,
+    LeakyReLU,
+    MaxPool2D,
+    Module,
+    Parameter,
+    ReLU,
+    Reshape,
+    Sequential,
+    Sigmoid,
+    Softmax,
+    Tanh,
+    Upsample2D,
+    make_activation,
+)
+from .losses import (
+    BCELoss,
+    CrossEntropyLoss,
+    HuberLoss,
+    L1Loss,
+    Loss,
+    MSELoss,
+    VectorHuberLoss,
+    accuracy,
+    make_loss,
+)
+from .optim import (
+    AdaGrad,
+    Adam,
+    CosineAnnealingLR,
+    ExponentialLR,
+    LRScheduler,
+    Optimizer,
+    RMSProp,
+    SGD,
+    StepLR,
+    clip_grad_norm,
+    make_optimizer,
+)
+from .serialize import load_module, load_state, save_module, save_state
+from .tensor import Tensor, concatenate, stack, where
+
+__all__ = [
+    "ArrayDataset", "DataLoader", "one_hot", "train_test_split",
+    "get_initializer",
+    "AvgPool2D", "BatchNorm1d", "BatchNorm2d", "Conv2D", "ConvTranspose2D",
+    "Dense", "Dropout", "Flatten", "Identity", "LeakyReLU", "MaxPool2D",
+    "Module", "Parameter", "ReLU", "Reshape", "Sequential", "Sigmoid",
+    "Softmax", "Tanh", "Upsample2D", "make_activation",
+    "BCELoss", "CrossEntropyLoss", "HuberLoss", "L1Loss", "Loss", "MSELoss",
+    "VectorHuberLoss", "accuracy", "make_loss",
+    "AdaGrad", "Adam", "CosineAnnealingLR", "ExponentialLR", "LRScheduler",
+    "Optimizer", "RMSProp", "SGD", "StepLR", "clip_grad_norm", "make_optimizer",
+    "load_module", "load_state", "save_module", "save_state",
+    "Tensor", "concatenate", "stack", "where",
+    "functional",
+]

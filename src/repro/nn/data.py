@@ -1,0 +1,135 @@
+"""Dataset and batching utilities.
+
+Everything yields plain numpy arrays; models wrap batches in Tensors at
+the call site so datasets stay framework-agnostic (the WSN simulator also
+consumes them directly).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class ArrayDataset:
+    """In-memory dataset over one or more aligned arrays.
+
+    Parameters
+    ----------
+    arrays:
+        Arrays whose first axis is the sample axis; all must agree on
+        length.  Typically ``(images, labels)`` or just ``(signals,)``.
+    """
+
+    def __init__(self, *arrays: np.ndarray):
+        if not arrays:
+            raise ValueError("ArrayDataset needs at least one array")
+        lengths = {len(a) for a in arrays}
+        if len(lengths) != 1:
+            raise ValueError(f"arrays disagree on length: {sorted(lengths)}")
+        self.arrays = tuple(np.asarray(a) for a in arrays)
+
+    def __len__(self) -> int:
+        return len(self.arrays[0])
+
+    def __getitem__(self, index):
+        items = tuple(a[index] for a in self.arrays)
+        return items[0] if len(items) == 1 else items
+
+    def subset(self, indices: Sequence[int]) -> "ArrayDataset":
+        """Return a new dataset restricted to ``indices``."""
+        indices = np.asarray(indices)
+        return ArrayDataset(*(a[indices] for a in self.arrays))
+
+    def fraction(self, frac: float, rng: Optional[np.random.Generator] = None) -> "ArrayDataset":
+        """Return a random ``frac`` fraction of the dataset.
+
+        Used to model DCSNet's limited historical data (30/50/70 %).
+        """
+        if not 0.0 < frac <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        rng = rng or np.random.default_rng()
+        count = max(1, int(round(frac * len(self))))
+        indices = rng.choice(len(self), size=count, replace=False)
+        return self.subset(indices)
+
+
+class DataLoader:
+    """Mini-batch iterator over an :class:`ArrayDataset`.
+
+    Parameters
+    ----------
+    dataset:
+        Source dataset.
+    batch_size:
+        Number of samples per batch.
+    shuffle:
+        Reshuffle sample order at the start of every iteration.
+    drop_last:
+        Drop the final short batch instead of yielding it.
+    rng:
+        Generator used for shuffling (reproducible pipelines should pass
+        their own).
+    """
+
+    def __init__(self, dataset: ArrayDataset, batch_size: int = 32,
+                 shuffle: bool = False, drop_last: bool = False,
+                 rng: Optional[np.random.Generator] = None):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.rng = rng or np.random.default_rng()
+
+    def __len__(self) -> int:
+        full, rem = divmod(len(self.dataset), self.batch_size)
+        return full if self.drop_last or rem == 0 else full + 1
+
+    def __iter__(self) -> Iterator:
+        order = np.arange(len(self.dataset))
+        if self.shuffle:
+            self.rng.shuffle(order)
+        for start in range(0, len(order), self.batch_size):
+            batch = order[start:start + self.batch_size]
+            if self.drop_last and len(batch) < self.batch_size:
+                return
+            yield self.dataset[batch]
+
+
+def train_test_split(*arrays: np.ndarray, test_fraction: float = 0.2,
+                     rng: Optional[np.random.Generator] = None
+                     ) -> Tuple[np.ndarray, ...]:
+    """Split aligned arrays into train/test partitions.
+
+    Returns ``(a_train, a_test, b_train, b_test, ...)`` in the order the
+    arrays were given.
+    """
+    if not arrays:
+        raise ValueError("nothing to split")
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = rng or np.random.default_rng()
+    count = len(arrays[0])
+    if any(len(a) != count for a in arrays):
+        raise ValueError("arrays disagree on length")
+    order = rng.permutation(count)
+    cut = count - max(1, int(round(test_fraction * count)))
+    train_idx, test_idx = order[:cut], order[cut:]
+    out = []
+    for array in arrays:
+        array = np.asarray(array)
+        out.extend((array[train_idx], array[test_idx]))
+    return tuple(out)
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Encode integer labels as one-hot rows."""
+    labels = np.asarray(labels).reshape(-1).astype(np.int64)
+    if labels.min(initial=0) < 0 or (labels.size and labels.max() >= num_classes):
+        raise ValueError("labels out of range for one_hot")
+    encoded = np.zeros((labels.shape[0], num_classes))
+    encoded[np.arange(labels.shape[0]), labels] = 1.0
+    return encoded

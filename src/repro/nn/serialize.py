@@ -1,0 +1,41 @@
+"""Model checkpointing helpers.
+
+State dicts are flat ``name -> ndarray`` mappings (see
+:meth:`repro.nn.layers.Module.state_dict`), stored as ``.npz`` archives so
+that checkpoints stay portable and human-inspectable.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from .layers import Module
+
+
+def save_state(path: str, state: Dict[str, np.ndarray]) -> None:
+    """Save a state dict to ``path`` (``.npz`` appended if missing)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path if path.endswith(".npz") else path + ".npz", **state)
+
+
+def load_state(path: str) -> Dict[str, np.ndarray]:
+    """Load a state dict previously written by :func:`save_state`."""
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    with np.load(path) as archive:
+        return {name: archive[name] for name in archive.files}
+
+
+def save_module(path: str, module: Module) -> None:
+    """Convenience: serialize a module's parameters and buffers."""
+    save_state(path, module.state_dict())
+
+
+def load_module(path: str, module: Module) -> Module:
+    """Convenience: restore a module in place and return it."""
+    module.load_state_dict(load_state(path))
+    return module

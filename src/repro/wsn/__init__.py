@@ -1,0 +1,64 @@
+"""`repro.wsn` — wireless sensor network simulation substrate.
+
+Provides node geometry, the first-order radio energy model, link models,
+cluster-head selection, aggregation trees and the three aggregation modes
+used by OrcoDCS (raw, hybrid compressed-sensing, trained-encoder latent
+aggregation), with full byte/energy/time accounting.
+"""
+
+from .aggregation import (
+    AggregationReport,
+    AggregationTree,
+    TDMASchedule,
+    build_aggregation_tree,
+    hybrid_encode,
+    simulate_encoder_distribution,
+    simulate_hybrid_aggregation,
+    simulate_raw_aggregation,
+)
+from .clustering import (
+    cluster_aggregators,
+    leach_rotation,
+    lloyd_clusters,
+    select_aggregator,
+)
+from .energy import Battery, BatteryDepletedError, RadioEnergyModel
+from .geometry import (
+    centroid,
+    distance,
+    pairwise_distances,
+    place_clustered,
+    place_grid,
+    place_uniform,
+)
+from .lifetime import (
+    LifetimeReport,
+    compare_lifetime,
+    lifetime_extension_factor,
+    simulate_lifetime,
+)
+from .link import LinkModel, cloud_uplink, downlink, sensor_link, uplink
+from .network import (
+    EDGE_SERVER_ID,
+    Node,
+    NodeRole,
+    TransmissionLedger,
+    TransmissionRecord,
+    WSNetwork,
+    build_cluster,
+)
+
+__all__ = [
+    "AggregationReport", "AggregationTree", "TDMASchedule",
+    "build_aggregation_tree", "hybrid_encode", "simulate_encoder_distribution",
+    "simulate_hybrid_aggregation", "simulate_raw_aggregation",
+    "cluster_aggregators", "leach_rotation", "lloyd_clusters", "select_aggregator",
+    "Battery", "BatteryDepletedError", "RadioEnergyModel",
+    "centroid", "distance", "pairwise_distances", "place_clustered",
+    "place_grid", "place_uniform",
+    "LifetimeReport", "compare_lifetime", "lifetime_extension_factor",
+    "simulate_lifetime",
+    "LinkModel", "cloud_uplink", "downlink", "sensor_link", "uplink",
+    "EDGE_SERVER_ID", "Node", "NodeRole", "TransmissionLedger",
+    "TransmissionRecord", "WSNetwork", "build_cluster",
+]

@@ -1,0 +1,357 @@
+"""Data-aggregation trees and the three aggregation modes of the paper.
+
+* **Raw aggregation** (Sec. III-A): every node forwards its own and all
+  descendants' raw values to its parent, up to the aggregator.  Used once
+  before training so the aggregator holds the cluster's raw data.
+* **Hybrid compressed-sensing aggregation** (Luo et al. [1], used in
+  Sec. III-A/III-C): a node whose subtree carries fewer than ``M`` values
+  forwards them raw; once a subtree reaches ``M`` values it switches to
+  coded mode and every node transmits exactly ``M`` combined values.
+  With the *learned* encoder weight matrix in place of a random one this
+  is the paper's eq. (6) data aggregation.
+* **Encoder distribution** (Sec. III-C): after training, column ``i`` of
+  ``We`` travels from the aggregator down the tree to device ``i``.
+
+A :class:`TDMASchedule` serialises transmissions toward a common receiver
+while letting disjoint receivers work in parallel — the collision
+mitigation the paper attributes to tree aggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from .geometry import pairwise_distances
+from .network import WSNetwork
+
+
+class AggregationTree:
+    """A rooted spanning tree over a cluster's devices.
+
+    Parameters
+    ----------
+    parent:
+        Mapping ``child -> parent``; the root maps to ``None``.
+    """
+
+    def __init__(self, parent: Dict[int, Optional[int]]):
+        roots = [n for n, p in parent.items() if p is None]
+        if len(roots) != 1:
+            raise ValueError(f"tree must have exactly one root, got {roots}")
+        self.root = roots[0]
+        self.parent = dict(parent)
+        self.children: Dict[int, List[int]] = {n: [] for n in parent}
+        for child, par in parent.items():
+            if par is not None:
+                if par not in self.children:
+                    raise ValueError(f"parent {par} of {child} is not a tree node")
+                self.children[par].append(child)
+        self._depths: Optional[Dict[int, int]] = None
+        self._subtree: Optional[Dict[int, int]] = None
+        self._validate_acyclic()
+
+    def _validate_acyclic(self) -> None:
+        seen_total = 0
+        frontier = [self.root]
+        visited = {self.root}
+        while frontier:
+            node = frontier.pop()
+            seen_total += 1
+            for child in self.children[node]:
+                if child in visited:
+                    raise ValueError("cycle detected in aggregation tree")
+                visited.add(child)
+                frontier.append(child)
+        if seen_total != len(self.parent):
+            raise ValueError("tree is not connected")
+
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> List[int]:
+        return list(self.parent)
+
+    def depth(self, node: int) -> int:
+        """Hops from ``node`` up to the root."""
+        if self._depths is None:
+            self._depths = {}
+            stack = [(self.root, 0)]
+            while stack:
+                current, d = stack.pop()
+                self._depths[current] = d
+                stack.extend((c, d + 1) for c in self.children[current])
+        return self._depths[node]
+
+    def max_depth(self) -> int:
+        return max(self.depth(n) for n in self.nodes)
+
+    def subtree_size(self, node: int) -> int:
+        """Number of nodes in the subtree rooted at ``node`` (inclusive)."""
+        if self._subtree is None:
+            self._subtree = {}
+            for current in self.post_order():
+                self._subtree[current] = 1 + sum(self._subtree[c]
+                                                 for c in self.children[current])
+        return self._subtree[node]
+
+    def post_order(self) -> List[int]:
+        """Children-before-parent traversal (the aggregation order)."""
+        order: List[int] = []
+        stack: List[Tuple[int, bool]] = [(self.root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                order.append(node)
+            else:
+                stack.append((node, True))
+                stack.extend((c, False) for c in self.children[node])
+        return order
+
+    def path_to_root(self, node: int) -> List[int]:
+        """Nodes on the way from ``node`` (inclusive) to the root (inclusive)."""
+        path = [node]
+        while self.parent[path[-1]] is not None:
+            path.append(self.parent[path[-1]])
+        return path
+
+
+def build_aggregation_tree(network: WSNetwork, root: Optional[int] = None,
+                           weight: str = "distance") -> AggregationTree:
+    """Build a shortest-path aggregation tree rooted at the aggregator.
+
+    Edges exist between devices within radio range.  If the range graph is
+    disconnected, the nearest node pairs between components are bridged
+    (and flagged on the tree as ``extended_edges``) so that a spanning
+    tree always exists — mirroring real deployments that raise TX power
+    for stranded nodes.
+
+    Parameters
+    ----------
+    weight:
+        ``"distance"`` — minimise total metres (energy-friendly);
+        ``"hops"`` — minimise hop count (latency-friendly).
+    """
+    root = root if root is not None else network.aggregator_id
+    if root is None:
+        raise ValueError("network has no aggregator and no root was given")
+
+    ids = network.device_ids
+    positions = network.positions()
+    dist = pairwise_distances(positions)
+    graph = nx.Graph()
+    graph.add_nodes_from(ids)
+    for i, a in enumerate(ids):
+        for j in range(i + 1, len(ids)):
+            if dist[i, j] <= network.comm_range_m:
+                graph.add_edge(a, ids[j], distance=float(dist[i, j]), hops=1.0)
+
+    extended: List[Tuple[int, int]] = []
+    while not nx.is_connected(graph):
+        components = [list(c) for c in nx.connected_components(graph)]
+        root_comp = next(c for c in components if root in c)
+        best = None
+        for comp in components:
+            if root is not None and comp is root_comp:
+                continue
+            for a in comp:
+                for b in root_comp:
+                    d = dist[ids.index(a), ids.index(b)]
+                    if best is None or d < best[0]:
+                        best = (d, a, b)
+            break
+        d, a, b = best
+        graph.add_edge(a, b, distance=float(d), hops=1.0)
+        extended.append((a, b))
+
+    metric = "distance" if weight == "distance" else "hops"
+    lengths, paths = nx.single_source_dijkstra(graph, root, weight=metric)
+    parent: Dict[int, Optional[int]] = {root: None}
+    for node, path in paths.items():
+        if node != root:
+            parent[node] = path[-2]
+    tree = AggregationTree(parent)
+    tree.extended_edges = extended
+    return tree
+
+
+@dataclass
+class AggregationReport:
+    """Cost accounting for one aggregation round."""
+
+    values_transmitted: int = 0
+    payload_bytes: int = 0
+    wire_bytes: int = 0
+    airtime_s: float = 0.0
+    makespan_s: float = 0.0
+    slots: int = 0
+    per_node_values: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def total_kb(self) -> float:
+        return self.wire_bytes / 1024.0
+
+
+class TDMASchedule:
+    """Slot assignment: transmissions to a common parent serialise;
+    transmissions to distinct parents at the same tree level parallelise."""
+
+    def __init__(self, tree: AggregationTree):
+        self.tree = tree
+        self.slots: List[List[int]] = self._build()
+
+    def _build(self) -> List[List[int]]:
+        by_level: Dict[int, List[int]] = {}
+        for node in self.tree.nodes:
+            if node == self.tree.root:
+                continue
+            by_level.setdefault(self.tree.depth(node), []).append(node)
+        slots: List[List[int]] = []
+        # Deepest level transmits first so parents hold complete subtrees.
+        for level in sorted(by_level, reverse=True):
+            nodes = by_level[level]
+            pending: Dict[int, List[int]] = {}
+            for node in nodes:
+                pending.setdefault(self.tree.parent[node], []).append(node)
+            round_count = max(len(v) for v in pending.values())
+            for turn in range(round_count):
+                slot = [children[turn] for children in pending.values()
+                        if turn < len(children)]
+                slots.append(slot)
+        return slots
+
+    @property
+    def num_slots(self) -> int:
+        return len(self.slots)
+
+
+def _simulate_upward(network: WSNetwork, tree: AggregationTree,
+                     values_per_node: Dict[int, int], value_bytes: int,
+                     kind: str) -> AggregationReport:
+    """Charge the network for an upward pass where node ``i`` transmits
+    ``values_per_node[i]`` scalars to its parent; compute slot makespan."""
+    report = AggregationReport(per_node_values=dict(values_per_node))
+    schedule = TDMASchedule(tree)
+    report.slots = schedule.num_slots
+    for slot in schedule.slots:
+        slot_time = 0.0
+        for node in slot:
+            count = values_per_node.get(node, 0)
+            payload = count * value_bytes
+            elapsed = network.unicast(node, tree.parent[node], payload,
+                                      kind=kind, force=True)
+            report.values_transmitted += count
+            report.payload_bytes += payload
+            report.wire_bytes += network.sensor_link.wire_bytes(payload)
+            report.airtime_s += elapsed
+            slot_time = max(slot_time, elapsed)
+        report.makespan_s += slot_time
+    return report
+
+
+def simulate_raw_aggregation(network: WSNetwork, tree: AggregationTree,
+                             values_per_node: int = 1, value_bytes: int = 4
+                             ) -> AggregationReport:
+    """Raw (uncompressed) tree aggregation: every node forwards its own
+    plus all descendants' values.  Node ``i`` transmits
+    ``subtree_size(i) * values_per_node`` scalars."""
+    counts = {node: tree.subtree_size(node) * values_per_node
+              for node in tree.nodes if node != tree.root}
+    return _simulate_upward(network, tree, counts, value_bytes, "raw_aggregation")
+
+
+def simulate_hybrid_aggregation(network: WSNetwork, tree: AggregationTree,
+                                latent_dim: int, values_per_node: int = 1,
+                                value_bytes: int = 4,
+                                kind: str = "hybrid_aggregation"
+                                ) -> AggregationReport:
+    """Hybrid CS aggregation [1]: node ``i`` transmits
+    ``min(subtree_size(i) * values_per_node, latent_dim)`` scalars."""
+    if latent_dim <= 0:
+        raise ValueError("latent_dim must be positive")
+    counts = {node: min(tree.subtree_size(node) * values_per_node, latent_dim)
+              for node in tree.nodes if node != tree.root}
+    return _simulate_upward(network, tree, counts, value_bytes, kind)
+
+
+def hybrid_encode(tree: AggregationTree, readings: Dict[int, float],
+                  weight: np.ndarray, device_index: Dict[int, int]
+                  ) -> Tuple[np.ndarray, Dict[int, int]]:
+    """Numerically perform distributed encoding over the tree (eq. 6).
+
+    Each device contributes its column product ``We[:, i] * x_i``.  Nodes
+    whose subtree holds fewer than ``M`` readings forward raw
+    ``(device, value)`` pairs; larger subtrees forward the ``M``-vector
+    partial sum.  The returned vector equals the centralized product
+    ``We @ x`` exactly (a unit test asserts this bit-for-bit ordering
+    aside), plus the per-node count of scalars actually sent.
+
+    Parameters
+    ----------
+    readings:
+        ``node_id -> scalar`` sensor values.
+    weight:
+        Encoder matrix ``(M, N)``.
+    device_index:
+        ``node_id -> column index`` mapping.
+
+    Returns
+    -------
+    (latent, sent_counts):
+        ``latent`` is the ``M``-vector ``We @ x``; ``sent_counts`` maps
+        each non-root node to the scalar count it transmitted.
+    """
+    latent_dim = weight.shape[0]
+    raw_carry: Dict[int, List[Tuple[int, float]]] = {}
+    coded_carry: Dict[int, np.ndarray] = {}
+    sent: Dict[int, int] = {}
+
+    for node in tree.post_order():
+        raw: List[Tuple[int, float]] = [(node, readings[node])]
+        coded: Optional[np.ndarray] = None
+        for child in tree.children[node]:
+            raw.extend(raw_carry.pop(child, []))
+            child_coded = coded_carry.pop(child, None)
+            if child_coded is not None:
+                coded = child_coded if coded is None else coded + child_coded
+        if coded is not None or len(raw) >= latent_dim or node == tree.root:
+            acc = coded if coded is not None else np.zeros(latent_dim)
+            for dev, value in raw:
+                acc = acc + weight[:, device_index[dev]] * value
+            if node == tree.root:
+                return acc, sent
+            coded_carry[node] = acc
+            sent[node] = latent_dim
+        else:
+            raw_carry[node] = raw
+            sent[node] = len(raw)
+    raise AssertionError("post_order did not end at the root")
+
+
+def simulate_encoder_distribution(network: WSNetwork, tree: AggregationTree,
+                                  latent_dim: int, value_bytes: int = 4
+                                  ) -> AggregationReport:
+    """Distribute encoder columns from the aggregator down the tree.
+
+    Each device needs its ``M``-float column (plus one bias element held
+    at the aggregator).  On every tree edge ``parent -> child`` the
+    columns destined for the child's entire subtree travel once, so the
+    edge carries ``subtree_size(child) * (M + 1)`` scalars.
+    """
+    report = AggregationReport()
+    for node in tree.nodes:
+        if node == tree.root:
+            continue
+        count = tree.subtree_size(node) * (latent_dim + 1)
+        payload = count * value_bytes
+        elapsed = network.unicast(tree.parent[node], node, payload,
+                                  kind="encoder_distribution", force=True)
+        report.values_transmitted += count
+        report.payload_bytes += payload
+        report.wire_bytes += network.sensor_link.wire_bytes(payload)
+        report.airtime_s += elapsed
+        report.makespan_s += elapsed
+        report.per_node_values[node] = count
+    return report

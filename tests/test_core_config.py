@@ -1,0 +1,70 @@
+"""Unit tests for OrcoDCSConfig."""
+
+import pytest
+
+from repro.core import OrcoDCSConfig, gtsrb_task_config, mnist_task_config
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        config = OrcoDCSConfig(input_dim=784)
+        assert config.latent_dim == 128
+        assert config.loss == "huber"
+
+    @pytest.mark.parametrize("kwargs", [
+        {"input_dim": 0},
+        {"input_dim": 100, "latent_dim": 0},
+        {"input_dim": 100, "noise_sigma": -0.1},
+        {"input_dim": 100, "decoder_layers": 0},
+        {"input_dim": 100, "batch_size": 0},
+    ])
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            OrcoDCSConfig(**kwargs)
+
+    def test_latent_may_exceed_input(self):
+        # The paper's Fig. 6 sweeps M=1024 on the 784-dim digits task.
+        config = OrcoDCSConfig(input_dim=784, latent_dim=1024)
+        assert not config.is_compressive
+        assert config.compression_ratio < 1.0
+
+
+class TestProperties:
+    def test_compression_ratio(self):
+        config = OrcoDCSConfig(input_dim=784, latent_dim=128)
+        assert abs(config.compression_ratio - 784 / 128) < 1e-12
+        assert config.is_compressive
+
+    def test_hidden_width_default(self):
+        config = OrcoDCSConfig(input_dim=1000, latent_dim=100,
+                               decoder_layers=3)
+        assert config.hidden_width == 500
+
+    def test_hidden_width_explicit(self):
+        config = OrcoDCSConfig(input_dim=1000, latent_dim=100,
+                               decoder_layers=3, decoder_hidden=64)
+        assert config.hidden_width == 64
+
+    def test_with_overrides_is_functional(self):
+        base = OrcoDCSConfig(input_dim=784)
+        changed = base.with_overrides(latent_dim=256)
+        assert base.latent_dim == 128
+        assert changed.latent_dim == 256
+        assert changed.input_dim == 784
+
+
+class TestTaskConfigs:
+    def test_mnist_task(self):
+        config = mnist_task_config()
+        assert config.input_dim == 784
+        assert config.latent_dim == 128
+
+    def test_gtsrb_task(self):
+        config = gtsrb_task_config()
+        assert config.input_dim == 3072
+        assert config.latent_dim == 512
+
+    def test_task_overrides(self):
+        config = mnist_task_config(noise_sigma=0.3, decoder_layers=3)
+        assert config.noise_sigma == 0.3
+        assert config.decoder_layers == 3

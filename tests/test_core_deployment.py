@@ -1,0 +1,135 @@
+"""Unit tests for trained-encoder deployment (Sec. III-C)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AsymmetricAutoencoder,
+    EncoderDeployment,
+    OrcoDCSConfig,
+)
+from repro.wsn import WSNetwork, build_aggregation_tree, select_aggregator
+
+
+def deployed_cluster(n=16, latent=4, seed=0, activation="sigmoid"):
+    rng = np.random.default_rng(seed)
+    positions = rng.uniform(0, 60, (n, 2))
+    network = WSNetwork(positions, comm_range_m=25.0, battery_capacity_j=100.0)
+    network.set_aggregator(select_aggregator(positions))
+    tree = build_aggregation_tree(network)
+    config = OrcoDCSConfig(input_dim=n, latent_dim=latent, seed=seed,
+                           activation=activation)
+    model = AsymmetricAutoencoder(config)
+    return EncoderDeployment(model, network, tree), network, tree, model
+
+
+def readings_for(network, seed=1):
+    rng = np.random.default_rng(seed)
+    return {nid: float(rng.random()) for nid in network.device_ids}
+
+
+class TestSetup:
+    def test_device_count_must_match(self):
+        rng = np.random.default_rng(0)
+        positions = rng.uniform(0, 50, (10, 2))
+        network = WSNetwork(positions, comm_range_m=30.0)
+        network.set_aggregator(0)
+        tree = build_aggregation_tree(network)
+        model = AsymmetricAutoencoder(OrcoDCSConfig(input_dim=12, latent_dim=3))
+        with pytest.raises(ValueError):
+            EncoderDeployment(model, network, tree)
+
+    def test_requires_distribution_before_rounds(self):
+        deployment, network, _, _ = deployed_cluster()
+        with pytest.raises(RuntimeError):
+            deployment.compressed_round(readings_for(network))
+
+    def test_distribute_charges_network(self):
+        deployment, network, _, _ = deployed_cluster()
+        report = deployment.distribute()
+        assert report.wire_bytes > 0
+        assert network.ledger.total_wire_bytes("encoder_distribution") > 0
+        assert deployment.distributed
+
+
+class TestEquivalence:
+    def test_distributed_encoding_matches_centralized(self):
+        deployment, network, _, model = deployed_cluster()
+        deployment.distribute()
+        readings = readings_for(network)
+        collected = deployment.compressed_round(readings, charge_network=False)
+        centralized = deployment.centralized_latent(readings)
+        assert np.allclose(collected.latent, centralized, atol=1e-10)
+
+    def test_matches_model_encode(self):
+        deployment, network, _, model = deployed_cluster()
+        deployment.distribute()
+        readings = readings_for(network)
+        collected = deployment.compressed_round(readings, charge_network=False)
+        stacked = np.array([readings[nid] for nid in network.device_ids])
+        from repro.nn.tensor import Tensor
+        model.eval()
+        expected = model.encode(Tensor(stacked[None, :])).data[0]
+        assert np.allclose(collected.latent, expected, atol=1e-10)
+
+    def test_equivalence_holds_for_tanh(self):
+        deployment, network, _, _ = deployed_cluster(activation="tanh")
+        deployment.distribute()
+        readings = readings_for(network)
+        collected = deployment.compressed_round(readings, charge_network=False)
+        assert np.allclose(collected.latent,
+                           deployment.centralized_latent(readings), atol=1e-10)
+
+    def test_unsupported_activation_rejected(self):
+        with pytest.raises(ValueError):
+            deployed_cluster(activation="softmax")
+
+
+class TestRounds:
+    def test_missing_reading_rejected(self):
+        deployment, network, _, _ = deployed_cluster()
+        deployment.distribute()
+        readings = readings_for(network)
+        readings.pop(network.device_ids[0])
+        with pytest.raises(ValueError):
+            deployment.compressed_round(readings)
+
+    def test_charged_round_bills_network(self):
+        deployment, network, _, _ = deployed_cluster()
+        deployment.distribute()
+        before = network.ledger.total_wire_bytes()
+        deployment.compressed_round(readings_for(network))
+        billed = network.ledger.total_wire_bytes("compressed_round")
+        assert billed > 0
+        assert network.ledger.total_wire_bytes() > before
+
+    def test_uplink_latent_charges_backhaul(self):
+        deployment, network, _, _ = deployed_cluster()
+        deployment.distribute()
+        collected = deployment.compressed_round(readings_for(network))
+        elapsed = deployment.uplink_latent(collected.latent)
+        assert elapsed > 0
+        assert network.ledger.total_wire_bytes("latent_uplink") > 0
+
+    def test_end_to_end_round(self):
+        deployment, network, _, _ = deployed_cluster()
+        deployment.distribute()
+        latent, reconstruction = deployment.end_to_end_round(
+            readings_for(network))
+        assert latent.shape == (4,)
+        assert reconstruction.shape == (16,)
+        assert reconstruction.min() >= 0 and reconstruction.max() <= 1
+
+    def test_cheaper_than_raw_plus_full_uplink(self):
+        # Per-round cost of compressed collection must undercut shipping
+        # the raw vector when M << N.
+        deployment, network, tree, _ = deployed_cluster(n=40, latent=3)
+        deployment.distribute()
+        network.reset_ledger()
+        deployment.compressed_round(readings_for(network))
+        compressed = network.ledger.total_wire_bytes()
+        network.reset_ledger()
+        from repro.wsn import simulate_raw_aggregation
+        simulate_raw_aggregation(network, tree)
+        raw = network.ledger.total_wire_bytes()
+        assert compressed < raw

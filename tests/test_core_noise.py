@@ -1,0 +1,54 @@
+"""Unit tests for latent Gaussian noise injection (eq. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import GaussianNoiseInjector
+from repro.nn.tensor import Tensor
+
+
+class TestInjector:
+    def test_adds_zero_mean_noise_with_sigma(self):
+        injector = GaussianNoiseInjector(0.5, np.random.default_rng(0))
+        latent = Tensor(np.zeros((200, 50)))
+        noisy = injector(latent, training=True)
+        delta = noisy.data - latent.data
+        assert abs(delta.mean()) < 0.02           # zero mean (eq. 2)
+        assert abs(delta.std() - 0.5) < 0.02      # requested sigma
+
+    def test_inference_passthrough(self):
+        injector = GaussianNoiseInjector(0.5, np.random.default_rng(0))
+        latent = Tensor(np.ones((4, 4)))
+        assert injector(latent, training=False) is latent
+
+    def test_zero_sigma_passthrough(self):
+        injector = GaussianNoiseInjector(0.0)
+        latent = Tensor(np.ones((4, 4)))
+        assert injector(latent, training=True) is latent
+
+    def test_gradient_flows_through_identity(self):
+        injector = GaussianNoiseInjector(0.1, np.random.default_rng(0))
+        latent = Tensor(np.ones((3, 3)), requires_grad=True)
+        injector(latent, training=True).sum().backward()
+        assert np.allclose(latent.grad, np.ones((3, 3)))
+
+    def test_variance_property(self):
+        injector = GaussianNoiseInjector(0.3)
+        assert abs(injector.variance - 0.09) < 1e-12
+
+    def test_decay_schedule(self):
+        injector = GaussianNoiseInjector(1.0, decay=0.5)
+        injector.on_epoch_end()
+        assert injector.sigma == 0.5
+        injector.on_epoch_end()
+        assert injector.sigma == 0.25
+        injector.reset()
+        assert injector.sigma == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GaussianNoiseInjector(-0.1)
+        with pytest.raises(ValueError):
+            GaussianNoiseInjector(0.1, decay=0.0)
+        with pytest.raises(ValueError):
+            GaussianNoiseInjector(0.1, decay=1.5)

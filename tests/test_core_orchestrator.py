@@ -1,0 +1,230 @@
+"""Unit tests for the IoT-Edge orchestrated online trainer."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    OrcoDCSConfig,
+    OrcoDCSFramework,
+    OrchestratedTrainer,
+    TrainingHistory,
+)
+from repro.nn import Dense, HuberLoss, Sequential, Sigmoid
+
+
+def toy_rows(count=64, dim=20, seed=0):
+    return np.random.default_rng(seed).random((count, dim))
+
+
+def toy_trainer(dim=20, latent=4, seed=0, **kwargs):
+    rng = np.random.default_rng(seed)
+    encoder = Sequential(Dense(dim, latent, rng=rng), Sigmoid())
+    decoder = Sequential(Dense(latent, dim, rng=rng), Sigmoid())
+    defaults = dict(input_dim=dim, latent_dim=latent, loss=HuberLoss(1.0),
+                    noise=None, encoder_forward_flops=2 * dim * latent,
+                    decoder_forward_flops=2 * dim * latent,
+                    rng=rng, name="toy")
+    defaults.update(kwargs)
+    return OrchestratedTrainer(encoder, decoder, **defaults)
+
+
+class TestTrainRound:
+    def test_returns_record_with_accounting(self):
+        trainer = toy_trainer()
+        record = trainer.train_round(toy_rows(8))
+        assert record.round_index == 1
+        assert record.train_loss > 0
+        assert record.uplink_bytes == 8 * 4 * 4
+        assert record.downlink_bytes == 8 * (20 + 4) * 4
+        assert record.time_s > 0
+
+    def test_clock_accumulates(self):
+        trainer = toy_trainer()
+        first = trainer.train_round(toy_rows(8))
+        second = trainer.train_round(toy_rows(8))
+        assert second.time_s > first.time_s
+
+    def test_ledger_kinds(self):
+        trainer = toy_trainer()
+        trainer.train_round(toy_rows(8))
+        kinds = trainer.ledger.by_kind()
+        assert "latent_uplink" in kinds and "recon_downlink" in kinds
+
+    def test_updates_both_sides(self):
+        trainer = toy_trainer()
+        enc_before = trainer.encoder.parameters()[0].data.copy()
+        dec_before = trainer.decoder.parameters()[0].data.copy()
+        trainer.train_round(toy_rows(16))
+        assert not np.allclose(enc_before, trainer.encoder.parameters()[0].data)
+        assert not np.allclose(dec_before, trainer.decoder.parameters()[0].data)
+
+    def test_dimension_validation(self):
+        trainer = toy_trainer()
+        with pytest.raises(ValueError):
+            trainer.train_round(np.zeros((4, 7)))
+
+
+class TestFit:
+    def test_loss_decreases(self):
+        trainer = toy_trainer()
+        history = trainer.fit(toy_rows(128), epochs=20, batch_size=32)
+        assert history.epochs[-1].train_loss < history.epochs[0].train_loss
+
+    def test_round_and_epoch_counts(self):
+        trainer = toy_trainer()
+        history = trainer.fit(toy_rows(64), epochs=3, batch_size=16)
+        assert len(history.epochs) == 3
+        assert len(history.rounds) == 3 * 4
+
+    def test_validation_loss_recorded(self):
+        trainer = toy_trainer()
+        history = trainer.fit(toy_rows(32), epochs=2, batch_size=16,
+                              val_rows=toy_rows(16, seed=1))
+        assert all(e.val_loss is not None for e in history.epochs)
+
+    def test_time_budget_stops_early(self):
+        trainer = toy_trainer()
+        probe = trainer.train_round(toy_rows(16))
+        budget = probe.time_s * 3.5
+        history = trainer.fit(toy_rows(256), epochs=50, batch_size=16,
+                              time_budget_s=budget)
+        assert trainer.clock_s <= budget + probe.time_s
+
+    def test_max_rounds_stops_early(self):
+        trainer = toy_trainer()
+        history = trainer.fit(toy_rows(256), epochs=50, batch_size=16,
+                              max_rounds=5)
+        assert len(history.rounds) == 5
+
+    def test_history_continuation(self):
+        trainer = toy_trainer()
+        history = trainer.fit(toy_rows(32), epochs=1, batch_size=16)
+        continued = trainer.fit(toy_rows(32), epochs=1, batch_size=16,
+                                history=history)
+        assert continued is history
+        assert len(history.epochs) == 2
+
+    def test_parameter_validation(self):
+        trainer = toy_trainer()
+        with pytest.raises(ValueError):
+            trainer.fit(toy_rows(8), epochs=0)
+
+
+class TestEvaluateReconstruct:
+    def test_evaluate_does_not_update(self):
+        trainer = toy_trainer()
+        before = trainer.encoder.parameters()[0].data.copy()
+        trainer.evaluate(toy_rows(8))
+        assert np.allclose(before, trainer.encoder.parameters()[0].data)
+
+    def test_evaluate_does_not_advance_clock(self):
+        trainer = toy_trainer()
+        trainer.evaluate(toy_rows(8))
+        assert trainer.clock_s == 0.0
+
+    def test_reconstruct_shape_and_range(self):
+        trainer = toy_trainer()
+        out = trainer.reconstruct(toy_rows(5))
+        assert out.shape == (5, 20)
+        assert out.min() >= 0 and out.max() <= 1
+
+
+class TestTrainingHistory:
+    def test_time_to_loss(self):
+        history = TrainingHistory("x")
+        from repro.core import RoundRecord
+        history.rounds = [RoundRecord(1, 1, 1.0, 0.5, 0, 0),
+                          RoundRecord(2, 1, 2.0, 0.2, 0, 0),
+                          RoundRecord(3, 1, 3.0, 0.1, 0, 0)]
+        assert history.time_to_loss(0.25) == 2.0
+        assert history.time_to_loss(0.05) is None
+        assert history.final_loss == 0.1
+        assert history.total_time_s == 3.0
+
+    def test_empty_history_guards(self):
+        history = TrainingHistory("x")
+        assert history.total_time_s == 0.0
+        with pytest.raises(ValueError):
+            _ = history.final_loss
+
+    def test_smoothed_losses_shorter_or_equal(self):
+        history = TrainingHistory("x")
+        from repro.core import RoundRecord
+        history.rounds = [RoundRecord(i, 1, i, 1.0 / (i + 1), 0, 0)
+                          for i in range(20)]
+        smooth = history.smoothed_losses(5)
+        assert len(smooth) == 16
+
+
+class TestOrcoDCSFramework:
+    def test_framework_wires_config(self):
+        config = OrcoDCSConfig(input_dim=30, latent_dim=6, seed=0,
+                               batch_size=8)
+        framework = OrcoDCSFramework(config)
+        assert framework.input_dim == 30
+        assert framework.latent_dim == 6
+        assert framework.name == "OrcoDCS"
+
+    def test_fit_config_uses_config_batch(self):
+        config = OrcoDCSConfig(input_dim=30, latent_dim=6, seed=0,
+                               batch_size=8)
+        framework = OrcoDCSFramework(config)
+        history = framework.fit_config(toy_rows(32, 30), epochs=1)
+        assert len(history.rounds) == 4
+
+    def test_training_reduces_loss_on_structured_data(self):
+        rng = np.random.default_rng(0)
+        basis = rng.random((3, 30))
+        rows = np.clip(rng.random((96, 3)) @ basis / 3.0, 0, 1)
+        config = OrcoDCSConfig(input_dim=30, latent_dim=6, seed=0,
+                               noise_sigma=0.05)
+        framework = OrcoDCSFramework(config)
+        history = framework.fit_config(rows, epochs=30)
+        assert history.epochs[-1].train_loss < 0.5 * history.epochs[0].train_loss
+
+    def test_noise_decay_hook_runs(self):
+        config = OrcoDCSConfig(input_dim=30, latent_dim=6, noise_sigma=0.2)
+        framework = OrcoDCSFramework(config)
+        framework.noise.decay = 0.5
+        framework.fit_config(toy_rows(16, 30), epochs=2)
+        assert abs(framework.noise.sigma - 0.05) < 1e-12
+
+    def test_overhead_reflects_decoder_depth(self):
+        shallow = OrcoDCSFramework(OrcoDCSConfig(input_dim=64, latent_dim=8,
+                                                 decoder_layers=1))
+        deep = OrcoDCSFramework(OrcoDCSConfig(input_dim=64, latent_dim=8,
+                                              decoder_layers=5))
+        assert deep.overhead().edge_compute_share > \
+            shallow.overhead().edge_compute_share
+
+    def test_vector_huber_loss_option(self):
+        config = OrcoDCSConfig(input_dim=30, latent_dim=6,
+                               loss="vector_huber", huber_delta=5.0)
+        framework = OrcoDCSFramework(config)
+        history = framework.fit_config(toy_rows(16, 30), epochs=1)
+        assert history.rounds[0].train_loss > 0
+
+    def test_reconstruct_diverse_shapes_and_clean_head(self):
+        config = OrcoDCSConfig(input_dim=30, latent_dim=6, noise_sigma=0.3,
+                               seed=0)
+        framework = OrcoDCSFramework(config)
+        rows = toy_rows(5, 30)
+        out = framework.reconstruct_diverse(rows, copies=3)
+        assert out.shape == (15, 30)
+        # The first block is the clean decode.
+        assert np.allclose(out[:5], framework.reconstruct(rows))
+        # Noisy copies differ from the clean ones.
+        assert not np.allclose(out[5:10], out[:5])
+
+    def test_reconstruct_diverse_single_copy_is_clean(self):
+        config = OrcoDCSConfig(input_dim=30, latent_dim=6, noise_sigma=0.3)
+        framework = OrcoDCSFramework(config)
+        rows = toy_rows(4, 30)
+        assert np.allclose(framework.reconstruct_diverse(rows, copies=1),
+                           framework.reconstruct(rows))
+
+    def test_reconstruct_diverse_validation(self):
+        config = OrcoDCSConfig(input_dim=30, latent_dim=6)
+        framework = OrcoDCSFramework(config)
+        with pytest.raises(ValueError):
+            framework.reconstruct_diverse(toy_rows(2, 30), copies=0)

@@ -1,0 +1,62 @@
+"""Unit tests for the classical CDA pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.cs import ClassicalCDA
+from repro.metrics import nmse
+
+
+def smooth_signals(batch=3, n=64, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.linspace(0, 1, n)
+    rows = []
+    for _ in range(batch):
+        a, b, c = rng.standard_normal(3)
+        rows.append(a * np.sin(2 * np.pi * t) + b * np.cos(4 * np.pi * t)
+                    + 0.3 * c)
+    return np.array(rows)
+
+
+class TestClassicalCDA:
+    def test_measurement_dimension(self):
+        cda = ClassicalCDA(64, 16, rng=np.random.default_rng(0))
+        y = cda.encode(smooth_signals())
+        assert y.shape == (3, 16)
+        assert cda.round_trip(smooth_signals()).values_per_sample == 16
+
+    def test_smooth_signal_round_trip_quality(self):
+        cda = ClassicalCDA(64, 24, solver="omp", sparsity=8,
+                           rng=np.random.default_rng(0))
+        x = smooth_signals()
+        result = cda.round_trip(x)
+        assert nmse(x, result.reconstructions) < 0.05
+
+    def test_more_measurements_help(self):
+        x = smooth_signals(seed=1)
+        worse = ClassicalCDA(64, 8, solver="omp", sparsity=4,
+                             rng=np.random.default_rng(0))
+        better = ClassicalCDA(64, 32, solver="omp", sparsity=8,
+                              rng=np.random.default_rng(0))
+        assert nmse(x, better.round_trip(x).reconstructions) <= \
+            nmse(x, worse.round_trip(x).reconstructions) + 1e-9
+
+    def test_fista_solver_path(self):
+        cda = ClassicalCDA(64, 32, solver="fista", lam=1e-2,
+                           rng=np.random.default_rng(0))
+        x = smooth_signals(seed=2)
+        assert nmse(x, cda.round_trip(x).reconstructions) < 0.05
+
+    def test_lstsq_solver_path(self):
+        cda = ClassicalCDA(32, 16, solver="lstsq",
+                           rng=np.random.default_rng(0))
+        x = smooth_signals(n=32)
+        recon = cda.round_trip(x).reconstructions
+        assert recon.shape == x.shape
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            ClassicalCDA(16, 32)
+        cda = ClassicalCDA(16, 8, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            cda.encode(np.zeros((2, 10)))

@@ -1,0 +1,91 @@
+"""Unit tests for measurement matrices."""
+
+import numpy as np
+import pytest
+
+from repro.cs import (
+    bernoulli_matrix,
+    gaussian_matrix,
+    mutual_coherence,
+    restricted_isometry_estimate,
+    sparse_binary_matrix,
+)
+
+
+class TestGaussian:
+    def test_shape(self):
+        assert gaussian_matrix(10, 50, np.random.default_rng(0)).shape == (10, 50)
+
+    def test_normalized_column_norms_near_one(self):
+        m = gaussian_matrix(64, 128, np.random.default_rng(0))
+        norms = np.linalg.norm(m, axis=0)
+        assert abs(norms.mean() - 1.0) < 0.1
+
+    def test_unnormalized_unit_variance(self):
+        m = gaussian_matrix(100, 100, np.random.default_rng(0), normalize=False)
+        assert abs(m.std() - 1.0) < 0.05
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            gaussian_matrix(50, 10)
+        with pytest.raises(ValueError):
+            gaussian_matrix(0, 10)
+
+
+class TestBernoulli:
+    def test_entries_are_pm_one_over_sqrt_m(self):
+        m = bernoulli_matrix(16, 32, np.random.default_rng(0))
+        assert set(np.round(np.abs(m).ravel(), 10)) == {0.25}
+
+    def test_both_signs_present(self):
+        m = bernoulli_matrix(16, 32, np.random.default_rng(0))
+        assert (m > 0).any() and (m < 0).any()
+
+
+class TestSparseBinary:
+    def test_column_weight(self):
+        m = sparse_binary_matrix(20, 40, ones_per_column=4,
+                                 rng=np.random.default_rng(0))
+        nonzeros = (m != 0).sum(axis=0)
+        assert np.all(nonzeros == 4)
+
+    def test_column_unit_norm(self):
+        m = sparse_binary_matrix(20, 40, ones_per_column=4,
+                                 rng=np.random.default_rng(0))
+        assert np.allclose(np.linalg.norm(m, axis=0), 1.0)
+
+    def test_weight_validation(self):
+        with pytest.raises(ValueError):
+            sparse_binary_matrix(4, 8, ones_per_column=5)
+
+
+class TestCoherence:
+    def test_orthonormal_is_zero(self):
+        assert mutual_coherence(np.eye(5)) == 0.0
+
+    def test_duplicate_columns_give_one(self):
+        col = np.random.default_rng(0).standard_normal((6, 1))
+        m = np.hstack([col, col])
+        assert abs(mutual_coherence(m) - 1.0) < 1e-9
+
+    def test_gaussian_has_moderate_coherence(self):
+        m = gaussian_matrix(64, 128, np.random.default_rng(0))
+        mu = mutual_coherence(m)
+        assert 0.0 < mu < 0.8
+
+
+class TestRIPEstimate:
+    def test_identity_is_perfect_isometry(self):
+        assert restricted_isometry_estimate(np.eye(20), 3,
+                                            rng=np.random.default_rng(0)) < 1e-12
+
+    def test_gaussian_beats_badly_scaled(self):
+        rng = np.random.default_rng(0)
+        good = gaussian_matrix(60, 100, rng)
+        bad = good * 3.0
+        assert restricted_isometry_estimate(good, 4, rng=rng) < \
+            restricted_isometry_estimate(bad, 4, rng=rng)
+
+    def test_sparsity_validation(self):
+        with pytest.raises(ValueError):
+            restricted_isometry_estimate(np.eye(4), 0)

@@ -1,0 +1,94 @@
+"""Unit tests for sparse-recovery solvers."""
+
+import numpy as np
+import pytest
+
+from repro.cs import fista, gaussian_matrix, get_solver, ista, omp, ridge_lstsq
+
+
+def sparse_problem(m=40, n=80, k=4, seed=0):
+    rng = np.random.default_rng(seed)
+    A = gaussian_matrix(m, n, rng)
+    x = np.zeros(n)
+    support = rng.choice(n, k, replace=False)
+    x[support] = rng.standard_normal(k) * 3
+    return A, x, A @ x
+
+
+class TestOMP:
+    def test_exact_recovery(self):
+        A, x, y = sparse_problem()
+        result = omp(A, y, sparsity=4)
+        assert np.allclose(result.solution, x, atol=1e-8)
+        assert result.converged
+
+    def test_residual_decreases_with_budget(self):
+        A, x, y = sparse_problem(k=6)
+        low = omp(A, y, sparsity=2).residual_norm
+        high = omp(A, y, sparsity=6).residual_norm
+        assert high <= low + 1e-12
+
+    def test_validation(self):
+        A, _, y = sparse_problem()
+        with pytest.raises(ValueError):
+            omp(A, y, sparsity=0)
+        with pytest.raises(ValueError):
+            omp(A, y[:-1], sparsity=2)
+
+
+class TestISTA:
+    def test_recovers_support(self):
+        A, x, y = sparse_problem()
+        result = ista(A, y, lam=0.001, max_iters=3000)
+        top = np.argsort(np.abs(result.solution))[-4:]
+        assert set(top) == set(np.flatnonzero(x))
+
+    def test_small_lambda_fits_observation(self):
+        A, _, y = sparse_problem()
+        result = ista(A, y, lam=1e-5, max_iters=4000)
+        assert result.residual_norm < 0.3 * np.linalg.norm(y)
+
+    def test_huge_lambda_gives_zero(self):
+        A, _, y = sparse_problem()
+        result = ista(A, y, lam=1e6, max_iters=50)
+        assert np.allclose(result.solution, 0)
+
+    def test_validation(self):
+        A, _, y = sparse_problem()
+        with pytest.raises(ValueError):
+            ista(A, y, lam=-1.0)
+        with pytest.raises(ValueError):
+            ista(A, y, max_iters=0)
+
+
+class TestFISTA:
+    def test_agrees_with_ista_solution(self):
+        A, _, y = sparse_problem()
+        slow = ista(A, y, lam=0.01, max_iters=5000, tol=1e-10)
+        fast = fista(A, y, lam=0.01, max_iters=5000, tol=1e-10)
+        assert np.allclose(slow.solution, fast.solution, atol=1e-3)
+
+    def test_converges_in_fewer_iterations(self):
+        A, _, y = sparse_problem(k=6, seed=3)
+        slow = ista(A, y, lam=0.01, max_iters=5000, tol=1e-8)
+        fast = fista(A, y, lam=0.01, max_iters=5000, tol=1e-8)
+        assert fast.iterations < slow.iterations
+
+
+class TestRidge:
+    def test_interpolates_underdetermined(self):
+        A, _, y = sparse_problem()
+        result = ridge_lstsq(A, y, alpha=1e-10)
+        assert result.residual_norm < 1e-6
+
+    def test_alpha_validation(self):
+        A, _, y = sparse_problem()
+        with pytest.raises(ValueError):
+            ridge_lstsq(A, y, alpha=-1.0)
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_solver("omp") is omp
+        with pytest.raises(KeyError):
+            get_solver("amp")

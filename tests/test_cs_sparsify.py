@@ -1,0 +1,86 @@
+"""Unit tests for the DCT sparsifying basis and compressibility helpers."""
+
+import numpy as np
+import pytest
+
+from repro.cs import (
+    best_k_term_error,
+    dct_basis,
+    effective_sparsity,
+    from_dct,
+    hard_threshold,
+    to_dct,
+)
+
+
+class TestDCTBasis:
+    def test_orthonormal(self):
+        psi = dct_basis(16)
+        assert np.allclose(psi.T @ psi, np.eye(16), atol=1e-10)
+
+    def test_synthesis_matches_idct(self):
+        psi = dct_basis(8)
+        s = np.random.default_rng(0).standard_normal(8)
+        assert np.allclose(psi @ s, from_dct(s))
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            dct_basis(0)
+
+
+class TestTransforms:
+    def test_round_trip(self):
+        x = np.random.default_rng(0).standard_normal(32)
+        assert np.allclose(from_dct(to_dct(x)), x)
+
+    def test_energy_preserved(self):
+        x = np.random.default_rng(1).standard_normal(32)
+        assert abs(np.linalg.norm(to_dct(x)) - np.linalg.norm(x)) < 1e-10
+
+    def test_constant_signal_single_coefficient(self):
+        coeffs = to_dct(np.ones(16))
+        assert abs(coeffs[0]) > 1.0
+        assert np.allclose(coeffs[1:], 0, atol=1e-12)
+
+    def test_batched_last_axis(self):
+        x = np.random.default_rng(2).standard_normal((4, 16))
+        assert np.allclose(from_dct(to_dct(x)), x)
+
+
+class TestThreshold:
+    def test_keeps_largest(self):
+        coeffs = np.array([1.0, -5.0, 2.0, 0.5])
+        out = hard_threshold(coeffs, 2)
+        assert np.allclose(out, [0, -5, 2, 0])
+
+    def test_keep_validation(self):
+        with pytest.raises(ValueError):
+            hard_threshold(np.ones(4), 0)
+        with pytest.raises(ValueError):
+            hard_threshold(np.ones(4), 5)
+
+
+class TestCompressibility:
+    def test_smooth_beats_noise(self):
+        rng = np.random.default_rng(0)
+        t = np.linspace(0, 1, 128)
+        smooth = np.sin(2 * np.pi * t) + 0.5 * np.cos(6 * np.pi * t)
+        noise = rng.standard_normal(128)
+        assert best_k_term_error(smooth, 8) < best_k_term_error(noise, 8)
+
+    def test_zero_signal(self):
+        assert best_k_term_error(np.zeros(16), 4) == 0.0
+
+    def test_effective_sparsity_smooth_signal_small(self):
+        t = np.linspace(0, 1, 128)
+        smooth = np.sin(2 * np.pi * t)
+        assert effective_sparsity(smooth, 0.99) < 16
+
+    def test_effective_sparsity_bounds(self):
+        x = np.random.default_rng(0).standard_normal(64)
+        k = effective_sparsity(x, 0.99)
+        assert 1 <= k <= 64
+
+    def test_effective_sparsity_validation(self):
+        with pytest.raises(ValueError):
+            effective_sparsity(np.ones(4), 0.0)

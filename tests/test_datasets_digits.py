@@ -1,0 +1,103 @@
+"""Unit tests for the synthetic digit dataset."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DigitConfig,
+    flatten_images,
+    generate_digits,
+    glyph_bitmap,
+    render_digit,
+    unflatten_images,
+)
+
+
+class TestGlyphs:
+    def test_bitmap_shape(self):
+        for digit in range(10):
+            assert glyph_bitmap(digit).shape == (7, 5)
+
+    def test_bitmaps_distinct(self):
+        flat = [tuple(glyph_bitmap(d).ravel().tolist()) for d in range(10)]
+        assert len(set(flat)) == 10
+
+    def test_invalid_digit(self):
+        with pytest.raises(ValueError):
+            glyph_bitmap(10)
+
+
+class TestRender:
+    def test_shape_and_range(self):
+        img = render_digit(5, np.random.default_rng(0))
+        assert img.shape == (28, 28)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_has_ink(self):
+        img = render_digit(8, np.random.default_rng(0))
+        assert img.max() > 0.5
+        assert img.mean() < 0.5      # mostly dark background
+
+    def test_randomised_instances_differ(self):
+        rng = np.random.default_rng(0)
+        a = render_digit(3, rng)
+        b = render_digit(3, rng)
+        assert not np.allclose(a, b)
+
+    def test_custom_config(self):
+        config = DigitConfig(image_size=20, noise_std=0.0, blur_sigma=0.0)
+        img = render_digit(1, np.random.default_rng(0), config)
+        assert img.shape == (20, 20)
+
+
+class TestGenerate:
+    def test_shapes_and_types(self):
+        images, labels = generate_digits(30, np.random.default_rng(0))
+        assert images.shape == (30, 28, 28)
+        assert labels.shape == (30,)
+        assert labels.dtype == np.int64
+
+    def test_balanced_label_distribution(self):
+        _, labels = generate_digits(100, np.random.default_rng(0))
+        counts = np.bincount(labels, minlength=10)
+        assert np.all(counts == 10)
+
+    def test_unbalanced_mode(self):
+        _, labels = generate_digits(50, np.random.default_rng(0),
+                                    balanced=False)
+        assert labels.min() >= 0 and labels.max() < 10
+
+    def test_deterministic_with_seed(self):
+        a_images, a_labels = generate_digits(10, np.random.default_rng(7))
+        b_images, b_labels = generate_digits(10, np.random.default_rng(7))
+        assert np.allclose(a_images, b_images)
+        assert np.array_equal(a_labels, b_labels)
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            generate_digits(0)
+
+    def test_classes_are_visually_distinct(self):
+        # Mean images per class should differ pairwise — if the renderer
+        # collapsed classes the classifier experiments would be vacuous.
+        rng = np.random.default_rng(0)
+        images, labels = generate_digits(200, rng)
+        means = np.stack([images[labels == d].mean(axis=0) for d in range(10)])
+        for a in range(10):
+            for b in range(a + 1, 10):
+                assert np.abs(means[a] - means[b]).mean() > 0.01
+
+
+class TestFlatten:
+    def test_round_trip(self):
+        images, _ = generate_digits(5, np.random.default_rng(0))
+        rows = flatten_images(images)
+        assert rows.shape == (5, 784)
+        restored = unflatten_images(rows, (28, 28))
+        assert np.allclose(images, restored)
+
+    def test_color_images(self):
+        images = np.zeros((3, 8, 8, 3))
+        rows = flatten_images(images)
+        assert rows.shape == (3, 192)
+        assert unflatten_images(rows, (8, 8, 3)).shape == (3, 8, 8, 3)

@@ -1,0 +1,108 @@
+"""Unit tests for the correlated sensor-field generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    FieldRegime,
+    SensorField,
+    denormalize_rounds,
+    normalized_rounds,
+)
+from repro.wsn import place_uniform
+
+
+class TestSensorField:
+    def test_read_matches_positions(self):
+        field = SensorField(rng=np.random.default_rng(0))
+        positions = place_uniform(20, rng=np.random.default_rng(1))
+        values = field.read(positions)
+        assert values.shape == (20,)
+        assert np.isfinite(values).all()
+
+    def test_values_near_regime_mean(self):
+        regime = FieldRegime(mean=22.0, amplitude=3.0)
+        field = SensorField(regime=regime, rng=np.random.default_rng(0))
+        positions = place_uniform(200, rng=np.random.default_rng(1))
+        values = field.read(positions)
+        assert 10 < values.mean() < 34
+
+    def test_spatial_correlation(self):
+        # Nearby sensors must read similar values — the compressibility
+        # assumption underlying the whole CDA setting.
+        field = SensorField(regime=FieldRegime(correlation_length=15.0),
+                            rng=np.random.default_rng(0))
+        base = np.array([[50.0, 50.0]])
+        near = base + [[1.0, 0.0]]
+        far = base + [[45.0, 0.0]]
+        diffs_near, diffs_far = [], []
+        for _ in range(20):
+            field.step()
+            v0 = field.read(base)[0]
+            diffs_near.append(abs(field.read(near)[0] - v0))
+            diffs_far.append(abs(field.read(far)[0] - v0))
+        assert np.mean(diffs_near) < np.mean(diffs_far)
+
+    def test_temporal_correlation(self):
+        field = SensorField(regime=FieldRegime(temporal_rho=0.95),
+                            rng=np.random.default_rng(0))
+        pos = place_uniform(50, rng=np.random.default_rng(1))
+        field.step()
+        before = field.read(pos)
+        field.step()
+        after = field.read(pos)
+        corr = np.corrcoef(before, after)[0, 1]
+        assert corr > 0.7
+
+    def test_generate_rounds_shape(self):
+        field = SensorField(rng=np.random.default_rng(0))
+        pos = place_uniform(10, rng=np.random.default_rng(1))
+        rounds = field.generate_rounds(pos, 15)
+        assert rounds.shape == (15, 10)
+        assert field.time_step == 15
+
+    def test_generate_rounds_validation(self):
+        field = SensorField(rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            field.generate_rounds(np.zeros((2, 2)), 0)
+
+    def test_regime_change_shifts_mean(self):
+        field = SensorField(regime=FieldRegime(mean=20.0, amplitude=1.0),
+                            rng=np.random.default_rng(0))
+        pos = place_uniform(100, rng=np.random.default_rng(1))
+        before = field.generate_rounds(pos, 5).mean()
+        field.set_regime(FieldRegime(mean=35.0, amplitude=1.0))
+        after = field.generate_rounds(pos, 5).mean()
+        assert after - before > 10
+
+    def test_hotspot_raises_local_values(self):
+        regime = FieldRegime(mean=0.0, amplitude=0.1, hotspot_strength=10.0)
+        field = SensorField(regime=regime, rng=np.random.default_rng(0))
+        center = np.array([[50.0, 50.0]])
+        corner = np.array([[2.0, 2.0]])
+        field.step()
+        assert field.read(center)[0] > field.read(corner)[0]
+
+    def test_resolution_validation(self):
+        with pytest.raises(ValueError):
+            SensorField(resolution=2)
+
+
+class TestNormalization:
+    def test_bounds(self):
+        rng = np.random.default_rng(0)
+        rounds = rng.normal(20, 5, (10, 8))
+        scaled, low, high = normalized_rounds(rounds)
+        assert scaled.min() >= 0.0 and scaled.max() <= 1.0
+        assert abs(scaled.min()) < 1e-12 and abs(scaled.max() - 1) < 1e-12
+
+    def test_inverse(self):
+        rng = np.random.default_rng(1)
+        rounds = rng.normal(0, 3, (5, 4))
+        scaled, low, high = normalized_rounds(rounds)
+        assert np.allclose(denormalize_rounds(scaled, low, high), rounds)
+
+    def test_constant_input(self):
+        scaled, low, high = normalized_rounds(np.full((3, 3), 7.0))
+        assert np.allclose(scaled, 0.0)
+        assert low == high == 7.0

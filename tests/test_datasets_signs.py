@@ -1,0 +1,95 @@
+"""Unit tests for the synthetic traffic-sign dataset."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    SIGN_CLASSES,
+    SignConfig,
+    class_table,
+    generate_signs,
+    render_sign,
+)
+
+
+class TestClassTable:
+    def test_exactly_43_classes(self):
+        assert len(class_table()) == SIGN_CLASSES == 43
+
+    def test_classes_unique(self):
+        table = class_table()
+        assert len(set(table)) == 43
+
+    def test_all_shapes_used(self):
+        shapes = {entry[0] for entry in class_table()}
+        assert len(shapes) >= 4
+
+    def test_multiple_colors_used(self):
+        colors = {entry[1] for entry in class_table()}
+        assert len(colors) >= 2
+
+
+class TestRender:
+    def test_shape_and_range(self):
+        img = render_sign(0, np.random.default_rng(0))
+        assert img.shape == (32, 32, 3)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_all_classes_render(self):
+        rng = np.random.default_rng(0)
+        for label in range(43):
+            img = render_sign(label, rng)
+            assert np.isfinite(img).all()
+
+    def test_label_validation(self):
+        with pytest.raises(ValueError):
+            render_sign(43, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            render_sign(-1, np.random.default_rng(0))
+
+    def test_sign_is_colorful(self):
+        # Channel means must differ: a red-bordered sign is not gray.
+        config = SignConfig(noise_std=0.0, min_brightness=1.0,
+                            max_brightness=1.0)
+        img = render_sign(0, np.random.default_rng(0), config)
+        channel_means = img.reshape(-1, 3).mean(axis=0)
+        assert np.ptp(channel_means) > 0.01
+
+    def test_illumination_varies(self):
+        rng = np.random.default_rng(0)
+        brightness = [render_sign(5, rng).mean() for _ in range(10)]
+        assert np.ptp(brightness) > 0.05
+
+    def test_custom_size(self):
+        config = SignConfig(image_size=16)
+        assert render_sign(1, np.random.default_rng(0), config).shape == (16, 16, 3)
+
+
+class TestGenerate:
+    def test_shapes(self):
+        images, labels = generate_signs(20, np.random.default_rng(0))
+        assert images.shape == (20, 32, 32, 3)
+        assert labels.shape == (20,)
+
+    def test_balanced_covers_classes(self):
+        _, labels = generate_signs(86, np.random.default_rng(0))
+        assert len(set(labels.tolist())) == 43
+
+    def test_deterministic_with_seed(self):
+        a, la = generate_signs(8, np.random.default_rng(3))
+        b, lb = generate_signs(8, np.random.default_rng(3))
+        assert np.allclose(a, b)
+        assert np.array_equal(la, lb)
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            generate_signs(-1)
+
+    def test_classes_visually_distinct_on_average(self):
+        rng = np.random.default_rng(0)
+        images, labels = generate_signs(172, rng)
+        class_ids = sorted(set(labels.tolist()))[:8]
+        means = np.stack([images[labels == c].mean(axis=0) for c in class_ids])
+        for a in range(len(class_ids)):
+            for b in range(a + 1, len(class_ids)):
+                assert np.abs(means[a] - means[b]).mean() > 0.005

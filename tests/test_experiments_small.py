@@ -1,0 +1,48 @@
+"""Smoke-run the cheap experiments end-to-end at tiny scale.
+
+The heavyweight figure experiments (2, 4-8) are exercised by the
+benchmark harness; here we run the analytic/cheap ones to completion and
+assert their shape checks hold.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+
+
+class TestOverheadAnalysis:
+    def test_runs_and_checks_pass(self):
+        result = EXPERIMENTS["overhead"](scale=1.0, seed=0)
+        assert result.all_checks_pass, result.checks
+        assert result.summary["digits_aggregator_cost_ratio_dcsnet_over_orco"] > 5
+
+    def test_edge_share_grows_with_depth(self):
+        result = EXPERIMENTS["overhead"](scale=1.0, seed=0)
+        assert result.summary["digits_OrcoDCS-5L_edge_share"] > \
+            result.summary["digits_OrcoDCS-1L_edge_share"]
+
+
+class TestTransmissionCost:
+    def test_runs_and_checks_pass(self):
+        result = EXPERIMENTS["fig3"](scale=0.1, seed=0)
+        assert result.all_checks_pass, result.checks
+
+    def test_backhaul_savings_magnitudes(self):
+        result = EXPERIMENTS["fig3"](scale=0.1, seed=0)
+        # 1024/128 with framing ~ 7-8x; 1024/512 with framing ~ 2x.
+        assert 5 < result.summary["digits_backhaul_savings"] < 12
+        assert 1.5 < result.summary["signs_backhaul_savings"] < 3
+
+    def test_rows_cover_both_tasks_and_counts(self):
+        result = EXPERIMENTS["fig3"](scale=0.1, seed=0)
+        datasets = {row["dataset"] for row in result.rows}
+        assert datasets == {"digits", "signs"}
+        assert len(result.rows) == 4
+
+
+class TestFinetuneDrift:
+    @pytest.mark.slow
+    def test_runs_and_checks_pass(self):
+        result = EXPERIMENTS["finetune"](scale=0.25, seed=0)
+        assert result.all_checks_pass, result.checks
+        assert result.summary["num_retrains"] >= 1

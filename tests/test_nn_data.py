@@ -1,0 +1,127 @@
+"""Unit tests for datasets, loaders and split utilities."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+class TestArrayDataset:
+    def test_len_and_indexing(self):
+        ds = nn.ArrayDataset(np.arange(10), np.arange(10) * 2)
+        assert len(ds) == 10
+        x, y = ds[3]
+        assert x == 3 and y == 6
+
+    def test_single_array_returns_scalar_item(self):
+        ds = nn.ArrayDataset(np.arange(5))
+        assert ds[2] == 2
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            nn.ArrayDataset(np.arange(3), np.arange(4))
+
+    def test_empty_args(self):
+        with pytest.raises(ValueError):
+            nn.ArrayDataset()
+
+    def test_subset(self):
+        ds = nn.ArrayDataset(np.arange(10))
+        sub = ds.subset([1, 3, 5])
+        assert len(sub) == 3
+        assert sub[1] == 3
+
+    def test_fraction_size_and_no_duplicates(self):
+        ds = nn.ArrayDataset(np.arange(100))
+        frac = ds.fraction(0.3, rng=np.random.default_rng(0))
+        assert len(frac) == 30
+        assert len(set(frac.arrays[0].tolist())) == 30
+
+    def test_fraction_validation(self):
+        ds = nn.ArrayDataset(np.arange(4))
+        with pytest.raises(ValueError):
+            ds.fraction(0.0)
+        with pytest.raises(ValueError):
+            ds.fraction(1.5)
+
+
+class TestDataLoader:
+    def test_batch_count_without_drop(self):
+        ds = nn.ArrayDataset(np.arange(10))
+        loader = nn.DataLoader(ds, batch_size=3)
+        assert len(loader) == 4
+        batches = list(loader)
+        assert len(batches) == 4
+        assert len(batches[-1]) == 1
+
+    def test_drop_last(self):
+        ds = nn.ArrayDataset(np.arange(10))
+        loader = nn.DataLoader(ds, batch_size=3, drop_last=True)
+        assert len(loader) == 3
+        assert all(len(b) == 3 for b in loader)
+
+    def test_covers_all_samples(self):
+        ds = nn.ArrayDataset(np.arange(17))
+        loader = nn.DataLoader(ds, batch_size=5, shuffle=True,
+                               rng=np.random.default_rng(0))
+        seen = np.concatenate(list(loader))
+        assert sorted(seen.tolist()) == list(range(17))
+
+    def test_shuffle_changes_order(self):
+        ds = nn.ArrayDataset(np.arange(32))
+        loader = nn.DataLoader(ds, batch_size=32, shuffle=True,
+                               rng=np.random.default_rng(0))
+        first = list(loader)[0]
+        assert not np.array_equal(first, np.arange(32))
+
+    def test_multi_array_batches(self):
+        ds = nn.ArrayDataset(np.zeros((8, 3)), np.arange(8))
+        xb, yb = next(iter(nn.DataLoader(ds, batch_size=4)))
+        assert xb.shape == (4, 3)
+        assert yb.shape == (4,)
+
+    def test_batch_size_validation(self):
+        with pytest.raises(ValueError):
+            nn.DataLoader(nn.ArrayDataset(np.arange(4)), batch_size=0)
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        x = np.arange(100)
+        xtr, xte = nn.train_test_split(x, test_fraction=0.2,
+                                       rng=np.random.default_rng(0))
+        assert len(xtr) == 80 and len(xte) == 20
+
+    def test_multiple_arrays_stay_aligned(self):
+        x = np.arange(50)
+        y = np.arange(50) * 10
+        xtr, xte, ytr, yte = nn.train_test_split(
+            x, y, test_fraction=0.2, rng=np.random.default_rng(0))
+        assert np.allclose(ytr, xtr * 10)
+        assert np.allclose(yte, xte * 10)
+
+    def test_partitions_disjoint_and_complete(self):
+        x = np.arange(30)
+        xtr, xte = nn.train_test_split(x, test_fraction=0.3,
+                                       rng=np.random.default_rng(1))
+        assert sorted(np.concatenate([xtr, xte]).tolist()) == list(range(30))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            nn.train_test_split(np.arange(5), test_fraction=0.0)
+        with pytest.raises(ValueError):
+            nn.train_test_split()
+        with pytest.raises(ValueError):
+            nn.train_test_split(np.arange(5), np.arange(6))
+
+
+class TestOneHot:
+    def test_encoding(self):
+        out = nn.one_hot(np.array([0, 2, 1]), 3)
+        assert np.allclose(out, [[1, 0, 0], [0, 0, 1], [0, 1, 0]])
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            nn.one_hot(np.array([3]), 3)
+        with pytest.raises(ValueError):
+            nn.one_hot(np.array([-1]), 3)

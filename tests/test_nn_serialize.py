@@ -1,0 +1,35 @@
+"""Unit tests for checkpoint save/load."""
+
+import numpy as np
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+class TestSerialize:
+    def test_state_roundtrip(self, tmp_path):
+        state = {"a": np.arange(4.0), "b.c": np.ones((2, 2))}
+        path = str(tmp_path / "ckpt")
+        nn.save_state(path, state)
+        loaded = nn.load_state(path)
+        assert set(loaded) == set(state)
+        assert np.allclose(loaded["b.c"], state["b.c"])
+
+    def test_npz_suffix_optional(self, tmp_path):
+        path = str(tmp_path / "model.npz")
+        nn.save_state(path, {"w": np.zeros(3)})
+        assert np.allclose(nn.load_state(str(tmp_path / "model"))["w"], 0)
+
+    def test_module_roundtrip(self, tmp_path):
+        model = nn.Sequential(nn.Dense(4, 8), nn.ReLU(), nn.Dense(8, 2))
+        path = str(tmp_path / "nested" / "model")
+        nn.save_module(path, model)
+        clone = nn.Sequential(nn.Dense(4, 8), nn.ReLU(), nn.Dense(8, 2))
+        nn.load_module(path, clone)
+        x = Tensor(np.random.default_rng(0).standard_normal((3, 4)))
+        assert np.allclose(model(x).data, clone(x).data)
+
+    def test_creates_missing_directories(self, tmp_path):
+        path = str(tmp_path / "a" / "b" / "c" / "ckpt")
+        nn.save_state(path, {"x": np.zeros(1)})
+        assert np.allclose(nn.load_state(path)["x"], 0)

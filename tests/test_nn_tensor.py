@@ -1,0 +1,338 @@
+"""Unit tests for the autograd Tensor."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor, concatenate, stack, where
+
+
+def grads_of(expr, *tensors):
+    expr.backward()
+    return [t.grad for t in tensors]
+
+
+class TestConstruction:
+    def test_from_list_promotes_to_float(self):
+        t = Tensor([1, 2, 3])
+        assert t.dtype.kind == "f"
+        assert t.shape == (3,)
+
+    def test_from_array_keeps_float_dtype(self):
+        t = Tensor(np.zeros(3, dtype=np.float32))
+        assert t.dtype == np.float32
+
+    def test_rejects_string_payloads(self):
+        with pytest.raises(TypeError):
+            Tensor(np.array(["a", "b"]))
+
+    def test_zeros_ones_randn(self):
+        assert np.all(Tensor.zeros((2, 2)).data == 0)
+        assert np.all(Tensor.ones((2, 2)).data == 1)
+        rng = np.random.default_rng(0)
+        assert Tensor.randn(3, 4, rng=rng).shape == (3, 4)
+
+    def test_repr_mentions_requires_grad(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+        assert "requires_grad" not in repr(Tensor([1.0]))
+
+    def test_len_size_ndim(self):
+        t = Tensor(np.zeros((4, 5)))
+        assert len(t) == 4
+        assert t.size == 20
+        assert t.ndim == 2
+
+
+class TestArithmetic:
+    def test_add_backward_both_sides(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        ga, gb = grads_of((a + b).sum(), a, b)
+        assert np.allclose(ga, [1, 1])
+        assert np.allclose(gb, [1, 1])
+
+    def test_add_broadcast_reduces_grad(self):
+        a = Tensor(np.ones((3, 2)), requires_grad=True)
+        b = Tensor(np.ones(2), requires_grad=True)
+        (a + b).sum().backward()
+        assert b.grad.shape == (2,)
+        assert np.allclose(b.grad, [3, 3])
+
+    def test_scalar_radd_rsub_rmul_rdiv(self):
+        a = Tensor([2.0], requires_grad=True)
+        assert np.allclose((1 + a).data, [3])
+        assert np.allclose((5 - a).data, [3])
+        assert np.allclose((3 * a).data, [6])
+        assert np.allclose((8 / a).data, [4])
+
+    def test_mul_backward_product_rule(self):
+        a = Tensor([2.0, 3.0], requires_grad=True)
+        b = Tensor([5.0, 7.0], requires_grad=True)
+        (a * b).sum().backward()
+        assert np.allclose(a.grad, [5, 7])
+        assert np.allclose(b.grad, [2, 3])
+
+    def test_div_backward(self):
+        a = Tensor([6.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=True)
+        (a / b).sum().backward()
+        assert np.allclose(a.grad, [0.5])
+        assert np.allclose(b.grad, [-1.5])
+
+    def test_pow_backward(self):
+        a = Tensor([3.0], requires_grad=True)
+        (a ** 3).sum().backward()
+        assert np.allclose(a.grad, [27.0])
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+    def test_neg(self):
+        a = Tensor([1.0, -2.0], requires_grad=True)
+        (-a).sum().backward()
+        assert np.allclose(a.grad, [-1, -1])
+
+    def test_grad_accumulates_across_uses(self):
+        a = Tensor([2.0], requires_grad=True)
+        (a * a + a).sum().backward()
+        assert np.allclose(a.grad, [5.0])   # 2a + 1
+
+
+class TestUnaryOps:
+    def test_exp_log_inverse_grads(self):
+        a = Tensor([0.5, 1.5], requires_grad=True)
+        a.exp().sum().backward()
+        assert np.allclose(a.grad, np.exp([0.5, 1.5]))
+        b = Tensor([0.5, 1.5], requires_grad=True)
+        b.log().sum().backward()
+        assert np.allclose(b.grad, [2.0, 1 / 1.5])
+
+    def test_sqrt_abs(self):
+        a = Tensor([4.0], requires_grad=True)
+        a.sqrt().sum().backward()
+        assert np.allclose(a.grad, [0.25])
+        b = Tensor([-3.0, 3.0], requires_grad=True)
+        b.abs().sum().backward()
+        assert np.allclose(b.grad, [-1, 1])
+
+    def test_sigmoid_range_and_grad(self):
+        a = Tensor([0.0], requires_grad=True)
+        out = a.sigmoid()
+        assert np.allclose(out.data, [0.5])
+        out.sum().backward()
+        assert np.allclose(a.grad, [0.25])
+
+    def test_tanh_grad(self):
+        a = Tensor([0.0], requires_grad=True)
+        a.tanh().sum().backward()
+        assert np.allclose(a.grad, [1.0])
+
+    def test_relu_zeroes_negatives(self):
+        a = Tensor([-1.0, 2.0], requires_grad=True)
+        out = a.relu()
+        assert np.allclose(out.data, [0, 2])
+        out.sum().backward()
+        assert np.allclose(a.grad, [0, 1])
+
+    def test_leaky_relu_slope(self):
+        a = Tensor([-2.0, 2.0], requires_grad=True)
+        a.leaky_relu(0.1).sum().backward()
+        assert np.allclose(a.grad, [0.1, 1.0])
+
+    def test_clip_gradient_mask(self):
+        a = Tensor([-2.0, 0.5, 2.0], requires_grad=True)
+        out = a.clip(0.0, 1.0)
+        assert np.allclose(out.data, [0, 0.5, 1])
+        out.sum().backward()
+        assert np.allclose(a.grad, [0, 1, 0])
+
+
+class TestReductions:
+    def test_sum_axis_keepdims(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        out = a.sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+        out.backward(np.ones((2, 1)))
+        assert np.allclose(a.grad, np.ones((2, 3)))
+
+    def test_sum_negative_axis(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        a.sum(axis=-1).sum().backward()
+        assert np.allclose(a.grad, np.ones((2, 3)))
+
+    def test_mean_scales_gradient(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        a.mean().backward()
+        assert np.allclose(a.grad, np.full((2, 3), 1 / 6))
+
+    def test_max_splits_ties(self):
+        a = Tensor([1.0, 5.0, 5.0], requires_grad=True)
+        out = a.max()
+        assert out.item() == 5.0
+        out.backward()
+        assert np.allclose(a.grad, [0, 0.5, 0.5])
+
+    def test_max_axis(self):
+        a = Tensor(np.array([[1.0, 4.0], [7.0, 2.0]]), requires_grad=True)
+        out = a.max(axis=1)
+        assert np.allclose(out.data, [4, 7])
+        out.sum().backward()
+        assert np.allclose(a.grad, [[0, 1], [1, 0]])
+
+    def test_min_via_max(self):
+        a = Tensor([3.0, -1.0], requires_grad=True)
+        out = a.min()
+        assert out.item() == -1.0
+
+
+class TestShapes:
+    def test_reshape_roundtrip_grad(self):
+        a = Tensor(np.arange(6.0), requires_grad=True)
+        a.reshape(2, 3).sum().backward()
+        assert a.grad.shape == (6,)
+
+    def test_flatten_keeps_batch(self):
+        a = Tensor(np.zeros((4, 2, 3)))
+        assert a.flatten().shape == (4, 6)
+
+    def test_transpose_inverse_permutation(self):
+        a = Tensor(np.zeros((2, 3, 4)), requires_grad=True)
+        a.transpose((2, 0, 1)).sum().backward()
+        assert a.grad.shape == (2, 3, 4)
+
+    def test_T_property(self):
+        a = Tensor(np.zeros((2, 5)))
+        assert a.T.shape == (5, 2)
+
+    def test_getitem_scatter_grad(self):
+        a = Tensor(np.arange(5.0), requires_grad=True)
+        a[1:3].sum().backward()
+        assert np.allclose(a.grad, [0, 1, 1, 0, 0])
+
+    def test_getitem_fancy_index_accumulates(self):
+        a = Tensor(np.zeros(3), requires_grad=True)
+        a[np.array([0, 0, 2])].sum().backward()
+        assert np.allclose(a.grad, [2, 0, 1])
+
+    def test_pad2d_and_grad(self):
+        a = Tensor(np.ones((1, 1, 2, 2)), requires_grad=True)
+        padded = a.pad2d((1, 1))
+        assert padded.shape == (1, 1, 4, 4)
+        padded.sum().backward()
+        assert np.allclose(a.grad, np.ones((1, 1, 2, 2)))
+
+
+class TestMatmul:
+    def test_matrix_matrix(self):
+        a = Tensor(np.array([[1.0, 2.0]]), requires_grad=True)
+        b = Tensor(np.array([[3.0], [4.0]]), requires_grad=True)
+        out = a @ b
+        assert np.allclose(out.data, [[11.0]])
+        out.sum().backward()
+        assert np.allclose(a.grad, [[3, 4]])
+        assert np.allclose(b.grad, [[1], [2]])
+
+    def test_vector_matrix(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        b = Tensor(np.eye(2), requires_grad=True)
+        out = a @ b
+        assert out.shape == (2,)
+        out.sum().backward()
+        assert a.grad.shape == (2,)
+        assert b.grad.shape == (2, 2)
+
+    def test_matrix_vector(self):
+        a = Tensor(np.ones((3, 2)), requires_grad=True)
+        b = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        out = a @ b
+        assert out.shape == (3,)
+        out.sum().backward()
+        assert np.allclose(b.grad, [3, 3])
+
+    def test_vector_vector_dot(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        b = Tensor(np.array([3.0, 4.0]), requires_grad=True)
+        out = a.dot(b)
+        assert out.item() == 11.0
+        out.backward()
+        assert np.allclose(a.grad, [3, 4])
+
+    def test_batched_matmul_unbroadcasts_weight_grad(self):
+        a = Tensor(np.ones((5, 3, 2)), requires_grad=True)
+        w = Tensor(np.ones((2, 4)), requires_grad=True)
+        (a @ w).sum().backward()
+        assert w.grad.shape == (2, 4)
+        assert np.allclose(w.grad, np.full((2, 4), 15))
+
+
+class TestBackwardProtocol:
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_backward_nonscalar_needs_grad_argument(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (a * 2).backward()
+
+    def test_backward_with_explicit_grad(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        (a * 2).backward(np.array([1.0, 10.0]))
+        assert np.allclose(a.grad, [2.0, 20.0])
+
+    def test_detach_cuts_graph(self):
+        a = Tensor([2.0], requires_grad=True)
+        (a.detach() * a).sum().backward()
+        assert np.allclose(a.grad, [2.0])   # only the live branch
+
+    def test_zero_grad(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 1).sum().backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_deep_chain_does_not_recurse(self):
+        # Iterative topological sort must survive graphs deeper than the
+        # Python recursion limit.
+        a = Tensor([1.0], requires_grad=True)
+        out = a
+        for _ in range(3000):
+            out = out + 1.0
+        out.sum().backward()
+        assert np.allclose(a.grad, [1.0])
+
+    def test_diamond_graph_accumulates_once_per_path(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = a * 2
+        c = a * 3
+        (b + c).sum().backward()
+        assert np.allclose(a.grad, [5.0])
+
+
+class TestCombinators:
+    def test_concatenate_values_and_grads(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0], requires_grad=True)
+        out = concatenate([a, b])
+        assert np.allclose(out.data, [1, 2, 3])
+        (out * Tensor([1.0, 2.0, 3.0])).sum().backward()
+        assert np.allclose(a.grad, [1, 2])
+        assert np.allclose(b.grad, [3])
+
+    def test_stack_new_axis(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        out = stack([a, b])
+        assert out.shape == (2, 2)
+        out.sum().backward()
+        assert np.allclose(a.grad, [1, 1])
+
+    def test_where_routes_gradient(self):
+        cond = np.array([True, False])
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([10.0, 20.0], requires_grad=True)
+        out = where(cond, a, b)
+        assert np.allclose(out.data, [1, 20])
+        out.sum().backward()
+        assert np.allclose(a.grad, [1, 0])
+        assert np.allclose(b.grad, [0, 1])

@@ -1,0 +1,231 @@
+"""Unit tests for aggregation trees and the three aggregation modes."""
+
+import numpy as np
+import pytest
+
+from repro.wsn import (
+    AggregationTree,
+    TDMASchedule,
+    WSNetwork,
+    build_aggregation_tree,
+    hybrid_encode,
+    simulate_encoder_distribution,
+    simulate_hybrid_aggregation,
+    simulate_raw_aggregation,
+)
+
+
+def line_network(n=7, spacing=10.0, range_m=15.0):
+    positions = np.array([[i * spacing, 0.0] for i in range(n)])
+    net = WSNetwork(positions, comm_range_m=range_m)
+    net.set_aggregator(0)
+    return net
+
+
+def grid_network(n=25, range_m=30.0):
+    side = int(np.sqrt(n))
+    positions = np.array([[i * 10.0, j * 10.0]
+                          for i in range(side) for j in range(side)])
+    net = WSNetwork(positions, comm_range_m=range_m)
+    net.set_aggregator(0)
+    return net
+
+
+class TestAggregationTree:
+    def test_structure_accessors(self):
+        tree = AggregationTree({0: None, 1: 0, 2: 0, 3: 1})
+        assert tree.root == 0
+        assert sorted(tree.children[0]) == [1, 2]
+        assert tree.depth(3) == 2
+        assert tree.max_depth() == 2
+        assert tree.subtree_size(0) == 4
+        assert tree.subtree_size(1) == 2
+
+    def test_post_order_children_first(self):
+        tree = AggregationTree({0: None, 1: 0, 2: 1, 3: 1})
+        order = tree.post_order()
+        assert order.index(2) < order.index(1) < order.index(0)
+        assert order.index(3) < order.index(1)
+        assert order[-1] == 0
+
+    def test_path_to_root(self):
+        tree = AggregationTree({0: None, 1: 0, 2: 1})
+        assert tree.path_to_root(2) == [2, 1, 0]
+
+    def test_rejects_multiple_roots(self):
+        with pytest.raises(ValueError):
+            AggregationTree({0: None, 1: None})
+
+    def test_rejects_unknown_parent(self):
+        with pytest.raises(ValueError):
+            AggregationTree({0: None, 1: 9})
+
+    def test_rejects_cycle(self):
+        with pytest.raises(ValueError):
+            AggregationTree({0: None, 1: 2, 2: 1})
+
+
+class TestBuildTree:
+    def test_line_topology_chains(self):
+        net = line_network()
+        tree = build_aggregation_tree(net)
+        assert tree.root == 0
+        for node in range(1, 7):
+            assert tree.parent[node] == node - 1
+
+    def test_spans_every_node(self):
+        net = grid_network()
+        tree = build_aggregation_tree(net)
+        assert sorted(tree.nodes) == net.device_ids
+
+    def test_bridges_disconnected_components(self):
+        positions = np.array([[0.0, 0.0], [5.0, 0.0], [500.0, 0.0]])
+        net = WSNetwork(positions, comm_range_m=10.0)
+        net.set_aggregator(0)
+        tree = build_aggregation_tree(net)
+        assert sorted(tree.nodes) == [0, 1, 2]
+        assert len(tree.extended_edges) == 1
+
+    def test_requires_root(self):
+        net = WSNetwork(np.array([[0.0, 0.0], [1.0, 1.0]]))
+        with pytest.raises(ValueError):
+            build_aggregation_tree(net)
+
+    def test_hops_metric_shallower_or_equal(self):
+        net = grid_network(range_m=25.0)
+        by_dist = build_aggregation_tree(net, weight="distance")
+        by_hops = build_aggregation_tree(net, weight="hops")
+        assert by_hops.max_depth() <= by_dist.max_depth()
+
+
+class TestTDMA:
+    def test_every_non_root_transmits_once(self):
+        net = grid_network()
+        tree = build_aggregation_tree(net)
+        schedule = TDMASchedule(tree)
+        transmitted = [n for slot in schedule.slots for n in slot]
+        assert sorted(transmitted) == sorted(n for n in tree.nodes
+                                             if n != tree.root)
+
+    def test_no_shared_receiver_within_slot(self):
+        net = grid_network()
+        tree = build_aggregation_tree(net)
+        for slot in TDMASchedule(tree).slots:
+            parents = [tree.parent[n] for n in slot]
+            assert len(parents) == len(set(parents))
+
+    def test_children_transmit_before_parents(self):
+        net = grid_network()
+        tree = build_aggregation_tree(net)
+        schedule = TDMASchedule(tree)
+        slot_of = {}
+        for index, slot in enumerate(schedule.slots):
+            for node in slot:
+                slot_of[node] = index
+        for node in tree.nodes:
+            parent = tree.parent[node]
+            if parent is not None and parent != tree.root:
+                assert slot_of[node] < slot_of[parent]
+
+
+class TestRawAggregation:
+    def test_line_counts_are_subtree_sizes(self):
+        net = line_network()
+        tree = build_aggregation_tree(net)
+        report = simulate_raw_aggregation(net, tree)
+        # Line of 7 rooted at 0: node i forwards 7-i values.
+        assert report.values_transmitted == sum(7 - i for i in range(1, 7))
+        assert report.per_node_values[6] == 1
+        assert report.per_node_values[1] == 6
+
+    def test_payload_bytes_match_counts(self):
+        net = line_network()
+        tree = build_aggregation_tree(net)
+        report = simulate_raw_aggregation(net, tree, value_bytes=4)
+        assert report.payload_bytes == report.values_transmitted * 4
+
+    def test_vector_payloads_scale(self):
+        net = line_network()
+        tree = build_aggregation_tree(net)
+        single = simulate_raw_aggregation(net, tree, values_per_node=1)
+        net2 = line_network()
+        double = simulate_raw_aggregation(net2, build_aggregation_tree(net2),
+                                          values_per_node=2)
+        assert double.values_transmitted == 2 * single.values_transmitted
+
+
+class TestHybridAggregation:
+    def test_counts_capped_at_latent_dim(self):
+        net = line_network()
+        tree = build_aggregation_tree(net)
+        report = simulate_hybrid_aggregation(net, tree, latent_dim=3)
+        assert report.values_transmitted == sum(min(7 - i, 3)
+                                                for i in range(1, 7))
+        assert max(report.per_node_values.values()) == 3
+
+    def test_cheaper_than_raw_when_m_small(self):
+        net_a, net_b = grid_network(), grid_network()
+        tree_a = build_aggregation_tree(net_a)
+        tree_b = build_aggregation_tree(net_b)
+        raw = simulate_raw_aggregation(net_a, tree_a)
+        hybrid = simulate_hybrid_aggregation(net_b, tree_b, latent_dim=2)
+        assert hybrid.values_transmitted < raw.values_transmitted
+
+    def test_equals_raw_when_m_huge(self):
+        net_a, net_b = line_network(), line_network()
+        raw = simulate_raw_aggregation(net_a, build_aggregation_tree(net_a))
+        hybrid = simulate_hybrid_aggregation(
+            net_b, build_aggregation_tree(net_b), latent_dim=100)
+        assert hybrid.values_transmitted == raw.values_transmitted
+
+    def test_latent_dim_validation(self):
+        net = line_network()
+        with pytest.raises(ValueError):
+            simulate_hybrid_aggregation(net, build_aggregation_tree(net), 0)
+
+
+class TestHybridEncode:
+    def _check_equivalence(self, net, latent_dim, seed=0):
+        tree = build_aggregation_tree(net)
+        rng = np.random.default_rng(seed)
+        ids = net.device_ids
+        readings = {nid: float(rng.standard_normal()) for nid in ids}
+        index = {nid: i for i, nid in enumerate(ids)}
+        weight = rng.standard_normal((latent_dim, len(ids)))
+        latent, sent = hybrid_encode(tree, readings, weight, index)
+        stacked = np.array([readings[nid] for nid in ids])
+        assert np.allclose(latent, weight @ stacked, atol=1e-10)
+        return sent
+
+    def test_distributed_equals_centralized_line(self):
+        self._check_equivalence(line_network(), latent_dim=3)
+
+    def test_distributed_equals_centralized_grid(self):
+        self._check_equivalence(grid_network(), latent_dim=5)
+
+    def test_distributed_equals_centralized_m_exceeds_n(self):
+        self._check_equivalence(line_network(4, range_m=35.0), latent_dim=9)
+
+    def test_coded_nodes_send_m_values(self):
+        net = line_network()
+        sent = self._check_equivalence(net, latent_dim=3)
+        # Deep-in-tree nodes (large subtree) must be in coded mode.
+        assert sent[1] == 3
+        # The farthest leaf forwards raw: one scalar.
+        assert sent[6] == 1
+
+
+class TestEncoderDistribution:
+    def test_values_counted_per_subtree(self):
+        net = line_network()
+        tree = build_aggregation_tree(net)
+        report = simulate_encoder_distribution(net, tree, latent_dim=4)
+        # Edge into node i carries subtree_size(i) columns of (M+1) scalars.
+        expected = sum((7 - i) * 5 for i in range(1, 7))
+        assert report.values_transmitted == expected
+
+    def test_network_is_charged(self):
+        net = line_network()
+        tree = build_aggregation_tree(net)
+        simulate_encoder_distribution(net, tree, latent_dim=4)
+        assert net.ledger.total_wire_bytes("encoder_distribution") > 0

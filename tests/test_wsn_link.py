@@ -1,0 +1,56 @@
+"""Unit tests for link models."""
+
+import pytest
+
+from repro.wsn import LinkModel, cloud_uplink, downlink, sensor_link, uplink
+
+
+class TestLinkModel:
+    def test_frames_for_payload(self):
+        link = LinkModel(max_payload_bytes=100, header_bytes=10)
+        assert link.frames_for(0) == 0
+        assert link.frames_for(1) == 1
+        assert link.frames_for(100) == 1
+        assert link.frames_for(101) == 2
+
+    def test_wire_bytes_adds_headers(self):
+        link = LinkModel(max_payload_bytes=100, header_bytes=10)
+        assert link.wire_bytes(250) == 250 + 3 * 10
+
+    def test_transfer_time_zero_for_empty(self):
+        assert sensor_link().transfer_time(0) == 0.0
+
+    def test_transfer_time_monotone(self):
+        link = sensor_link()
+        assert link.transfer_time(2000) > link.transfer_time(1000)
+
+    def test_transfer_time_includes_latency(self):
+        link = LinkModel(bandwidth_bps=8e6, latency_s=0.5,
+                         max_payload_bytes=1000, header_bytes=0)
+        assert abs(link.transfer_time(1000) - (0.5 + 0.001)) < 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkModel(bandwidth_bps=0)
+        with pytest.raises(ValueError):
+            LinkModel(max_payload_bytes=0)
+        with pytest.raises(ValueError):
+            LinkModel(latency_s=-1)
+        with pytest.raises(ValueError):
+            sensor_link().frames_for(-1)
+
+
+class TestFactories:
+    def test_downlink_faster_than_uplink(self):
+        # The paper's overhead analysis assumes downlink is much cheaper.
+        assert downlink().bandwidth_bps >= 5 * uplink().bandwidth_bps
+
+    def test_sensor_link_is_slowest(self):
+        assert sensor_link().bandwidth_bps < uplink().bandwidth_bps
+
+    def test_cloud_uplink_high_latency(self):
+        assert cloud_uplink().latency_s > uplink().latency_s
+
+    def test_same_payload_cheaper_on_downlink(self):
+        payload = 100_000
+        assert downlink().transfer_time(payload) < uplink().transfer_time(payload)

@@ -1,0 +1,155 @@
+"""Unit tests for the WSN simulator."""
+
+import numpy as np
+import pytest
+
+from repro.wsn import (
+    EDGE_SERVER_ID,
+    NodeRole,
+    TransmissionLedger,
+    WSNetwork,
+    build_cluster,
+)
+
+
+def small_network(n=6, range_m=200.0):
+    positions = np.array([[i * 10.0, 0.0] for i in range(n)])
+    net = WSNetwork(positions, comm_range_m=range_m)
+    net.set_aggregator(0)
+    return net
+
+
+class TestTopology:
+    def test_roles_after_set_aggregator(self):
+        net = small_network()
+        assert net.nodes[0].role is NodeRole.AGGREGATOR
+        assert net.nodes[1].role is NodeRole.DEVICE
+        net.set_aggregator(2)
+        assert net.nodes[0].role is NodeRole.DEVICE
+        assert net.aggregator_id == 2
+
+    def test_set_aggregator_unknown_node(self):
+        with pytest.raises(KeyError):
+            small_network().set_aggregator(99)
+
+    def test_connectivity_matrix(self):
+        net = small_network(range_m=15.0)
+        adjacency = net.connectivity()
+        assert adjacency[0, 1] and not adjacency[0, 2]
+        assert not adjacency.diagonal().any()
+
+    def test_neighbors(self):
+        net = small_network(range_m=15.0)
+        assert net.neighbors(2) == [1, 3]
+
+    def test_positions_shape(self):
+        assert small_network(5).positions().shape == (5, 2)
+
+    def test_invalid_positions(self):
+        with pytest.raises(ValueError):
+            WSNetwork(np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            WSNetwork(np.zeros((3, 2)), comm_range_m=0)
+
+
+class TestTransmissions:
+    def test_unicast_records_and_charges(self):
+        net = small_network()
+        elapsed = net.unicast(1, 2, 100, kind="test")
+        assert elapsed > 0
+        assert net.ledger.total_payload_bytes("test") == 100
+        assert net.nodes[1].battery.consumed_j > 0
+        assert net.nodes[2].battery.consumed_j > 0
+        # TX costs more than RX (amplifier energy).
+        assert net.nodes[1].battery.consumed_j > net.nodes[2].battery.consumed_j
+
+    def test_unicast_out_of_range(self):
+        net = small_network(range_m=5.0)
+        with pytest.raises(ValueError):
+            net.unicast(0, 5, 10)
+
+    def test_unicast_force_overrides_range(self):
+        net = small_network(range_m=5.0)
+        assert net.unicast(0, 5, 10, force=True) > 0
+
+    def test_unicast_to_self(self):
+        with pytest.raises(ValueError):
+            small_network().unicast(1, 1, 10)
+
+    def test_broadcast_charges_neighbors(self):
+        net = small_network(range_m=15.0)
+        net.broadcast(2, 50)
+        assert net.nodes[1].battery.consumed_j > 0
+        assert net.nodes[3].battery.consumed_j > 0
+        assert net.nodes[5].battery.consumed_j == 0
+
+    def test_uplink_downlink_roundtrip(self):
+        net = small_network()
+        up = net.uplink_to_edge(1000)
+        down = net.downlink_from_edge(1000)
+        assert down < up    # downlink is the cheap direction
+        kinds = net.ledger.by_kind()
+        assert "uplink" in kinds and "downlink" in kinds
+
+    def test_uplink_requires_aggregator(self):
+        net = WSNetwork(np.zeros((2, 2)) + [[0, 0], [1, 1]])
+        with pytest.raises(RuntimeError):
+            net.uplink_to_edge(10)
+
+    def test_edge_server_never_drains(self):
+        net = small_network()
+        net.downlink_from_edge(10_000)
+        assert net.edge.battery.consumed_j == 0
+
+
+class TestLedger:
+    def test_totals_by_kind(self):
+        ledger = TransmissionLedger()
+        ledger.record(0, 1, 100, 120, "a", 0.1)
+        ledger.record(1, 2, 50, 60, "b", 0.2)
+        assert ledger.total_payload_bytes() == 150
+        assert ledger.total_wire_bytes("a") == 120
+        assert abs(ledger.total_kb() - 180 / 1024) < 1e-12
+        assert abs(ledger.total_time_s("b") - 0.2) < 1e-12
+        assert len(ledger) == 2
+
+    def test_per_node_tx(self):
+        ledger = TransmissionLedger()
+        ledger.record(0, 1, 10, 12, "a", 0.0)
+        ledger.record(0, 2, 10, 12, "a", 0.0)
+        ledger.record(1, 2, 10, 12, "a", 0.0)
+        per_node = ledger.per_node_tx_bytes()
+        assert per_node[0] == 24 and per_node[1] == 12
+
+    def test_merge(self):
+        a, b = TransmissionLedger(), TransmissionLedger()
+        a.record(0, 1, 1, 1, "x", 0)
+        b.record(1, 2, 2, 2, "y", 0)
+        a.merge(b)
+        assert len(a) == 2
+
+    def test_reset_ledger_swaps(self):
+        net = small_network()
+        net.unicast(0, 1, 10)
+        old = net.reset_ledger()
+        assert len(old) == 1
+        assert len(net.ledger) == 0
+
+
+class TestReports:
+    def test_energy_report_keys(self):
+        net = small_network(4)
+        net.unicast(0, 1, 10)
+        report = net.energy_report()
+        assert set(report) == {0, 1, 2, 3}
+        assert report[0] > 0
+
+    def test_alive_fraction(self):
+        net = small_network(4)
+        assert net.alive_fraction() == 1.0
+
+    def test_build_cluster_selects_central_aggregator(self):
+        net = build_cluster(20, rng=np.random.default_rng(0),
+                            comm_range_m=60.0)
+        assert net.aggregator_id is not None
+        assert net.nodes[net.aggregator_id].role is NodeRole.AGGREGATOR
