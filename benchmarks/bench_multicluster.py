@@ -1,0 +1,95 @@
+"""Benchmarks for the multi-cluster fleet engine (tentpole acceptance).
+
+Measures the 16-cluster scheduling workload under both execution engines
+and asserts the acceptance criteria directly:
+
+* the batched fleet engine is >= 5x faster in wall-clock than the
+  sequential path at 16 clusters;
+* per-cluster loss trajectories match the sequential engine to <= 1e-6
+  for identical seeds.
+
+The workload geometry mirrors ``experiments/multicluster_scaling.py``:
+sensor clusters of 40 devices, latent dimension 6, minibatches of 8.
+"""
+
+import statistics
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import EdgeTrainingScheduler, OrcoDCSConfig, OrcoDCSFramework
+
+CLUSTERS = 16
+ROUNDS = 40
+DEVICES = 40
+LATENT = 6
+BATCH = 8
+DATA_ROWS = 96
+
+
+def build_scheduler(engine, clusters=CLUSTERS, policy="round_robin"):
+    scheduler = EdgeTrainingScheduler(policy, rng=np.random.default_rng(0),
+                                      engine=engine)
+    for index in range(clusters):
+        config = OrcoDCSConfig(input_dim=DEVICES, latent_dim=LATENT,
+                               seed=index, noise_sigma=0.05,
+                               batch_size=BATCH)
+        data = np.random.default_rng(100 + index).random((DATA_ROWS, DEVICES))
+        scheduler.add_cluster(f"cluster-{index}", OrcoDCSFramework(config),
+                              data, batch_size=BATCH)
+    return scheduler
+
+
+def run_engine(engine):
+    scheduler = build_scheduler(engine)
+    report = scheduler.run(rounds_per_cluster=ROUNDS)
+    return scheduler, report
+
+
+class TestFleetEngineBenchmarks:
+    def test_sequential_16_clusters(self, run_once):
+        _, report = run_once(run_engine, "sequential")
+        assert report.engine == "sequential"
+        assert all(n == ROUNDS for n in report.rounds_per_cluster.values())
+
+    def test_batched_16_clusters(self, run_once):
+        _, report = run_once(run_engine, "batched")
+        assert report.engine == "batched"
+        assert all(n == ROUNDS for n in report.rounds_per_cluster.values())
+
+
+class TestFleetEngineAcceptance:
+    def test_speedup_at_16_clusters(self):
+        """Tentpole criterion: >= 5x wall-clock at 16 clusters.
+
+        Interleaved best-of-N timing to damp scheduler/CPU noise; the
+        engine typically lands at ~6-8x on this geometry.
+        """
+        ratios = []
+        for _ in range(5):
+            start = time.perf_counter()
+            run_engine("sequential")
+            sequential_s = time.perf_counter() - start
+            start = time.perf_counter()
+            run_engine("batched")
+            batched_s = time.perf_counter() - start
+            ratios.append(sequential_s / batched_s)
+        speedup = statistics.median(ratios)
+        print(f"\nfleet speedup at {CLUSTERS} clusters: {speedup:.2f}x "
+              f"(trials: {', '.join(f'{r:.2f}' for r in ratios)})")
+        assert speedup >= 5.0, f"fleet speedup {speedup:.2f}x < 5x"
+
+    def test_trajectory_equivalence(self):
+        """Tentpole criterion: trajectories match to <= 1e-6."""
+        sequential, report_seq = run_engine("sequential")
+        batched, report_bat = run_engine("batched")
+        worst = 0.0
+        for c_seq, c_bat in zip(sequential.clusters, batched.clusters):
+            worst = max(worst, float(np.abs(c_bat.history.losses
+                                            - c_seq.history.losses).max()))
+            np.testing.assert_allclose(c_bat.history.times,
+                                       c_seq.history.times, rtol=1e-12)
+        print(f"\nmax per-cluster loss divergence: {worst:.3e}")
+        assert worst <= 1e-6
+        assert report_bat.makespan_s == pytest.approx(report_seq.makespan_s)

@@ -15,6 +15,7 @@ from .finetune import (
     FineTuningMonitor,
     OnlineAdaptationLoop,
 )
+from .fleet import FleetIncompatibilityError, FleetTrainer, fleet_compatible
 from .noise import GaussianNoiseInjector
 from .scheduler import (
     EdgeTrainingScheduler,
@@ -50,6 +51,7 @@ __all__ = [
     "CompressedRound", "EncoderDeployment",
     "AdaptationEvent", "AdaptationLog", "FineTuningMonitor",
     "OnlineAdaptationLoop",
+    "FleetIncompatibilityError", "FleetTrainer", "fleet_compatible",
     "GaussianNoiseInjector",
     "EdgeTrainingScheduler", "ScheduledCluster", "ScheduleReport",
     "compare_policies",

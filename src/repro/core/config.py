@@ -8,8 +8,8 @@ explicit config object that experiments sweep over.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import Optional
 
 
 @dataclass

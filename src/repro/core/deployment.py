@@ -11,7 +11,7 @@ bias and activation, recovering exactly the centralized eq. (1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Tuple
 
 import numpy as np
 

@@ -16,12 +16,20 @@ message exchange) while *accounting* for the distribution: every round is
 charged modeled compute seconds on each side and bytes on each link.
 The same trainer class drives both OrcoDCS and the online-DCSNet
 baseline, which differ only in their modules, loss and noise policy.
+
+The round is exposed as a composable pipeline — ``encode_batch`` ->
+``decode_latent`` -> ``reconstruction_loss`` -> ``apply_updates`` — with
+``step`` orchestrating one full accounted round.
+:class:`repro.core.fleet.FleetTrainer` reimplements the same pipeline
+over a *stacked* batch of K clusters (one block-diagonal tensor program
+instead of K Python-level passes); the scheduler picks between the two
+engines.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -35,10 +43,22 @@ from .config import OrcoDCSConfig
 from .noise import GaussianNoiseInjector
 from .timing import (
     OrchestrationTimingModel,
+    RoundTiming,
     dense_flops,
     dense_stack_flops,
     overhead_report,
 )
+
+
+@dataclass(frozen=True)
+class RoundCosts:
+    """Memoised per-round cost profile for one (trainer, batch size)."""
+
+    timing: RoundTiming
+    up_bytes: int
+    down_bytes: int
+    up_wire_bytes: int
+    down_wire_bytes: int
 
 
 @dataclass
@@ -177,47 +197,90 @@ class OrchestratedTrainer:
         self.clock_s = 0.0
         self._round_index = 0
         self._training = True
+        self._round_costs_cache: Dict[int, RoundCosts] = {}
 
     # ------------------------------------------------------------------
-    # Protocol steps
+    # Protocol steps (each maps to one leg of the Sec. III-B round; the
+    # fleet engine mirrors this pipeline over stacked K-cluster batches)
     # ------------------------------------------------------------------
-    def _forward(self, batch: np.ndarray, training: bool) -> Tensor:
-        x = Tensor(batch)
+    def encode_batch(self, x: Tensor, training: bool = True) -> Tensor:
+        """Aggregator side: eq. (1) encode, plus eq. (2) train-time noise."""
         latent = self.encoder(x)
         if self.noise is not None and training:
             latent = self.noise(latent, training=True)
+        return latent
+
+    def decode_latent(self, latent: Tensor) -> Tensor:
+        """Edge side: eq. (3) decode latents into reconstructions."""
         return self.decoder(latent)
 
-    def train_round(self, batch: np.ndarray, epoch: int = 0) -> RoundRecord:
-        """Run one orchestrated minibatch round and account for it."""
-        batch = np.atleast_2d(np.asarray(batch, dtype=float))
-        if batch.shape[1] != self.input_dim:
-            raise ValueError(f"batch dim {batch.shape[1]} != input_dim {self.input_dim}")
-        reconstruction = self._forward(batch, training=True)
-        loss_value = self.loss(reconstruction, batch)
+    def reconstruction_loss(self, reconstruction: Tensor, batch) -> Tensor:
+        """Eq. (4) reconstruction error (differentiable)."""
+        return self.loss(reconstruction, batch)
 
+    def apply_updates(self, loss_value: Tensor) -> None:
+        """Backprop and step both sides' optimisers (edge first)."""
         self.encoder_optimizer.zero_grad()
         self.decoder_optimizer.zero_grad()
         loss_value.backward()
         self.decoder_optimizer.step()   # edge updates first (has grads first)
         self.encoder_optimizer.step()
 
-        batch_size = batch.shape[0]
-        round_time = self.timing.training_round(
-            batch_size, self.input_dim, self.latent_dim,
-            self.encoder_forward_flops, self.decoder_forward_flops)
-        up_bytes, down_bytes = self.timing.round_bytes(
-            batch_size, self.input_dim, self.latent_dim)
-        self.clock_s += round_time.total_s
-        self.ledger.record(0, -1, up_bytes,
-                           self.timing.up.wire_bytes(up_bytes),
-                           "latent_uplink", round_time.uplink_s)
-        self.ledger.record(-1, 0, down_bytes,
-                           self.timing.down.wire_bytes(down_bytes),
-                           "recon_downlink", round_time.downlink_s)
+    def _forward(self, batch: np.ndarray, training: bool) -> Tensor:
+        return self.decode_latent(self.encode_batch(Tensor(batch), training))
+
+    def round_costs(self, batch_size: int) -> RoundCosts:
+        """Memoised :class:`RoundCosts` for one batch size.
+
+        The cost of a round depends only on the batch size for a fixed
+        trainer, so schedulers and the fleet engine reuse this instead of
+        re-deriving the cost model every round.
+        """
+        cached = self._round_costs_cache.get(batch_size)
+        if cached is None:
+            timing = self.timing.training_round(
+                batch_size, self.input_dim, self.latent_dim,
+                self.encoder_forward_flops, self.decoder_forward_flops)
+            up_bytes, down_bytes = self.timing.round_bytes(
+                batch_size, self.input_dim, self.latent_dim)
+            cached = RoundCosts(timing, up_bytes, down_bytes,
+                                self.timing.up.wire_bytes(up_bytes),
+                                self.timing.down.wire_bytes(down_bytes))
+            self._round_costs_cache[batch_size] = cached
+        return cached
+
+    def account_round(self, batch_size: int, epoch: int,
+                      train_loss: float) -> RoundRecord:
+        """Charge one round's modeled time/bytes and emit its record.
+
+        Split out from :meth:`step` so the fleet engine — which executes
+        the tensor math for K clusters at once — can reuse the identical
+        per-cluster clock and ledger bookkeeping.
+        """
+        costs = self.round_costs(batch_size)
+        timing = costs.timing
+        self.clock_s += timing.total_s
+        self.ledger.record(0, -1, costs.up_bytes, costs.up_wire_bytes,
+                           "latent_uplink", timing.uplink_s)
+        self.ledger.record(-1, 0, costs.down_bytes, costs.down_wire_bytes,
+                           "recon_downlink", timing.downlink_s)
         self._round_index += 1
         return RoundRecord(self._round_index, epoch, self.clock_s,
-                           float(loss_value.item()), up_bytes, down_bytes)
+                           train_loss, costs.up_bytes, costs.down_bytes)
+
+    def step(self, batch: np.ndarray, epoch: int = 0) -> RoundRecord:
+        """Run one orchestrated minibatch round and account for it."""
+        batch = np.atleast_2d(np.asarray(batch, dtype=float))
+        if batch.shape[1] != self.input_dim:
+            raise ValueError(f"batch dim {batch.shape[1]} != input_dim {self.input_dim}")
+        reconstruction = self._forward(batch, training=True)
+        loss_value = self.reconstruction_loss(reconstruction, batch)
+        self.apply_updates(loss_value)
+        return self.account_round(batch.shape[0], epoch,
+                                  float(loss_value.item()))
+
+    # Historical name for :meth:`step`, kept for callers of the original API.
+    train_round = step
 
     def evaluate(self, rows: np.ndarray) -> float:
         """Reconstruction loss without noise or parameter updates."""

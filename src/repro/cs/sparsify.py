@@ -8,8 +8,6 @@ smooth sensor fields and images) and helpers to measure compressibility.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 from scipy.fft import dct, idct
 

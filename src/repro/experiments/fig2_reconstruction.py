@@ -13,13 +13,12 @@ regularisation; DCSNet has the fixed 1024 code and half the data).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 
 from ..baselines import DCSNetOnline
 from ..core import OrcoDCSConfig, OrcoDCSFramework
-from ..datasets import unflatten_images
 from ..metrics import psnr, ssim
 from .common import (
     ExperimentResult,

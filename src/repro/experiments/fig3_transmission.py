@@ -23,7 +23,7 @@ digits savings approach an order of magnitude on the backhaul.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Tuple
 
 import numpy as np
 

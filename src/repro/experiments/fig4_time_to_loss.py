@@ -27,8 +27,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
 from ..baselines import DCSNetOnline
 from ..core import OrcoDCSConfig, OrcoDCSFramework
 from .common import (

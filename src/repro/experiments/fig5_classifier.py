@@ -11,7 +11,7 @@ and DCSNet improves with its data fraction (70 > 50 > 30).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 
@@ -95,8 +95,6 @@ def run_task(workload: ImageWorkload, recon_epochs: int,
                        final_accuracy=round(history.final_accuracy, 4),
                        final_loss=round(history.test_loss[-1], 4),
                        best_accuracy=round(history.best_accuracy, 4))
-    ordered = ["DCSNet-30%", "DCSNet-50%", "DCSNet-70%", "OrcoDCS"]
-    accs = [final_accuracy[k] for k in ordered]
     result.summary.update({f"{workload.name}_{k}": round(v, 4)
                            for k, v in final_accuracy.items()})
     if strict:

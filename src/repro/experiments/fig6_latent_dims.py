@@ -12,7 +12,7 @@ OrcoDCS-256 < DCSNet, with gap(512->1024) < gap(256->512).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
 from ..core import OrcoDCSConfig
 from .common import (

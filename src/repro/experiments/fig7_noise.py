@@ -13,7 +13,7 @@ collapsing.
 from __future__ import annotations
 
 import math
-from typing import Dict, List
+from typing import List
 
 from ..core import OrcoDCSConfig
 from .common import (

@@ -10,8 +10,6 @@ with diminishing returns (3L->5L buys less than 1L->3L).
 
 from __future__ import annotations
 
-from typing import Dict
-
 from ..core import OrcoDCSConfig
 from .common import (
     ExperimentResult,

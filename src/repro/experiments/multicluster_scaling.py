@@ -4,26 +4,36 @@ The paper's conclusion raises scaling OrcoDCS "to wireless sensor
 networks consisting of millions of IoT devices and task-specific
 autoencoders" and names edge-side training overhead as the bottleneck.
 This experiment quantifies that layer using
-:class:`repro.core.scheduler.EdgeTrainingScheduler`:
+:class:`repro.core.scheduler.EdgeTrainingScheduler` on its **batched
+fleet engine** (:class:`repro.core.fleet.FleetTrainer`), which executes
+all clusters' rounds as stacked tensor ops and replays the policy for
+the modeled clock — the engine that makes the 16-cluster sweep cheap:
 
 * how edge-busy time and makespan grow with the number of concurrent
   cluster training sessions;
 * how scheduling policy (FIFO / round-robin / loss-priority / EDF)
-  affects mean final loss at a fixed round budget.
+  affects *scheduled* progress at a fixed round budget.  With
+  per-cluster data streams the loss trajectories are identical across
+  policies, so the policy signal is fairness: the scheduled time at
+  which each cluster reaches a loss threshold;
+* that the batched engine reproduces the sequential engine's per-cluster
+  loss trajectories (the equivalence contract, asserted to 1e-6 here
+  and benchmarked in ``benchmarks/bench_multicluster.py``).
 
 Expected shape: edge compute grows linearly in clusters while makespan
 grows sub-linearly (aggregator-side work overlaps); round-robin and
-loss-priority dominate FIFO on mean loss-at-any-time fairness.
+loss-priority reach per-cluster loss thresholds sooner on average than
+FIFO, which starves late-arriving clusters.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
 import numpy as np
 
 from ..core import OrcoDCSConfig, OrcoDCSFramework
-from ..core.scheduler import EdgeTrainingScheduler, compare_policies
+from ..core.scheduler import EdgeTrainingScheduler
 from ..datasets import FieldRegime, SensorField
 from ..datasets.sensing import normalized_rounds
 from ..wsn import place_uniform
@@ -57,29 +67,54 @@ def _make_cluster_factory(num_clusters: int, devices: int, rounds: int,
     return factory
 
 
+def _build_scheduler(factory, policy: str, seed: int,
+                     engine: str) -> EdgeTrainingScheduler:
+    scheduler = EdgeTrainingScheduler(policy,
+                                      rng=np.random.default_rng(seed),
+                                      engine=engine)
+    for name, trainer, data in factory():
+        scheduler.add_cluster(name, trainer, data, batch_size=16)
+    return scheduler
+
+
+def _mean_scheduled_time_to_halfway(scheduler, report) -> float:
+    """Mean scheduled seconds for clusters to close half their loss gap.
+
+    Per-cluster threshold: halfway between first and final round loss —
+    reached by construction, so the mean is always defined.
+    """
+    times = []
+    for cluster in scheduler.clusters:
+        losses = cluster.history.losses
+        threshold = 0.5 * (losses[0] + losses[-1])
+        when = report.scheduled_time_to_loss(cluster.name, losses, threshold)
+        times.append(when if when is not None
+                     else report.completion_times[cluster.name][-1])
+    return float(np.mean(times))
+
+
 def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     """Quantify multi-cluster edge contention and policy effects."""
     result = ExperimentResult(
         "Future work — multi-cluster edge scheduling",
-        "Edge-busy time / makespan vs concurrent clusters, and policy "
+        "Edge-busy time / makespan vs concurrent clusters (batched fleet "
+        "engine), engine equivalence, and scheduled-fairness policy "
         "comparison at a fixed round budget.")
     devices = scaled(40, scale, minimum=16)
     rounds_data = scaled(120, scale, minimum=32)
     train_rounds = scaled(40, scale, minimum=10)
 
-    # --- scaling sweep -------------------------------------------------
-    cluster_counts = [2, 4, 8]
+    # --- scaling sweep (fleet-executed) --------------------------------
+    cluster_counts = [2, 4, 8, 16] if scale >= 0.5 else [2, 4, 8]
     makespans, edge_times = [], []
     for count in cluster_counts:
         factory = _make_cluster_factory(count, devices, rounds_data, seed)
-        scheduler = EdgeTrainingScheduler("round_robin",
-                                          rng=np.random.default_rng(seed))
-        for name, trainer, data in factory():
-            scheduler.add_cluster(name, trainer, data, batch_size=16)
+        scheduler = _build_scheduler(factory, "round_robin", seed, "auto")
         report = scheduler.run(rounds_per_cluster=train_rounds)
         makespans.append(report.makespan_s)
         edge_times.append(report.total_edge_time_s)
         result.add_row(clusters=count,
+                       engine=report.engine,
                        edge_busy_s=round(report.total_edge_time_s, 3),
                        makespan_s=round(report.makespan_s, 1),
                        mean_final_loss=round(report.mean_final_loss, 5))
@@ -94,23 +129,41 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
                  makespans[-1] < makespans[0] * (cluster_counts[-1]
                                                  / cluster_counts[0]) * 1.05)
 
-    # --- policy comparison --------------------------------------------
+    # --- engine equivalence -------------------------------------------
+    factory = _make_cluster_factory(2, devices, rounds_data, seed)
+    check_rounds = min(train_rounds, 12)
+    seq = _build_scheduler(factory, "round_robin", seed, "sequential")
+    bat = _build_scheduler(factory, "round_robin", seed, "batched")
+    seq.run(rounds_per_cluster=check_rounds)
+    bat.run(rounds_per_cluster=check_rounds)
+    max_divergence = max(
+        float(np.abs(cb.history.losses - cs.history.losses).max())
+        for cs, cb in zip(seq.clusters, bat.clusters))
+    result.summary["engine_max_loss_divergence"] = max_divergence
+    result.check("batched engine matches sequential (<= 1e-6)",
+                 max_divergence <= 1e-6)
+
+    # --- policy comparison (scheduled fairness) ------------------------
     factory = _make_cluster_factory(4, devices, rounds_data, seed)
-    reports = compare_policies(factory, rounds_per_cluster=train_rounds,
-                               seed=seed)
-    for policy, report in reports.items():
+    reports: dict = {}
+    halfway: dict = {}
+    for policy in ("fifo", "round_robin", "loss_priority", "deadline"):
+        scheduler = _build_scheduler(factory, policy, seed, "auto")
+        report = scheduler.run(rounds_per_cluster=train_rounds)
+        reports[policy] = report
+        halfway[policy] = _mean_scheduled_time_to_halfway(scheduler, report)
         result.add_row(policy=policy,
                        makespan_s=round(report.makespan_s, 1),
+                       mean_time_to_halfway_s=round(halfway[policy], 1),
                        mean_final_loss=round(report.mean_final_loss, 5))
-        result.summary[f"{policy}_mean_final_loss"] = round(
-            report.mean_final_loss, 6)
-    losses = {p: r.mean_final_loss for p, r in reports.items()}
+        result.summary[f"{policy}_mean_time_to_halfway_s"] = round(
+            halfway[policy], 3)
     result.check("all policies complete the same total work",
                  max(r.total_edge_time_s for r in reports.values())
                  - min(r.total_edge_time_s for r in reports.values()) < 1e-6)
-    result.check("fair policies match or beat FIFO on mean loss",
-                 min(losses["round_robin"], losses["loss_priority"])
-                 <= losses["fifo"] * 1.2)
+    result.check("fair policies reach loss thresholds sooner than FIFO",
+                 min(halfway["round_robin"], halfway["loss_priority"])
+                 <= halfway["fifo"] * 1.05)
     return result
 
 

@@ -13,6 +13,20 @@ Public surface::
 """
 
 from . import functional
+from .batched import (
+    BatchedDense,
+    FleetAdaGrad,
+    FleetAdam,
+    FleetIncompatibilityError,
+    FleetOptimizer,
+    FleetRMSProp,
+    FleetSGD,
+    fleet_optimizer_from,
+    fleet_optimizer_to,
+    run_stack,
+    stack_sequential,
+    unstack_sequential,
+)
 from .data import ArrayDataset, DataLoader, one_hot, train_test_split
 from .init import get_initializer
 from .layers import (
@@ -66,6 +80,10 @@ from .serialize import load_module, load_state, save_module, save_state
 from .tensor import Tensor, concatenate, stack, where
 
 __all__ = [
+    "BatchedDense", "FleetAdaGrad", "FleetAdam", "FleetIncompatibilityError",
+    "FleetOptimizer", "FleetRMSProp", "FleetSGD", "fleet_optimizer_from",
+    "fleet_optimizer_to", "run_stack", "stack_sequential",
+    "unstack_sequential",
     "ArrayDataset", "DataLoader", "one_hot", "train_test_split",
     "get_initializer",
     "AvgPool2D", "BatchNorm1d", "BatchNorm2d", "Conv2D", "ConvTranspose2D",

@@ -1,0 +1,521 @@
+"""Stacked ("fleet") primitives: K independent models as one tensor program.
+
+The multi-cluster experiments run K per-cluster autoencoders that share
+an architecture but not weights.  Executing them one after another costs
+K full passes through the Python autograd layer per round; stacking their
+parameters along a leading *slice* axis turns those K passes into single
+block-diagonal tensor ops — ``(K, B, N) @ (K, N, M)`` — that numpy
+dispatches as one batched GEMM.  Everything here preserves *exact*
+per-slice semantics:
+
+* :class:`BatchedDense` holds the weights of K :class:`~repro.nn.layers.Dense`
+  layers as ``(K, in, out)`` / ``(K, 1, out)`` parameters; slice ``k`` of its
+  output equals layer ``k`` applied to slice ``k`` of the input.
+* :func:`stack_sequential` / :func:`unstack_sequential` convert between K
+  per-cluster :class:`~repro.nn.layers.Sequential` models and one batched
+  layer list (and back), so a fleet can be assembled from live trainers
+  and its trained weights written back.
+* ``Fleet*`` optimisers mirror :mod:`repro.nn.optim` elementwise updates
+  with **per-slice** step counters and masked updates, so a slice that
+  skips a round keeps optimiser state identical to a standalone model
+  that skipped that round.
+
+The equivalence contract (relied on by ``repro.core.fleet`` and asserted
+in the test suite): for identical seeds, per-slice trajectories match the
+unstacked execution to within floating-point reduction noise (<= 1e-9 in
+practice; the repo-wide tolerance budget is 1e-6).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from .layers import (
+    Dense,
+    Identity,
+    LeakyReLU,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Softmax,
+    Tanh,
+)
+from .optim import Adam, AdaGrad, Optimizer, RMSProp, SGD
+from .tensor import Tensor
+
+ActiveSlices = Optional[Union[Sequence[int], np.ndarray]]
+
+# Elementwise activations act identically on (B, F) and (K, B, F) inputs,
+# so a single shared instance serves every slice of a stack.
+_STATELESS_ACTIVATIONS = (ReLU, LeakyReLU, Sigmoid, Tanh, Identity, Softmax)
+
+
+class FleetIncompatibilityError(ValueError):
+    """Raised when a set of modules/trainers cannot be stacked."""
+
+
+def _batched_affine(x: Tensor, weight: Tensor,
+                    bias: Optional[Tensor]) -> Tensor:
+    """``x @ W + b`` as a single autograd node.
+
+    Value- and gradient-identical to composing ``matmul`` and ``add``
+    (the per-slice Dense semantics), but one tape node instead of two —
+    the batched engine's hot path.
+    """
+    data = x.data @ weight.data
+    if bias is not None:
+        data += bias.data        # data is fresh; in-place add is safe
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    out = x._make_child(data, parents, "batched_affine")
+    if out.requires_grad:
+
+        def backward(grad: np.ndarray) -> None:
+            if x.requires_grad:
+                x._accumulate(grad @ np.swapaxes(weight.data, -1, -2))
+            if weight.requires_grad:
+                weight._accumulate(np.swapaxes(x.data, -1, -2) @ grad)
+            if bias is not None and bias.requires_grad:
+                bias._accumulate(grad.sum(axis=-2, keepdims=True))
+
+        out._backward = backward
+    return out
+
+
+def _as_index(active: ActiveSlices) -> Optional[np.ndarray]:
+    if active is None:
+        return None
+    index = np.asarray(active)
+    if index.dtype == bool:
+        index = np.flatnonzero(index)
+    return index.astype(np.intp)
+
+
+class BatchedDense(Module):
+    """K independent dense layers stacked into one ``(K, in, out)`` matmul.
+
+    ``forward`` maps ``(K, B, in)`` to ``(K, B, out)``; slice ``k`` sees
+    only weight slice ``k``.  With ``active`` (a subset of slice indices)
+    the input is ``(A, B, in)`` and only those slices' weights are
+    gathered — gradients scatter back into the full stacked parameter
+    with zeros elsewhere, which pairs with the masked ``Fleet*``
+    optimiser steps.
+    """
+
+    def __init__(self, num_slices: int, in_features: int, out_features: int,
+                 bias: bool = True):
+        super().__init__()
+        self.num_slices = num_slices
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(np.zeros((num_slices, in_features, out_features)))
+        self.bias = Parameter(np.zeros((num_slices, 1, out_features))) if bias \
+            else None
+
+    @classmethod
+    def from_layers(cls, layers: Sequence[Dense]) -> "BatchedDense":
+        """Stack K live :class:`Dense` layers (weights are copied)."""
+        if not layers:
+            raise FleetIncompatibilityError("cannot stack an empty layer list")
+        first = layers[0]
+        for layer in layers:
+            if not isinstance(layer, Dense):
+                raise FleetIncompatibilityError(
+                    f"expected Dense, got {type(layer).__name__}")
+            if (layer.in_features, layer.out_features) != \
+                    (first.in_features, first.out_features):
+                raise FleetIncompatibilityError(
+                    "Dense shapes differ across slices: "
+                    f"({layer.in_features}, {layer.out_features}) vs "
+                    f"({first.in_features}, {first.out_features})")
+            if (layer.bias is None) != (first.bias is None):
+                raise FleetIncompatibilityError(
+                    "bias presence differs across slices")
+        batched = cls(len(layers), first.in_features, first.out_features,
+                      bias=first.bias is not None)
+        batched.weight.data = np.stack([layer.weight.data for layer in layers])
+        if batched.bias is not None:
+            batched.bias.data = np.stack(
+                [layer.bias.data[None, :] for layer in layers])
+        return batched
+
+    def to_layers(self, layers: Sequence[Dense]) -> None:
+        """Write slice weights back into K live :class:`Dense` layers."""
+        if len(layers) != self.num_slices:
+            raise ValueError(f"expected {self.num_slices} layers, "
+                             f"got {len(layers)}")
+        for k, layer in enumerate(layers):
+            layer.weight.data = self.weight.data[k].copy()
+            if layer.bias is not None:
+                layer.bias.data = self.bias.data[k, 0].copy()
+
+    def forward(self, x: Tensor, active: ActiveSlices = None) -> Tensor:
+        index = _as_index(active)
+        weight: Tensor = self.weight
+        bias: Optional[Tensor] = self.bias
+        if index is not None:
+            weight = weight[index]
+            bias = bias[index] if bias is not None else None
+        return _batched_affine(x, weight, bias)
+
+    def __repr__(self) -> str:
+        return (f"BatchedDense(slices={self.num_slices}, "
+                f"{self.in_features}, {self.out_features})")
+
+
+def _clone_activation(layers: Sequence[Module]) -> Module:
+    """Return one activation instance standing in for K identical ones."""
+    first = layers[0]
+    for layer in layers:
+        if type(layer) is not type(first):
+            raise FleetIncompatibilityError(
+                f"layer classes differ across slices: {type(layer).__name__} "
+                f"vs {type(first).__name__}")
+    if isinstance(first, LeakyReLU):
+        if any(layer.negative_slope != first.negative_slope for layer in layers):
+            raise FleetIncompatibilityError("LeakyReLU slopes differ")
+        return LeakyReLU(first.negative_slope)
+    if isinstance(first, Softmax):
+        if any(layer.axis != first.axis for layer in layers):
+            raise FleetIncompatibilityError("Softmax axes differ")
+        if first.axis not in (-1, 2):
+            raise FleetIncompatibilityError(
+                "only last-axis Softmax is slice-safe in a stack")
+        return Softmax(first.axis)
+    return type(first)()
+
+
+def stack_sequential(models: Sequence[Sequential]) -> List[Module]:
+    """Stack K structurally identical :class:`Sequential` models.
+
+    Returns a flat layer list (``BatchedDense`` for dense positions, one
+    shared activation instance for elementwise positions) whose
+    composition applied to ``(K, B, F)`` equals the K models applied
+    slice-wise.  Raises :class:`FleetIncompatibilityError` for layer
+    types whose stacked semantics would differ (Dropout, BatchNorm,
+    pooling, ...).
+    """
+    if not models:
+        raise FleetIncompatibilityError("cannot stack an empty model list")
+    lengths = {len(model) for model in models}
+    if len(lengths) != 1:
+        raise FleetIncompatibilityError(
+            f"model depths differ across slices: {sorted(lengths)}")
+    stacked: List[Module] = []
+    for position in zip(*(model.layers for model in models)):
+        if isinstance(position[0], Dense):
+            stacked.append(BatchedDense.from_layers(position))
+        elif isinstance(position[0], _STATELESS_ACTIVATIONS):
+            stacked.append(_clone_activation(position))
+        else:
+            raise FleetIncompatibilityError(
+                f"{type(position[0]).__name__} has no slice-exact stacked "
+                "form (only Dense and elementwise activations stack)")
+    return stacked
+
+
+def unstack_sequential(stacked: Sequence[Module],
+                       models: Sequence[Sequential]) -> None:
+    """Write trained stacked weights back into the original K models."""
+    for batched, position in zip(stacked, zip(*(m.layers for m in models))):
+        if isinstance(batched, BatchedDense):
+            batched.to_layers(position)
+
+
+def run_stack(layers: Sequence[Module], x: Tensor,
+              active: ActiveSlices = None) -> Tensor:
+    """Apply a stacked layer list, threading the active-slice index."""
+    for layer in layers:
+        if isinstance(layer, BatchedDense):
+            x = layer(x, active)
+        else:
+            x = layer(x)
+    return x
+
+
+# ----------------------------------------------------------------------
+# Fleet optimisers: per-slice state, masked steps
+# ----------------------------------------------------------------------
+class FleetOptimizer(Optimizer):
+    """Base optimiser over slice-stacked parameters.
+
+    ``step(active)`` updates only the listed slices, leaving the others'
+    parameters *and state* untouched — exactly what K standalone
+    optimisers would do when only some of their models trained a round.
+    All state arrays are stacked along axis 0 like the parameters.
+    """
+
+    def __init__(self, params, lr: float, num_slices: int):
+        super().__init__(params, lr)
+        if num_slices <= 0:
+            raise ValueError("num_slices must be positive")
+        for param in self.params:
+            if param.shape[0] != num_slices:
+                raise ValueError(
+                    f"parameter leading dim {param.shape[0]} != "
+                    f"num_slices {num_slices}")
+        self.num_slices = num_slices
+
+    def step(self, active: ActiveSlices = None) -> None:
+        raise NotImplementedError
+
+    @staticmethod
+    def _index(active: ActiveSlices):
+        index = _as_index(active)
+        return slice(None) if index is None else index
+
+    @staticmethod
+    def _per_slice(values: np.ndarray, ndim: int) -> np.ndarray:
+        """Reshape per-slice scalars for broadcasting over a parameter."""
+        return values.reshape(values.shape + (1,) * (ndim - 1))
+
+
+class FleetSGD(FleetOptimizer):
+    """Slice-stacked :class:`~repro.nn.optim.SGD` (momentum supported)."""
+
+    def __init__(self, params, lr: float = 0.01, num_slices: int = 1,
+                 momentum: float = 0.0, nesterov: bool = False,
+                 weight_decay: float = 0.0):
+        super().__init__(params, lr, num_slices)
+        if nesterov and momentum == 0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = momentum
+        self.nesterov = nesterov
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self, active: ActiveSlices = None) -> None:
+        idx = self._index(active)
+        for param, velocity in zip(self.params, self._velocity):
+            if param.grad is None:
+                continue
+            grad = param.grad[idx]
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data[idx]
+            if self.momentum:
+                vel = self.momentum * velocity[idx] + grad
+                velocity[idx] = vel
+                update = grad + self.momentum * vel if self.nesterov else vel
+            else:
+                update = grad
+            param.data[idx] = param.data[idx] - self.lr * update
+
+
+class FleetAdam(FleetOptimizer):
+    """Slice-stacked :class:`~repro.nn.optim.Adam`.
+
+    The bias-correction step count is a **per-slice** integer vector:
+    slices stepped under different masks stay bit-identical to
+    independently trained models.
+    """
+
+    def __init__(self, params, lr: float = 1e-3, num_slices: int = 1,
+                 betas=(0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0):
+        super().__init__(params, lr, num_slices)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = np.zeros(num_slices, dtype=np.int64)
+        # Scratch buffers for the allocation-free full-fleet step.
+        self._s1 = [np.empty_like(p.data) for p in self.params]
+        self._s2 = [np.empty_like(p.data) for p in self.params]
+
+    def step(self, active: ActiveSlices = None) -> None:
+        if active is None:
+            self._step_all()
+            return
+        idx = self._index(active)
+        self._t[idx] += 1
+        t = self._t[idx]
+        bias1 = 1.0 - self.beta1 ** t
+        bias2 = 1.0 - self.beta2 ** t
+        for param, m, v in zip(self.params, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad[idx]
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data[idx]
+            m_new = m[idx] * self.beta1 + (1.0 - self.beta1) * grad
+            v_new = v[idx] * self.beta2 + (1.0 - self.beta2) * grad * grad
+            m[idx] = m_new
+            v[idx] = v_new
+            m_hat = m_new / self._per_slice(bias1, param.data.ndim)
+            v_hat = v_new / self._per_slice(bias2, param.data.ndim)
+            param.data[idx] = param.data[idx] \
+                - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def _step_all(self) -> None:
+        """Allocation-free fast path when every slice steps (the common
+        wave).  Mirrors the sequential Adam expressions operation for
+        operation, so slice trajectories stay bit-identical."""
+        self._t += 1
+        bias1 = 1.0 - self.beta1 ** self._t
+        bias2 = 1.0 - self.beta2 ** self._t
+        for param, m, v, s1, s2 in zip(self.params, self._m, self._v,
+                                       self._s1, self._s2):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            # m += (1 - beta1) * grad
+            m *= self.beta1
+            np.multiply(grad, 1.0 - self.beta1, out=s1)
+            m += s1
+            # v += ((1 - beta2) * grad) * grad
+            v *= self.beta2
+            np.multiply(grad, 1.0 - self.beta2, out=s2)
+            s2 *= grad
+            v += s2
+            # param -= (lr * (m / bias1)) / (sqrt(v / bias2) + eps)
+            np.divide(v, self._per_slice(bias2, v.ndim), out=s2)
+            np.sqrt(s2, out=s2)
+            s2 += self.eps
+            np.divide(m, self._per_slice(bias1, m.ndim), out=s1)
+            s1 *= self.lr
+            s1 /= s2
+            param.data -= s1
+
+
+class FleetRMSProp(FleetOptimizer):
+    """Slice-stacked :class:`~repro.nn.optim.RMSProp`."""
+
+    def __init__(self, params, lr: float = 1e-3, num_slices: int = 1,
+                 alpha: float = 0.99, eps: float = 1e-8,
+                 weight_decay: float = 0.0):
+        super().__init__(params, lr, num_slices)
+        self.alpha = alpha
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._sq = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self, active: ActiveSlices = None) -> None:
+        idx = self._index(active)
+        for param, sq in zip(self.params, self._sq):
+            if param.grad is None:
+                continue
+            grad = param.grad[idx]
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data[idx]
+            sq_new = sq[idx] * self.alpha + (1.0 - self.alpha) * grad * grad
+            sq[idx] = sq_new
+            param.data[idx] = param.data[idx] \
+                - self.lr * grad / (np.sqrt(sq_new) + self.eps)
+
+
+class FleetAdaGrad(FleetOptimizer):
+    """Slice-stacked :class:`~repro.nn.optim.AdaGrad`."""
+
+    def __init__(self, params, lr: float = 0.01, num_slices: int = 1,
+                 eps: float = 1e-10):
+        super().__init__(params, lr, num_slices)
+        self.eps = eps
+        self._acc = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self, active: ActiveSlices = None) -> None:
+        idx = self._index(active)
+        for param, acc in zip(self.params, self._acc):
+            if param.grad is None:
+                continue
+            grad = param.grad[idx]
+            acc_new = acc[idx] + grad * grad
+            acc[idx] = acc_new
+            param.data[idx] = param.data[idx] \
+                - self.lr * grad / (np.sqrt(acc_new) + self.eps)
+
+
+# Maps a sequential optimiser class to (fleet class, stacked-state attrs).
+_FLEET_EQUIVALENTS = {
+    SGD: (FleetSGD, ("_velocity",)),
+    Adam: (FleetAdam, ("_m", "_v")),
+    RMSProp: (FleetRMSProp, ("_sq",)),
+    AdaGrad: (FleetAdaGrad, ("_acc",)),
+}
+
+# Hyperparameters that must match across slices for each optimiser class
+# (besides lr): any mismatch would silently retrain some slices with the
+# wrong settings, breaking the per-slice equivalence contract.
+_OPTIMIZER_HYPERPARAMS = {
+    SGD: ("momentum", "nesterov", "weight_decay"),
+    Adam: ("beta1", "beta2", "eps", "weight_decay"),
+    RMSProp: ("alpha", "eps", "weight_decay"),
+    AdaGrad: ("eps",),
+}
+
+
+def check_fleet_optimizers(optimizers: Sequence[Optimizer]) -> None:
+    """Validate that K sequential optimisers admit one fleet equivalent."""
+    if not optimizers:
+        raise FleetIncompatibilityError("no optimisers to stack")
+    first = optimizers[0]
+    if type(first) not in _FLEET_EQUIVALENTS:
+        raise FleetIncompatibilityError(
+            f"no fleet equivalent for optimiser {type(first).__name__}")
+    hyperparams = _OPTIMIZER_HYPERPARAMS[type(first)]
+    for opt in optimizers:
+        if type(opt) is not type(first) or opt.lr != first.lr:
+            raise FleetIncompatibilityError(
+                "optimiser class/learning-rate differs across slices")
+        for name in hyperparams:
+            if getattr(opt, name) != getattr(first, name):
+                raise FleetIncompatibilityError(
+                    f"optimiser hyperparameter {name!r} differs across "
+                    "slices")
+
+
+def fleet_optimizer_from(optimizers: Sequence[Optimizer],
+                         params) -> FleetOptimizer:
+    """Build a fleet optimiser mirroring K sequential ones, state included.
+
+    ``optimizers[k]`` must all share a class, learning rate and
+    hyperparameters; ``params`` are the slice-stacked parameters in the
+    same per-model order as each sequential optimiser's param list.  Any
+    accumulated state (Adam moments, momenta, per-slice step counts) is
+    copied in, so a fleet assembled mid-training continues exactly where
+    the standalone models left off.
+    """
+    check_fleet_optimizers(optimizers)
+    first = optimizers[0]
+    fleet_cls, state_attrs = _FLEET_EQUIVALENTS[type(first)]
+    kwargs = {"lr": first.lr, "num_slices": len(optimizers)}
+    if fleet_cls is FleetAdam:
+        kwargs["betas"] = (first.beta1, first.beta2)
+        kwargs["eps"] = first.eps
+        kwargs["weight_decay"] = first.weight_decay
+    elif fleet_cls is FleetSGD:
+        kwargs.update(momentum=first.momentum, nesterov=first.nesterov,
+                      weight_decay=first.weight_decay)
+    elif fleet_cls is FleetRMSProp:
+        kwargs.update(alpha=first.alpha, eps=first.eps,
+                      weight_decay=first.weight_decay)
+    else:
+        kwargs["eps"] = first.eps
+    fleet = fleet_cls(params, **kwargs)
+    for attr in state_attrs:
+        stacked_state = getattr(fleet, attr)
+        for j, stacked in enumerate(stacked_state):
+            for k, opt in enumerate(optimizers):
+                stacked[k] = getattr(opt, attr)[j]
+    if isinstance(fleet, FleetAdam):
+        fleet._t[:] = [opt._t for opt in optimizers]
+    return fleet
+
+
+def fleet_optimizer_to(fleet: FleetOptimizer,
+                       optimizers: Sequence[Optimizer]) -> None:
+    """Write fleet optimiser state back into K sequential optimisers."""
+    _, state_attrs = _FLEET_EQUIVALENTS[type(optimizers[0])]
+    for attr in state_attrs:
+        stacked_state = getattr(fleet, attr)
+        for j, stacked in enumerate(stacked_state):
+            for k, opt in enumerate(optimizers):
+                getattr(opt, attr)[j][...] = stacked[k]
+    if isinstance(fleet, FleetAdam):
+        for k, opt in enumerate(optimizers):
+            opt._t = int(fleet._t[k])

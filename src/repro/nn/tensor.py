@@ -359,7 +359,10 @@ class Tensor:
         return out
 
     def sigmoid(self) -> "Tensor":
-        value = 1.0 / (1.0 + np.exp(-self.data))
+        value = np.negative(self.data)
+        np.exp(value, out=value)
+        value += 1.0
+        np.reciprocal(value, out=value)
         out = self._make_child(value, (self,), "sigmoid")
         if out.requires_grad:
             a = self
@@ -404,7 +407,7 @@ class Tensor:
 
             def backward(grad: np.ndarray) -> None:
                 if axis is None:
-                    a._accumulate(np.broadcast_to(grad, in_shape).astype(grad.dtype))
+                    a._accumulate(np.broadcast_to(grad, in_shape))
                     return
                 g = grad
                 if not keepdims:
@@ -412,7 +415,7 @@ class Tensor:
                     axes = tuple(ax % len(in_shape) for ax in axes)
                     for ax in sorted(axes):
                         g = np.expand_dims(g, ax)
-                a._accumulate(np.broadcast_to(g, in_shape).astype(g.dtype))
+                a._accumulate(np.broadcast_to(g, in_shape))
 
             out._backward = backward
         return out

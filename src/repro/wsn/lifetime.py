@@ -10,7 +10,7 @@ cluster lifetime by capping per-node transmissions at ``M`` scalars.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Optional
 
 import numpy as np
 

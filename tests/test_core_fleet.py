@@ -1,0 +1,156 @@
+"""Unit tests for the batched fleet execution engine."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FleetIncompatibilityError,
+    FleetTrainer,
+    OrcoDCSConfig,
+    OrcoDCSFramework,
+    fleet_compatible,
+)
+
+
+def make_trainers(K=3, dim=20, latent=4, noise=0.05, **overrides):
+    trainers = []
+    for i in range(K):
+        config = OrcoDCSConfig(input_dim=dim, latent_dim=latent, seed=i,
+                               noise_sigma=noise, **overrides)
+        trainers.append(OrcoDCSFramework(config))
+    return trainers
+
+
+def batch_stack(K=3, B=8, dim=20, seed=0):
+    return np.random.default_rng(seed).random((K, B, dim))
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(FleetIncompatibilityError):
+            FleetTrainer([])
+
+    def test_dimension_mismatch_rejected(self):
+        trainers = make_trainers(2) + make_trainers(1, dim=24)
+        with pytest.raises(FleetIncompatibilityError):
+            FleetTrainer(trainers)
+        assert not fleet_compatible(trainers)
+
+    def test_loss_mismatch_rejected(self):
+        trainers = make_trainers(2)
+        trainers += make_trainers(1, loss="mse")
+        with pytest.raises(FleetIncompatibilityError):
+            FleetTrainer(trainers)
+
+    def test_depth_mismatch_rejected(self):
+        trainers = make_trainers(2) + make_trainers(1, decoder_layers=3)
+        with pytest.raises(FleetIncompatibilityError):
+            FleetTrainer(trainers)
+
+    def test_homogeneous_trainers_compatible(self):
+        assert fleet_compatible(make_trainers(3))
+        assert fleet_compatible(make_trainers(2, decoder_layers=3))
+
+    def test_heterogeneous_noise_allowed(self):
+        trainers = make_trainers(2, noise=0.1) + make_trainers(1, noise=0.0)
+        assert fleet_compatible(trainers)
+        FleetTrainer(trainers)
+
+
+class TestStepEquivalence:
+    def test_matches_sequential_trainers(self):
+        # Two identical universes; one steps sequentially, one as a fleet.
+        seq = make_trainers(3)
+        fleet = FleetTrainer(make_trainers(3))
+        for round_index in range(5):
+            batches = batch_stack(seed=round_index)
+            records = fleet.step(batches)
+            for k, trainer in enumerate(seq):
+                expected = trainer.step(batches[k])
+                got = records[k]
+                assert abs(got.train_loss - expected.train_loss) <= 1e-9
+                assert got.time_s == pytest.approx(expected.time_s)
+                assert got.uplink_bytes == expected.uplink_bytes
+                assert got.round_index == expected.round_index
+
+    def test_noise_streams_match_sequential(self):
+        seq = make_trainers(2, noise=0.3)
+        fleet = FleetTrainer(make_trainers(2, noise=0.3))
+        batches = batch_stack(K=2)
+        records = fleet.step(batches)
+        for k, trainer in enumerate(seq):
+            expected = trainer.step(batches[k])
+            assert abs(records[k].train_loss - expected.train_loss) <= 1e-9
+
+    def test_sync_back_continues_identically(self):
+        seq = make_trainers(2)
+        fleet = FleetTrainer(make_trainers(2))
+        for round_index in range(3):
+            batches = batch_stack(K=2, seed=round_index)
+            fleet.step(batches)
+            for k, trainer in enumerate(seq):
+                trainer.step(batches[k])
+        fleet.sync_to_trainers()
+        follow = batch_stack(K=2, seed=99)
+        for k, (fleet_trainer, trainer) in enumerate(zip(fleet.trainers, seq)):
+            got = fleet_trainer.step(follow[k])
+            expected = trainer.step(follow[k])
+            assert abs(got.train_loss - expected.train_loss) <= 1e-9
+
+    def test_mid_training_adoption(self):
+        # A fleet assembled from already-trained trainers keeps their state.
+        seq = make_trainers(2)
+        warm = make_trainers(2)
+        for round_index in range(3):
+            batches = batch_stack(K=2, seed=round_index)
+            for trainers in (seq, warm):
+                for k, trainer in enumerate(trainers):
+                    trainer.step(batches[k])
+        fleet = FleetTrainer(warm)
+        batches = batch_stack(K=2, seed=50)
+        records = fleet.step(batches)
+        for k, trainer in enumerate(seq):
+            expected = trainer.step(batches[k])
+            assert abs(records[k].train_loss - expected.train_loss) <= 1e-9
+
+
+class TestStepInterface:
+    def test_ledger_stays_per_cluster(self):
+        fleet = FleetTrainer(make_trainers(2))
+        fleet.step(batch_stack(K=2))
+        for trainer in fleet.trainers:
+            kinds = trainer.ledger.by_kind()
+            assert "latent_uplink" in kinds and "recon_downlink" in kinds
+
+    def test_epoch_labels_recorded(self):
+        fleet = FleetTrainer(make_trainers(2))
+        records = fleet.step(batch_stack(K=2), epochs=[3, 7])
+        assert [r.epoch for r in records] == [3, 7]
+
+    def test_bad_stack_shape_rejected(self):
+        fleet = FleetTrainer(make_trainers(2))
+        with pytest.raises(ValueError):
+            fleet.step(np.zeros((3, 8, 20)))
+        with pytest.raises(ValueError):
+            fleet.step(np.zeros((2, 8, 21)))
+
+    def test_active_subset_trains_only_those(self):
+        fleet = FleetTrainer(make_trainers(3, noise=0.0))
+        before = [layer.weight.data[0].copy()
+                  for layer in fleet.encoder_layers if hasattr(layer, "weight")]
+        records = fleet.step(batch_stack(K=2), active=[1, 2])
+        assert len(records) == 2
+        after = [layer.weight.data[0]
+                 for layer in fleet.encoder_layers if hasattr(layer, "weight")]
+        for b, a in zip(before, after):
+            np.testing.assert_array_equal(b, a)   # slice 0 untouched
+        assert fleet.trainers[0].clock_s == 0.0
+        assert fleet.trainers[1].clock_s > 0.0
+
+    def test_evaluate_per_cluster(self):
+        fleet = FleetTrainer(make_trainers(3))
+        rows = np.random.default_rng(0).random((10, 20))
+        losses = fleet.evaluate(rows)
+        assert losses.shape == (3,)
+        for k, trainer in enumerate(fleet.trainers):
+            assert losses[k] == pytest.approx(trainer.evaluate(rows))

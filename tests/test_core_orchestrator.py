@@ -86,8 +86,8 @@ class TestFit:
         trainer = toy_trainer()
         probe = trainer.train_round(toy_rows(16))
         budget = probe.time_s * 3.5
-        history = trainer.fit(toy_rows(256), epochs=50, batch_size=16,
-                              time_budget_s=budget)
+        trainer.fit(toy_rows(256), epochs=50, batch_size=16,
+                    time_budget_s=budget)
         assert trainer.clock_s <= budget + probe.time_s
 
     def test_max_rounds_stops_early(self):

@@ -11,9 +11,9 @@ from repro.core import (
 )
 
 
-def make_framework(dim=24, latent=4, seed=0, decoder_layers=1):
+def make_framework(dim=24, latent=4, seed=0, decoder_layers=1, noise=0.0):
     config = OrcoDCSConfig(input_dim=dim, latent_dim=latent, seed=seed,
-                           noise_sigma=0.0, decoder_layers=decoder_layers)
+                           noise_sigma=noise, decoder_layers=decoder_layers)
     return OrcoDCSFramework(config)
 
 
@@ -64,7 +64,7 @@ class TestSchedulerRun:
 
     def test_training_actually_progresses(self):
         scheduler = self._scheduler("round_robin")
-        report = scheduler.run(rounds_per_cluster=25)
+        scheduler.run(rounds_per_cluster=25)
         for cluster in scheduler.clusters:
             first = cluster.history.rounds[0].train_loss
             last = cluster.history.rounds[-1].train_loss
@@ -103,6 +103,168 @@ class TestSchedulerRun:
                               cluster_data(seed=1))
         report = scheduler.run(rounds_per_cluster=6)
         assert set(report.rounds_per_cluster.values()) == {6}
+
+
+class TestSchedulerEdgeCases:
+    def test_zero_clusters_raises(self):
+        for engine in ("auto", "sequential", "batched"):
+            with pytest.raises(RuntimeError):
+                EdgeTrainingScheduler("round_robin", engine=engine).run()
+
+    def test_single_cluster_runs_all_engines(self):
+        for engine in ("sequential", "batched"):
+            scheduler = EdgeTrainingScheduler(
+                "round_robin", rng=np.random.default_rng(0), engine=engine)
+            scheduler.add_cluster("only", make_framework(), cluster_data())
+            report = scheduler.run(rounds_per_cluster=5)
+            assert report.rounds_per_cluster == {"only": 5}
+            assert report.makespan_s > 0
+            assert len(report.completion_times["only"]) == 5
+
+    def test_single_cluster_auto_uses_sequential(self):
+        # Batching one cluster buys nothing; auto should not bother.
+        scheduler = EdgeTrainingScheduler("round_robin",
+                                          rng=np.random.default_rng(0))
+        scheduler.add_cluster("only", make_framework(), cluster_data())
+        assert scheduler.run(3).engine == "sequential"
+
+    def test_deadline_policy_with_expired_budgets(self):
+        # Every deadline is already blown (0 or negative): all clusters
+        # still get their full budget, and every one is reported missed.
+        for engine in ("sequential", "batched"):
+            scheduler = EdgeTrainingScheduler(
+                "deadline", rng=np.random.default_rng(0), engine=engine)
+            scheduler.add_cluster("expired-a", make_framework(seed=0),
+                                  cluster_data(seed=0), deadline_s=0.0)
+            scheduler.add_cluster("expired-b", make_framework(seed=1),
+                                  cluster_data(seed=1), deadline_s=-5.0)
+            report = scheduler.run(rounds_per_cluster=4)
+            assert report.rounds_per_cluster == {"expired-a": 4,
+                                                 "expired-b": 4}
+            assert set(report.deadline_misses) == {"expired-a", "expired-b"}
+
+    def test_deadline_orders_by_earliest(self):
+        scheduler = EdgeTrainingScheduler("deadline",
+                                          rng=np.random.default_rng(0))
+        scheduler.add_cluster("late", make_framework(seed=0),
+                              cluster_data(seed=0), deadline_s=100.0)
+        scheduler.add_cluster("soon", make_framework(seed=1),
+                              cluster_data(seed=1), deadline_s=1.0)
+        scheduler.add_cluster("never", make_framework(seed=2),
+                              cluster_data(seed=2))
+        report = scheduler.run(rounds_per_cluster=2)
+        # EDF finishes "soon" first, undeadlined clusters last.
+        assert report.completion_times["soon"][-1] \
+            < report.completion_times["late"][-1] \
+            < report.completion_times["never"][-1]
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            EdgeTrainingScheduler("fifo", engine="quantum")
+
+    def test_batched_engine_rejects_mixed_batch_sizes(self):
+        scheduler = EdgeTrainingScheduler("round_robin",
+                                          rng=np.random.default_rng(0),
+                                          engine="batched")
+        scheduler.add_cluster("small", make_framework(seed=0),
+                              cluster_data(seed=0), batch_size=8)
+        scheduler.add_cluster("large", make_framework(seed=1),
+                              cluster_data(seed=1), batch_size=16)
+        with pytest.raises(ValueError, match="uniform batch size"):
+            scheduler.run(rounds_per_cluster=2)
+
+    def test_batched_engine_rejects_short_data(self):
+        scheduler = EdgeTrainingScheduler("round_robin",
+                                          rng=np.random.default_rng(0),
+                                          engine="batched")
+        scheduler.add_cluster("short", make_framework(seed=0),
+                              cluster_data(seed=0, count=4), batch_size=16)
+        with pytest.raises(ValueError, match="full batch"):
+            scheduler.run(rounds_per_cluster=2)
+
+    def test_batched_engine_rejects_heterogeneous_models(self):
+        scheduler = EdgeTrainingScheduler("round_robin",
+                                          rng=np.random.default_rng(0),
+                                          engine="batched")
+        scheduler.add_cluster("shallow", make_framework(seed=0),
+                              cluster_data(seed=0))
+        scheduler.add_cluster("deep", make_framework(seed=1, decoder_layers=3),
+                              cluster_data(seed=1))
+        with pytest.raises(ValueError):
+            scheduler.run(rounds_per_cluster=2)
+
+    def test_auto_falls_back_for_heterogeneous_models(self):
+        scheduler = EdgeTrainingScheduler("round_robin",
+                                          rng=np.random.default_rng(0))
+        scheduler.add_cluster("shallow", make_framework(seed=0),
+                              cluster_data(seed=0))
+        scheduler.add_cluster("deep", make_framework(seed=1, decoder_layers=3),
+                              cluster_data(seed=1))
+        report = scheduler.run(rounds_per_cluster=3)
+        assert report.engine == "sequential"
+        assert report.rounds_per_cluster == {"shallow": 3, "deep": 3}
+
+    def test_auto_batches_homogeneous_fleet(self):
+        scheduler = EdgeTrainingScheduler("round_robin",
+                                          rng=np.random.default_rng(0))
+        for index in range(3):
+            scheduler.add_cluster(f"c{index}", make_framework(seed=index),
+                                  cluster_data(seed=index))
+        assert scheduler.run(3).engine == "batched"
+
+
+class TestEngineEquivalence:
+    def _scheduler(self, policy, engine, num_clusters=3, deadlines=None):
+        scheduler = EdgeTrainingScheduler(policy,
+                                          rng=np.random.default_rng(7),
+                                          engine=engine)
+        for index in range(num_clusters):
+            deadline = deadlines[index] if deadlines else None
+            scheduler.add_cluster(f"cluster-{index}",
+                                  make_framework(seed=index, noise=0.05),
+                                  cluster_data(seed=index),
+                                  deadline_s=deadline)
+        return scheduler
+
+    @pytest.mark.parametrize("policy", ["fifo", "round_robin",
+                                        "loss_priority", "deadline"])
+    def test_loss_trajectories_match(self, policy):
+        sequential = self._scheduler(policy, "sequential")
+        batched = self._scheduler(policy, "batched")
+        report_seq = sequential.run(rounds_per_cluster=10)
+        report_bat = batched.run(rounds_per_cluster=10)
+        assert report_seq.engine == "sequential"
+        assert report_bat.engine == "batched"
+        for c_seq, c_bat in zip(sequential.clusters, batched.clusters):
+            np.testing.assert_allclose(c_bat.history.losses,
+                                       c_seq.history.losses, atol=1e-6)
+            np.testing.assert_allclose(c_bat.history.times,
+                                       c_seq.history.times, rtol=1e-12)
+
+    @pytest.mark.parametrize("policy", ["fifo", "round_robin",
+                                        "loss_priority", "deadline"])
+    def test_schedule_accounting_matches(self, policy):
+        deadlines = [1e-6, None, 1e9]
+        report_seq = self._scheduler(policy, "sequential",
+                                     deadlines=deadlines).run(8)
+        report_bat = self._scheduler(policy, "batched",
+                                     deadlines=deadlines).run(8)
+        assert report_bat.makespan_s == pytest.approx(report_seq.makespan_s)
+        assert report_bat.total_edge_time_s == \
+            pytest.approx(report_seq.total_edge_time_s)
+        assert report_bat.deadline_misses == report_seq.deadline_misses
+        for name, times in report_seq.completion_times.items():
+            np.testing.assert_allclose(report_bat.completion_times[name],
+                                       times, rtol=1e-12)
+
+    def test_ledgers_match_across_engines(self):
+        sequential = self._scheduler("round_robin", "sequential")
+        batched = self._scheduler("round_robin", "batched")
+        sequential.run(6)
+        batched.run(6)
+        for c_seq, c_bat in zip(sequential.clusters, batched.clusters):
+            assert c_bat.trainer.ledger.by_kind() == \
+                c_seq.trainer.ledger.by_kind()
 
 
 class TestComparePolicies:

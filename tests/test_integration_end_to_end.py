@@ -11,7 +11,6 @@ import numpy as np
 from repro.apps import ImageClassifier
 from repro.baselines import DCSNetOnline
 from repro.core import (
-    AsymmetricAutoencoder,
     EncoderDeployment,
     FineTuningMonitor,
     OnlineAdaptationLoop,

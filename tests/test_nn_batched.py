@@ -1,0 +1,238 @@
+"""Unit tests for the stacked (fleet) nn primitives."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    BatchedDense,
+    Dense,
+    Dropout,
+    FleetAdam,
+    FleetIncompatibilityError,
+    FleetSGD,
+    HuberLoss,
+    MSELoss,
+    ReLU,
+    SGD,
+    Sequential,
+    Sigmoid,
+    Tensor,
+    VectorHuberLoss,
+    fleet_optimizer_from,
+    fleet_optimizer_to,
+    run_stack,
+    stack_sequential,
+    unstack_sequential,
+)
+from repro.nn.losses import BCELoss, CrossEntropyLoss
+
+
+def make_models(K=3, din=6, dout=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return [Sequential(Dense(din, dout, rng=rng), Sigmoid()) for _ in range(K)]
+
+
+class TestBatchedDense:
+    def test_forward_matches_slices(self):
+        rng = np.random.default_rng(0)
+        layers = [Dense(5, 3, rng=rng) for _ in range(4)]
+        batched = BatchedDense.from_layers(layers)
+        x = rng.random((4, 7, 5))
+        out = batched(Tensor(x))
+        assert out.shape == (4, 7, 3)
+        for k, layer in enumerate(layers):
+            expected = layer(Tensor(x[k])).data
+            np.testing.assert_array_equal(out.data[k], expected)
+
+    def test_backward_matches_slices(self):
+        rng = np.random.default_rng(1)
+        layers = [Dense(5, 3, rng=rng) for _ in range(3)]
+        batched = BatchedDense.from_layers(layers)
+        x = rng.random((3, 6, 5))
+        batched(Tensor(x)).sum().backward()
+        for k, layer in enumerate(layers):
+            layer(Tensor(x[k])).sum().backward()
+            np.testing.assert_allclose(batched.weight.grad[k],
+                                       layer.weight.grad, atol=1e-12)
+            np.testing.assert_allclose(batched.bias.grad[k, 0],
+                                       layer.bias.grad, atol=1e-12)
+
+    def test_active_subset_gathers_and_scatters(self):
+        rng = np.random.default_rng(2)
+        layers = [Dense(4, 2, rng=rng) for _ in range(5)]
+        batched = BatchedDense.from_layers(layers)
+        x = rng.random((2, 3, 4))
+        out = batched(Tensor(x), active=[1, 3])
+        np.testing.assert_array_equal(out.data[0], layers[1](Tensor(x[0])).data)
+        np.testing.assert_array_equal(out.data[1], layers[3](Tensor(x[1])).data)
+        out.sum().backward()
+        # Inactive slices get zero gradient; active slices get the usual one.
+        assert np.all(batched.weight.grad[[0, 2, 4]] == 0)
+        assert np.any(batched.weight.grad[1] != 0)
+        assert np.any(batched.weight.grad[3] != 0)
+
+    def test_roundtrip_to_layers(self):
+        layers = [Dense(3, 2, rng=np.random.default_rng(k)) for k in range(3)]
+        batched = BatchedDense.from_layers(layers)
+        batched.weight.data += 1.0
+        batched.to_layers(layers)
+        for k, layer in enumerate(layers):
+            np.testing.assert_array_equal(layer.weight.data,
+                                          batched.weight.data[k])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(FleetIncompatibilityError):
+            BatchedDense.from_layers([Dense(3, 2), Dense(3, 4)])
+
+
+class TestStackSequential:
+    def test_stack_and_run_matches_models(self):
+        models = make_models()
+        stacked = stack_sequential(models)
+        x = np.random.default_rng(3).random((3, 5, 6))
+        out = run_stack(stacked, Tensor(x))
+        for k, model in enumerate(models):
+            np.testing.assert_array_equal(out.data[k], model(Tensor(x[k])).data)
+
+    def test_unstack_writes_back(self):
+        models = make_models()
+        stacked = stack_sequential(models)
+        stacked[0].weight.data *= 2.0
+        unstack_sequential(stacked, models)
+        np.testing.assert_array_equal(models[1][0].weight.data,
+                                      stacked[0].weight.data[1])
+
+    def test_depth_mismatch_rejected(self):
+        with pytest.raises(FleetIncompatibilityError):
+            stack_sequential([Sequential(Dense(3, 2)),
+                              Sequential(Dense(3, 2), Sigmoid())])
+
+    def test_layer_class_mismatch_rejected(self):
+        with pytest.raises(FleetIncompatibilityError):
+            stack_sequential([Sequential(Dense(3, 2), Sigmoid()),
+                              Sequential(Dense(3, 2), ReLU())])
+
+    def test_stateful_layers_rejected(self):
+        with pytest.raises(FleetIncompatibilityError):
+            stack_sequential([Sequential(Dense(3, 2), Dropout(0.5)),
+                              Sequential(Dense(3, 2), Dropout(0.5))])
+
+
+class TestFleetOptimizers:
+    def _stacked_problem(self, K=3, seed=0):
+        rng = np.random.default_rng(seed)
+        singles = [Dense(4, 3, rng=rng) for _ in range(K)]
+        batched = BatchedDense.from_layers(singles)
+        x = rng.random((K, 5, 4))
+        target = rng.random((K, 5, 3))
+        return singles, batched, x, target
+
+    def _train(self, module, opt, x, target, batched, steps, active=None):
+        for _ in range(steps):
+            if batched:
+                out = module(Tensor(x), active=active)
+                rows = active if active is not None else range(x.shape[0])
+                diff = out - Tensor(target[list(rows)] if active is not None
+                                    else target)
+            else:
+                out = module(Tensor(x))
+                diff = out - Tensor(target)
+            loss = (diff * diff).sum()
+            opt.zero_grad()
+            loss.backward()
+            opt.step(active) if batched else opt.step()
+
+    @pytest.mark.parametrize("fleet_cls,single_cls",
+                             [(FleetAdam, Adam), (FleetSGD, SGD)])
+    def test_full_step_matches_singles(self, fleet_cls, single_cls):
+        singles, batched, x, target = self._stacked_problem()
+        fleet_opt = fleet_cls(batched.parameters(), lr=0.01, num_slices=3)
+        self._train(batched, fleet_opt, x, target, batched=True, steps=4)
+        for k, layer in enumerate(singles):
+            opt = single_cls(layer.parameters(), lr=0.01)
+            self._train(layer, opt, x[k], target[k], batched=False, steps=4)
+            np.testing.assert_allclose(batched.weight.data[k],
+                                       layer.weight.data, atol=1e-12)
+
+    def test_masked_adam_keeps_per_slice_state(self):
+        singles, batched, x, target = self._stacked_problem(seed=1)
+        fleet_opt = FleetAdam(batched.parameters(), lr=0.01, num_slices=3)
+        # Slice 1 trains twice, slices 0/2 once: per-slice t must diverge.
+        self._train(batched, fleet_opt, x, target, batched=True, steps=1)
+        self._train(batched, fleet_opt, x[[1]], target, batched=True,
+                    steps=1, active=[1])
+        assert list(fleet_opt._t) == [1, 2, 1]
+        # Slice 0 must equal a standalone model trained a single step.
+        layer = singles[0]
+        opt = Adam(layer.parameters(), lr=0.01)
+        self._train(layer, opt, x[0], target[0], batched=False, steps=1)
+        np.testing.assert_allclose(batched.weight.data[0], layer.weight.data,
+                                   atol=1e-12)
+
+    def test_state_roundtrip(self):
+        singles, batched, x, target = self._stacked_problem(seed=2)
+        single_opts = [Adam(layer.parameters(), lr=0.02) for layer in singles]
+        for layer, opt in zip(singles, single_opts):
+            self._train(layer, opt, x[0], target[0], batched=False, steps=2)
+        fleet_opt = fleet_optimizer_from(single_opts, batched.parameters())
+        assert list(fleet_opt._t) == [2, 2, 2]
+        np.testing.assert_array_equal(fleet_opt._m[0][1], single_opts[1]._m[0])
+        fleet_opt._m[0][1] += 0.5
+        fleet_optimizer_to(fleet_opt, single_opts)
+        np.testing.assert_array_equal(single_opts[1]._m[0], fleet_opt._m[0][1])
+
+    def test_mixed_optimizers_rejected(self):
+        layers = [Dense(2, 2), Dense(2, 2)]
+        batched = BatchedDense.from_layers(layers)
+        with pytest.raises(FleetIncompatibilityError):
+            fleet_optimizer_from([Adam(layers[0].parameters(), lr=0.01),
+                                  SGD(layers[1].parameters(), lr=0.01)],
+                                 batched.parameters())
+
+    def test_mixed_hyperparameters_rejected(self):
+        # Same class + lr but different momentum must not stack silently:
+        # slice 1 would be retrained with slice 0's momentum.
+        layers = [Dense(2, 2), Dense(2, 2)]
+        batched = BatchedDense.from_layers(layers)
+        with pytest.raises(FleetIncompatibilityError):
+            fleet_optimizer_from(
+                [SGD(layers[0].parameters(), lr=0.01, momentum=0.9),
+                 SGD(layers[1].parameters(), lr=0.01)],
+                batched.parameters())
+        with pytest.raises(FleetIncompatibilityError):
+            fleet_optimizer_from(
+                [Adam(layers[0].parameters(), lr=0.01, betas=(0.8, 0.999)),
+                 Adam(layers[1].parameters(), lr=0.01)],
+                batched.parameters())
+
+
+class TestPerClusterLosses:
+    @pytest.mark.parametrize("loss", [MSELoss(), HuberLoss(0.5),
+                                      VectorHuberLoss(3.0), BCELoss()])
+    def test_matches_per_slice_forward(self, loss):
+        rng = np.random.default_rng(0)
+        prediction = Tensor(rng.random((4, 6, 5)), requires_grad=True)
+        target = rng.random((4, 6, 5))
+        per = loss.per_cluster(prediction, target)
+        assert per.shape == (4,)
+        for k in range(4):
+            single = loss(Tensor(prediction.data[k]), target[k]).item()
+            assert abs(per.data[k] - single) < 1e-12
+
+    @pytest.mark.parametrize("loss", [MSELoss(), HuberLoss(0.5)])
+    def test_fused_gradient_matches_per_slice(self, loss):
+        rng = np.random.default_rng(1)
+        stacked = rng.random((3, 4, 5))
+        prediction = Tensor(stacked, requires_grad=True)
+        loss.per_cluster(prediction, np.zeros((3, 4, 5))).sum().backward()
+        for k in range(3):
+            single = Tensor(stacked[k], requires_grad=True)
+            loss(single, np.zeros((4, 5))).backward()
+            np.testing.assert_allclose(prediction.grad[k], single.grad,
+                                       atol=1e-15)
+
+    def test_unsupported_loss_raises(self):
+        with pytest.raises(NotImplementedError):
+            CrossEntropyLoss().per_cluster(Tensor(np.zeros((2, 3, 4))),
+                                           np.zeros((2, 3, 4)))

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro import nn
-from repro.nn.tensor import Tensor
 
 
 def quadratic_param(start=5.0):

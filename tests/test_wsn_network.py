@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.wsn import (
-    EDGE_SERVER_ID,
     NodeRole,
     TransmissionLedger,
     WSNetwork,
