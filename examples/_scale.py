@@ -1,0 +1,16 @@
+"""Shared workload-scaling knob for the example scripts.
+
+Every example honours ``REPRO_EXAMPLE_SCALE`` (default 1.0) so CI's
+``tests/test_examples_smoke.py`` can run them end-to-end in seconds.
+Examples import this as a sibling module (``sys.path[0]`` is the
+``examples/`` directory when a script runs).
+"""
+
+import os
+
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "1.0"))
+
+
+def scaled(count: int, minimum: int = 8) -> int:
+    """Scale a workload size, never below ``minimum``."""
+    return max(minimum, int(round(count * SCALE)))

@@ -17,9 +17,14 @@ fresh cloud round-trip.
 Usage::
 
     python examples/adaptive_task_compression.py
+
+Set ``REPRO_EXAMPLE_SCALE`` (e.g. 0.05) to shrink the workload — the
+CI smoke test runs every example this way.
 """
 
 import numpy as np
+
+from _scale import scaled
 
 from repro.baselines.dcsnet import DCSNET_LATENT_DIM
 from repro.core import OrcoDCSConfig, OrcoDCSFramework
@@ -32,7 +37,8 @@ from repro.metrics import psnr
 
 
 def train_task(name: str, rows: np.ndarray, latent_dim: int,
-               epochs: int = 15) -> OrcoDCSFramework:
+               epochs: int = None) -> OrcoDCSFramework:
+    epochs = epochs if epochs is not None else scaled(15, 2)
     config = OrcoDCSConfig(input_dim=rows.shape[1], latent_dim=latent_dim,
                            noise_sigma=0.1, seed=0)
     framework = OrcoDCSFramework(config)
@@ -48,9 +54,9 @@ def main() -> None:
     rng = np.random.default_rng(0)
 
     print("Task A: grayscale digits (784-dim, low complexity)")
-    digit_rows = flatten_images(generate_digits(500, rng)[0])
+    digit_rows = flatten_images(generate_digits(scaled(500, 64), rng)[0])
     print("Task B: colour signs (3072-dim, high complexity)")
-    sign_rows = flatten_images(generate_signs(300, rng)[0])
+    sign_rows = flatten_images(generate_signs(scaled(300, 48), rng)[0])
 
     print("\nOrcoDCS sizes the latent per task:")
     task_a = train_task("digits", digit_rows, latent_dim=128)
@@ -74,7 +80,7 @@ def main() -> None:
     print("\nTask change on cluster A: digits -> inverted digits")
     inverted = 1.0 - digit_rows
     error_before = task_a.evaluate(inverted[:64])
-    adapt_history = task_a.fit_config(inverted, epochs=10)
+    adapt_history = task_a.fit_config(inverted, epochs=scaled(10, 2))
     error_after = task_a.evaluate(inverted[:64])
     print(f"  reconstruction error on the new family: "
           f"{error_before:.4f} -> {error_after:.4f} after "

@@ -10,9 +10,14 @@ pipeline at example scale.
 Usage::
 
     python examples/image_reconstruction_pipeline.py
+
+Set ``REPRO_EXAMPLE_SCALE`` (e.g. 0.05) to shrink the workload — the
+CI smoke test runs every example this way.
 """
 
 import numpy as np
+
+from _scale import scaled
 
 from repro.apps import ImageClassifier
 from repro.baselines import DCSNetOnline
@@ -25,8 +30,8 @@ def main() -> None:
     rng = np.random.default_rng(0)
 
     print("Generating digits...")
-    train_images, train_labels = generate_digits(800, rng)
-    test_images, test_labels = generate_digits(200, rng)
+    train_images, train_labels = generate_digits(scaled(800, 96), rng)
+    test_images, test_labels = generate_digits(scaled(200, 48), rng)
     train_rows = flatten_images(train_images)
     test_rows = flatten_images(test_images)
 
@@ -35,7 +40,7 @@ def main() -> None:
                            seed=0)
     orco = OrcoDCSFramework(config)
     print("Training OrcoDCS online...")
-    history = orco.fit_config(train_rows, epochs=20)
+    history = orco.fit_config(train_rows, epochs=scaled(20, 3))
     budget = history.total_time_s
     print(f"  loss {history.epochs[-1].train_loss:.4f}, "
           f"modeled time {budget:.0f} s")
@@ -44,7 +49,7 @@ def main() -> None:
     #     modeled time budget -----------------------------------------
     dcsnet = DCSNetOnline.for_digits(seed=0, data_fraction=0.5)
     print("Training DCSNet online under the same time budget...")
-    dcs_history = dcsnet.fit_fraction(train_rows, epochs=200, batch_size=32,
+    dcs_history = dcsnet.fit_fraction(train_rows, epochs=scaled(200, 5), batch_size=32,
                                       time_budget_s=budget)
     print(f"  loss {dcs_history.final_loss:.4f} after "
           f"{len(dcs_history.rounds)} rounds "
@@ -65,11 +70,11 @@ def main() -> None:
     orco_labels = np.tile(train_labels, 2)
     clf_orco = ImageClassifier((1, 28, 28), 10, seed=0, learning_rate=2e-3)
     acc_orco = clf_orco.fit(orco_train, orco_labels,
-                            orco_recon, test_labels, epochs=8)
+                            orco_recon, test_labels, epochs=scaled(8, 2))
 
     clf_dcs = ImageClassifier((1, 28, 28), 10, seed=0, learning_rate=2e-3)
     acc_dcs = clf_dcs.fit(dcsnet.reconstruct(train_rows), train_labels,
-                          dcs_recon, test_labels, epochs=8)
+                          dcs_recon, test_labels, epochs=scaled(8, 2))
 
     print(f"  OrcoDCS-fed classifier: accuracy {acc_orco.final_accuracy:.3f}")
     print(f"  DCSNet-fed classifier : accuracy {acc_dcs.final_accuracy:.3f}")

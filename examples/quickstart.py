@@ -12,10 +12,14 @@ Runs in well under a minute.  Demonstrates the minimal public API:
 Usage::
 
     python examples/quickstart.py
+
+Set ``REPRO_EXAMPLE_SCALE`` (e.g. 0.05) to shrink the workload — the
+CI smoke test runs every example this way.
 """
 
 import numpy as np
 
+from _scale import scaled
 from repro.core import OrcoDCSConfig, OrcoDCSFramework
 from repro.datasets import flatten_images, generate_digits
 from repro.metrics import batch_psnr, psnr
@@ -25,8 +29,8 @@ def main() -> None:
     rng = np.random.default_rng(0)
 
     print("Generating a synthetic digit workload...")
-    train_images, _ = generate_digits(600, rng)
-    test_images, _ = generate_digits(100, rng)
+    train_images, _ = generate_digits(scaled(600, 64), rng)
+    test_images, _ = generate_digits(scaled(100, 32), rng)
     train_rows = flatten_images(train_images)     # (600, 784): the paper's
     test_rows = flatten_images(test_images)       # stacked device vector X
 
@@ -39,7 +43,7 @@ def main() -> None:
 
     framework = OrcoDCSFramework(config)
     print("Training online (aggregator <-> edge ping-pong)...")
-    history = framework.fit_config(train_rows, epochs=15,
+    history = framework.fit_config(train_rows, epochs=scaled(15, 2),
                                    val_rows=test_rows)
 
     print(f"  train loss: {history.epochs[0].train_loss:.4f} -> "

@@ -16,9 +16,14 @@ This is the paper's native deployment story, end to end:
 Usage::
 
     python examples/wsn_environment_monitoring.py
+
+Set ``REPRO_EXAMPLE_SCALE`` (e.g. 0.05) to shrink the workload — the
+CI smoke test runs every example this way.
 """
 
 import numpy as np
+
+from _scale import scaled
 
 from repro.core import (
     EncoderDeployment,
@@ -36,7 +41,7 @@ from repro.wsn import (
     simulate_raw_aggregation,
 )
 
-NUM_DEVICES = 64
+NUM_DEVICES = scaled(64, 24)
 AREA = (100.0, 100.0)
 
 
@@ -63,7 +68,7 @@ def main() -> None:
     raw_report = simulate_raw_aggregation(network, tree)
     print(f"Raw round: {raw_report.values_transmitted} values, "
           f"{raw_report.total_kb:.1f} KB, {raw_report.slots} TDMA slots")
-    train_rounds = field.generate_rounds(positions, 400)
+    train_rounds = field.generate_rounds(positions, scaled(400, 64))
     train_scaled, low, high = normalized_rounds(train_rounds)
 
     # ------------------------------------------------------------------
@@ -72,7 +77,7 @@ def main() -> None:
     config = OrcoDCSConfig(input_dim=NUM_DEVICES, latent_dim=12,
                            noise_sigma=0.05, seed=0, batch_size=32)
     framework = OrcoDCSFramework(config)
-    history = framework.fit_config(train_scaled, epochs=20)
+    history = framework.fit_config(train_scaled, epochs=scaled(20, 3))
     print(f"Training: loss {history.epochs[0].train_loss:.4f} -> "
           f"{history.epochs[-1].train_loss:.5f} in "
           f"{history.total_time_s:.1f} modeled s")
@@ -89,15 +94,16 @@ def main() -> None:
     # ------------------------------------------------------------------
     errors = []
     network.reset_ledger()
-    for _ in range(10):
+    collection_rounds = scaled(10, 4)
+    for _ in range(collection_rounds):
         field.step()
         fresh = field.read(positions, noise_std=0.05)
-        scaled = np.clip((fresh - low) / (high - low), 0.0, 1.0)
-        readings = {nid: float(scaled[i])
+        fresh_scaled = np.clip((fresh - low) / (high - low), 0.0, 1.0)
+        readings = {nid: float(fresh_scaled[i])
                     for i, nid in enumerate(network.device_ids)}
         _, reconstruction = deployment.end_to_end_round(readings)
-        errors.append(nmse(scaled, reconstruction))
-    per_round_kb = network.ledger.total_kb() / 10
+        errors.append(nmse(fresh_scaled, reconstruction))
+    per_round_kb = network.ledger.total_kb() / collection_rounds
     print(f"Compressed rounds: NMSE {np.mean(errors):.4f}, "
           f"{per_round_kb:.2f} KB/round "
           f"(raw would cost {raw_report.total_kb:.2f} KB/round intra-cluster)")
@@ -109,14 +115,14 @@ def main() -> None:
     field.set_regime(FieldRegime(mean=30.0, amplitude=8.0,
                                  correlation_length=4.0,
                                  hotspot_strength=6.0))
-    stream = field.generate_rounds(positions, 80)
+    stream = field.generate_rounds(positions, scaled(80, 24))
     stream_scaled = np.clip((stream - low) / (high - low), 0.0, 1.0)
 
     baseline_error = framework.evaluate(train_scaled[-32:])
     monitor = FineTuningMonitor(threshold=baseline_error * 3.0, window=4,
                                 cooldown=2)
     loop = OnlineAdaptationLoop(framework, monitor, buffer_size=64,
-                                retrain_epochs=12)
+                                retrain_epochs=scaled(12, 2))
     log = loop.run(stream_scaled)
     print(f"Monitor: {log.num_retrains} retrain(s) fired")
     print(f"Error at drift: {np.mean(log.errors[:8]):.4f} -> "

@@ -13,6 +13,9 @@ Subpackages
     traditional CDA).
 ``repro.wsn``
     Wireless sensor network simulator (energy, links, aggregation trees).
+``repro.sim``
+    Discrete-event runtime: unreliable channels (loss/ARQ/jitter),
+    fault injection and the simulation kernel behind ``engine="event"``.
 ``repro.datasets``
     Synthetic digit / traffic-sign / sensor-field generators.
 ``repro.core``
@@ -27,7 +30,7 @@ Subpackages
     One module per paper figure; CLI: ``python -m repro.experiments``.
 """
 
-from . import apps, baselines, core, cs, datasets, metrics, nn, wsn
+from . import apps, baselines, core, cs, datasets, metrics, nn, sim, wsn
 from .core import (
     AsymmetricAutoencoder,
     EncoderDeployment,
@@ -41,7 +44,8 @@ from .core import (
 __version__ = "1.0.0"
 
 __all__ = [
-    "apps", "baselines", "core", "cs", "datasets", "metrics", "nn", "wsn",
+    "apps", "baselines", "core", "cs", "datasets", "metrics", "nn", "sim",
+    "wsn",
     "AsymmetricAutoencoder", "EncoderDeployment", "FineTuningMonitor",
     "OrcoDCSConfig", "OrcoDCSFramework", "gtsrb_task_config",
     "mnist_task_config", "__version__",

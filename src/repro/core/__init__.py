@@ -19,6 +19,7 @@ from .fleet import FleetIncompatibilityError, FleetTrainer, fleet_compatible
 from .noise import GaussianNoiseInjector
 from .scheduler import (
     EdgeTrainingScheduler,
+    ResilientOrchestrationPolicy,
     ScheduledCluster,
     ScheduleReport,
     compare_policies,
@@ -53,8 +54,8 @@ __all__ = [
     "OnlineAdaptationLoop",
     "FleetIncompatibilityError", "FleetTrainer", "fleet_compatible",
     "GaussianNoiseInjector",
-    "EdgeTrainingScheduler", "ScheduledCluster", "ScheduleReport",
-    "compare_policies",
+    "EdgeTrainingScheduler", "ResilientOrchestrationPolicy",
+    "ScheduledCluster", "ScheduleReport", "compare_policies",
     "EpochRecord", "OrchestratedTrainer", "OrcoDCSFramework", "RoundRecord",
     "TrainingHistory",
     "DeviceProfile", "OrchestrationTimingModel", "OverheadReport",

@@ -19,8 +19,10 @@ from ..wsn.aggregation import (
     AggregationReport,
     AggregationTree,
     hybrid_encode,
+    hybrid_encode_partial,
     simulate_encoder_distribution,
     simulate_hybrid_aggregation,
+    simulate_masked_hybrid_aggregation,
 )
 from ..wsn.network import WSNetwork
 from .autoencoder import AsymmetricAutoencoder
@@ -36,10 +38,16 @@ _ACTIVATIONS: Dict[str, Callable[[np.ndarray], np.ndarray]] = {
 
 @dataclass
 class CompressedRound:
-    """Result of one compressed data-collection round."""
+    """Result of one compressed data-collection round.
+
+    ``contributors`` lists the devices whose readings reached the
+    aggregator (all of them on a healthy cluster; a strict subset under
+    node faults, when the partial sum is masked).
+    """
 
     latent: np.ndarray
     report: AggregationReport
+    contributors: Tuple[int, ...] = ()
 
 
 class EncoderDeployment:
@@ -99,20 +107,35 @@ class EncoderDeployment:
         """
         if not self.distributed:
             raise RuntimeError("call distribute() before compressed rounds")
-        missing = [nid for nid in self.network.device_ids if nid not in readings]
+        failed = {nid for nid in self.network.device_ids
+                  if not self.network.is_alive(nid)}
+        missing = [nid for nid in self.network.device_ids
+                   if nid not in readings and nid not in failed]
         if missing:
             raise ValueError(f"missing readings for devices {missing[:5]}")
-        partial, _ = hybrid_encode(self.tree, readings, self.weight_e,
-                                   self.device_index)
+        if failed:
+            partial, _, contributors = hybrid_encode_partial(
+                self.tree, readings, self.weight_e, self.device_index,
+                failed=failed)
+        else:
+            partial, _ = hybrid_encode(self.tree, readings, self.weight_e,
+                                       self.device_index)
+            contributors = frozenset(self.network.device_ids)
         latent = self._activation(partial + self.bias_e)
-        if charge_network:
+        if charge_network and failed:
+            report = simulate_masked_hybrid_aggregation(
+                self.network, self.tree, self.model.config.latent_dim,
+                failed=failed, values_per_node=1,
+                value_bytes=self.network.value_bytes,
+                kind="compressed_round")
+        elif charge_network:
             report = simulate_hybrid_aggregation(
                 self.network, self.tree, self.model.config.latent_dim,
                 values_per_node=1, value_bytes=self.network.value_bytes,
                 kind="compressed_round")
         else:
             report = AggregationReport()
-        return CompressedRound(latent, report)
+        return CompressedRound(latent, report, tuple(sorted(contributors)))
 
     def centralized_latent(self, readings: Dict[int, float]) -> np.ndarray:
         """Reference eq. (1) computation for equivalence checks."""

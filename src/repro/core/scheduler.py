@@ -43,6 +43,22 @@ registered clusters are architecture-homogeneous with a uniform batch
 size, and falls back to ``sequential`` otherwise (heterogeneous models,
 exotic losses, data shorter than one batch).
 
+* ``event`` — the unreliable-world engine: rounds execute on the
+  :mod:`repro.sim.events` discrete-event kernel, completing
+  asynchronously at simulated-clock times.  Uplinks/downlinks may run
+  over lossy :class:`~repro.sim.channel.UnreliableChannel`\\ s (ARQ
+  retransmissions lengthen rounds, radiate extra ledger bytes and drain
+  the aggregator battery; a round whose transfer exhausts its ARQ
+  budget *fails* — time and energy spent, no training update), a
+  declarative :class:`~repro.sim.faults.FaultSchedule` can kill
+  devices/aggregators, brown out batteries and straggle clusters
+  mid-run, and a :class:`ResilientOrchestrationPolicy` decides how
+  training proceeds with degraded clusters (failover vs. retire,
+  straggler tolerance, fleet-wide quorum).  With zero faults and zero
+  loss this engine reproduces the sequential engine's per-cluster
+  trajectories, transmission ledger and modeled clock exactly — the
+  correctness anchor mirroring the batched engine's contract.
+
 Determinism note: each cluster draws its minibatches from its own
 ``stream_rng`` (seeded from the scheduler RNG at registration), so the
 data a cluster sees does not depend on the policy's interleaving — the
@@ -57,16 +73,28 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..sim.channel import ChannelSpec
+from ..sim.events import EventScheduler
+from ..sim.faults import FaultInjector, FaultSchedule
+from ..wsn.clustering import select_aggregator
+from ..wsn.energy import Battery, BatteryDepletedError, RadioEnergyModel
 from .fleet import FleetIncompatibilityError, FleetTrainer, fleet_compatible
 from .orchestrator import OrchestratedTrainer, RoundRecord, TrainingHistory
 
 _POLICIES = ("fifo", "round_robin", "loss_priority", "deadline")
-_ENGINES = ("auto", "sequential", "batched")
+_ENGINES = ("auto", "sequential", "batched", "event")
 
 
 @dataclass
 class ScheduledCluster:
-    """One cluster's training session under the scheduler."""
+    """One cluster's training session under the scheduler.
+
+    ``positions`` (optional ``(input_dim, 2)`` device coordinates) let
+    the event engine re-run the paper's proximity rule when the
+    aggregator dies; ``aggregator_battery_j`` bounds the radio energy
+    the aggregator can spend on backhaul traffic before the cluster
+    drops out (event engine only — the ideal engines never drain it).
+    """
 
     name: str
     trainer: OrchestratedTrainer
@@ -76,6 +104,8 @@ class ScheduledCluster:
     rounds_completed: int = 0
     history: TrainingHistory = None
     stream_rng: Optional[np.random.Generator] = None
+    positions: Optional[np.ndarray] = None
+    aggregator_battery_j: float = 1e9
     _cursor: int = 0
 
     def __post_init__(self):
@@ -84,6 +114,12 @@ class ScheduledCluster:
             self.history = TrainingHistory(self.name)
         if self.stream_rng is None:
             self.stream_rng = np.random.default_rng()
+        if self.positions is not None:
+            self.positions = np.asarray(self.positions, dtype=float)
+            if self.positions.shape != (self.trainer.input_dim, 2):
+                raise ValueError(
+                    f"positions must be ({self.trainer.input_dim}, 2), got "
+                    f"{self.positions.shape}")
         self._order = np.arange(len(self.data))
 
     def next_batch(self, rng: Optional[np.random.Generator] = None) -> np.ndarray:
@@ -113,6 +149,59 @@ class ScheduledCluster:
         return self.history.rounds[-1].train_loss
 
 
+@dataclass(frozen=True)
+class ResilientOrchestrationPolicy:
+    """How the event engine keeps training when clusters degrade.
+
+    Parameters
+    ----------
+    on_aggregator_death:
+        ``"replace"`` — fail over by re-running the paper's proximity
+        rule (:func:`~repro.wsn.clustering.select_aggregator`) over the
+        surviving devices, paying ``failover_downtime_s``;
+        ``"skip"`` — retire the cluster.
+    on_straggler:
+        ``"wait"`` — keep scheduling a straggling cluster (its rounds
+        just take ``slow_factor`` longer); ``"skip"`` — retire it once
+        its slowdown reaches ``straggler_cutoff``.
+    min_device_fraction:
+        A cluster whose live-device fraction drops below this is
+        retired (too few contributors for a meaningful partial sum).
+    quorum:
+        Fleet-wide rule: halt the whole run when the fraction of
+        clusters still alive falls below this (0 disables).
+    max_consecutive_failures:
+        Retire a cluster after this many consecutive round failures
+        (uplink/downlink never delivered within the ARQ budget).
+    failover_downtime_s:
+        Simulated seconds a cluster is unavailable while a replacement
+        aggregator is elected and re-provisioned.
+    """
+
+    on_aggregator_death: str = "replace"
+    on_straggler: str = "wait"
+    straggler_cutoff: float = 8.0
+    min_device_fraction: float = 0.5
+    quorum: float = 0.0
+    max_consecutive_failures: int = 8
+    failover_downtime_s: float = 5.0
+
+    def __post_init__(self):
+        if self.on_aggregator_death not in ("replace", "skip"):
+            raise ValueError("on_aggregator_death must be 'replace' or 'skip'")
+        if self.on_straggler not in ("wait", "skip"):
+            raise ValueError("on_straggler must be 'wait' or 'skip'")
+        if not 0.0 <= self.min_device_fraction <= 1.0:
+            raise ValueError("min_device_fraction must be in [0, 1]")
+        if not 0.0 <= self.quorum <= 1.0:
+            raise ValueError("quorum must be in [0, 1]")
+        if self.max_consecutive_failures < 1:
+            raise ValueError("max_consecutive_failures must be >= 1")
+        if self.failover_downtime_s < 0 or self.straggler_cutoff < 1.0:
+            raise ValueError("failover_downtime_s must be >= 0 and "
+                             "straggler_cutoff >= 1")
+
+
 @dataclass
 class ScheduleReport:
     """Outcome of one scheduling run.
@@ -121,6 +210,12 @@ class ScheduleReport:
     contended) clock at which each of its rounds finished — the fairness
     signal policies differ on, since per-cluster trajectories themselves
     are schedule-independent.
+
+    The event engine additionally fills the resilience fields:
+    ``failed_rounds`` (rounds whose transfers exhausted their ARQ
+    budget), ``dead_clusters`` (name -> reason it left the fleet),
+    ``energy_j`` (aggregator backhaul radio energy actually drained)
+    and ``halted`` (the quorum rule stopped the run early).
     """
 
     policy: str
@@ -131,6 +226,11 @@ class ScheduleReport:
     deadline_misses: List[str] = field(default_factory=list)
     engine: str = "sequential"
     completion_times: Dict[str, List[float]] = field(default_factory=dict)
+    failed_rounds: Dict[str, int] = field(default_factory=dict)
+    dead_clusters: Dict[str, str] = field(default_factory=dict)
+    energy_j: Dict[str, float] = field(default_factory=dict)
+    halted: bool = False
+    faults_applied: int = 0
 
     @property
     def mean_final_loss(self) -> float:
@@ -151,6 +251,149 @@ class ScheduleReport:
         return None
 
 
+class _EventClusterState:
+    """Mutable per-cluster world state under the event engine.
+
+    Implements the :class:`repro.sim.faults.FaultTarget` protocol, so a
+    :class:`~repro.sim.faults.FaultInjector` mutates it directly when
+    the simulated clock reaches each scheduled fault.
+    """
+
+    def __init__(self, cluster: ScheduledCluster,
+                 resilience: ResilientOrchestrationPolicy,
+                 sim: EventScheduler,
+                 channels: Optional[ChannelSpec],
+                 rng: np.random.Generator,
+                 backhaul_distance_m: float):
+        self.cluster = cluster
+        self.resilience = resilience
+        self.sim = sim
+        trainer = cluster.trainer
+        self.alive_mask = np.ones(trainer.input_dim, dtype=bool)
+        self.aggregator_device = (
+            int(select_aggregator(cluster.positions))
+            if cluster.positions is not None else 0)
+        self.slow_factor = 1.0
+        self.dead = False
+        self.dead_reason: Optional[str] = None
+        self.consecutive_failures = 0
+        self.failed_rounds = 0
+        self.failovers = 0
+        self.ready_at = 0.0
+        self.battery = Battery(cluster.aggregator_battery_j)
+        self.radio = RadioEnergyModel()
+        self.radio_energy_j = 0.0
+        self.backhaul_m = backhaul_distance_m
+        if channels is not None:
+            self.up_channel = channels.build(
+                trainer.timing.up, np.random.default_rng(rng.integers(2 ** 63)))
+            self.down_channel = channels.build(
+                trainer.timing.down,
+                np.random.default_rng(rng.integers(2 ** 63)))
+        else:
+            self.up_channel = None
+            self.down_channel = None
+
+    # -- transmissions -------------------------------------------------
+    def transmit_up(self, payload_bytes: int):
+        return self._transmit(self.up_channel, self.cluster.trainer.timing.up,
+                              payload_bytes)
+
+    def transmit_down(self, payload_bytes: int):
+        return self._transmit(self.down_channel,
+                              self.cluster.trainer.timing.down, payload_bytes)
+
+    @staticmethod
+    def _transmit(channel, link, payload_bytes: int):
+        if channel is not None:
+            return channel.transmit(payload_bytes)
+        from ..sim.channel import TransmitResult
+        wire = link.wire_bytes(payload_bytes)
+        return TransmitResult(payload_bytes, link.frames_for(payload_bytes),
+                              link.frames_for(payload_bytes), 0, True, wire,
+                              link.transfer_time(payload_bytes), wire)
+
+    # -- energy --------------------------------------------------------
+    def charge_backhaul(self, tx_wire_bytes: int, rx_wire_bytes: int) -> None:
+        """Drain the aggregator battery for radiated + received bytes."""
+        joules = (self.radio.tx_energy(tx_wire_bytes * 8, self.backhaul_m)
+                  + self.radio.rx_energy(rx_wire_bytes * 8))
+        self.radio_energy_j += joules
+        try:
+            self.battery.drain(joules)
+        except BatteryDepletedError:
+            self.battery.remaining_j = 0.0
+            self.retire("aggregator battery depleted")
+
+    # -- round-failure bookkeeping ------------------------------------
+    def round_failed(self) -> None:
+        self.failed_rounds += 1
+        self.consecutive_failures += 1
+        if self.consecutive_failures >= self.resilience.max_consecutive_failures:
+            self.retire("link unusable (consecutive round failures)")
+
+    def round_succeeded(self) -> None:
+        self.consecutive_failures = 0
+
+    @property
+    def device_fraction(self) -> float:
+        return float(self.alive_mask.mean())
+
+    def retire(self, reason: str) -> None:
+        if not self.dead:
+            self.dead = True
+            self.dead_reason = reason
+
+    # -- FaultTarget protocol ------------------------------------------
+    def kill_device(self, device: int) -> None:
+        if not 0 <= device < self.alive_mask.size:
+            raise IndexError(f"cluster {self.cluster.name!r} has no device "
+                             f"{device}")
+        self.alive_mask[device] = False
+        if device == self.aggregator_device:
+            self._aggregator_failover()
+        if self.device_fraction < self.resilience.min_device_fraction:
+            self.retire("device attrition below quorum")
+
+    def revive_device(self, device: int) -> None:
+        self.alive_mask[device] = True
+
+    def kill_aggregator(self) -> None:
+        self.kill_device(self.aggregator_device)
+
+    def brownout(self, fraction: float) -> None:
+        self.battery.remaining_j *= fraction
+        if self.battery.remaining_j <= 0.0:
+            self.retire("brownout drained the aggregator battery")
+
+    def set_slow_factor(self, factor: float) -> None:
+        self.slow_factor = factor
+        if (self.resilience.on_straggler == "skip"
+                and factor >= self.resilience.straggler_cutoff):
+            self.retire("straggling beyond cutoff")
+
+    def kill_cluster(self) -> None:
+        self.retire("cluster killed by fault schedule")
+
+    def _aggregator_failover(self) -> None:
+        if self.resilience.on_aggregator_death == "skip":
+            self.retire("aggregator died (policy: skip)")
+            return
+        alive = np.flatnonzero(self.alive_mask)
+        if alive.size == 0:
+            self.retire("no surviving device to promote")
+            return
+        if self.cluster.positions is not None:
+            local = select_aggregator(self.cluster.positions[alive])
+            self.aggregator_device = int(alive[local])
+        else:
+            self.aggregator_device = int(alive[0])
+        self.failovers += 1
+        # Re-election + re-provisioning keeps the cluster off the air.
+        self.ready_at = max(self.ready_at, self.sim.now) \
+            + self.resilience.failover_downtime_s
+
+
 class EdgeTrainingScheduler:
     """Time-shares one edge server across many cluster training sessions.
 
@@ -162,32 +405,65 @@ class EdgeTrainingScheduler:
         Root generator; per-cluster minibatch streams are seeded from it
         at registration.
     engine:
-        ``auto`` (default), ``sequential`` or ``batched`` — see the
-        module docstring.  ``batched`` raises if the clusters cannot be
-        stacked; ``auto`` silently falls back to ``sequential``.
+        ``auto`` (default), ``sequential``, ``batched`` or ``event`` —
+        see the module docstring.  ``batched`` raises if the clusters
+        cannot be stacked; ``auto`` silently falls back to
+        ``sequential``.  Faults and unreliable channels require
+        ``event``.
+    fault_schedule:
+        Declarative :class:`~repro.sim.faults.FaultSchedule` injected at
+        simulated times (event engine only).
+    resilience:
+        :class:`ResilientOrchestrationPolicy` governing degraded-cluster
+        decisions; defaults to replace-and-wait with no quorum.
+    channels:
+        :class:`~repro.sim.channel.ChannelSpec` wrapping every cluster's
+        uplink and downlink in unreliable channels (event engine only;
+        ``None`` keeps links ideal).
+    backhaul_distance_m:
+        Modeled aggregator <-> edge distance used to price backhaul
+        radio energy under the event engine.
     """
 
     def __init__(self, policy: str = "round_robin",
                  rng: Optional[np.random.Generator] = None,
-                 engine: str = "auto"):
+                 engine: str = "auto",
+                 fault_schedule: Optional[FaultSchedule] = None,
+                 resilience: Optional[ResilientOrchestrationPolicy] = None,
+                 channels: Optional[ChannelSpec] = None,
+                 backhaul_distance_m: float = 100.0):
         if policy not in _POLICIES:
             raise ValueError(f"unknown policy {policy!r}; choose from {_POLICIES}")
         if engine not in _ENGINES:
             raise ValueError(f"unknown engine {engine!r}; choose from {_ENGINES}")
+        degraded = bool(fault_schedule) or (channels is not None
+                                            and not channels.ideal)
+        if degraded and engine != "event":
+            raise ValueError(
+                "fault schedules and unreliable channels require "
+                "engine='event'; the sequential/batched engines model an "
+                "ideal synchronous world")
         self.policy = policy
         self.engine = engine
         self.rng = rng or np.random.default_rng()
         self.clusters: List[ScheduledCluster] = []
+        self.fault_schedule = fault_schedule or FaultSchedule()
+        self.resilience = resilience or ResilientOrchestrationPolicy()
+        self.channels = channels
+        self.backhaul_distance_m = backhaul_distance_m
 
     def add_cluster(self, name: str, trainer: OrchestratedTrainer,
                     data: np.ndarray, batch_size: int = 32,
-                    deadline_s: Optional[float] = None) -> ScheduledCluster:
+                    deadline_s: Optional[float] = None,
+                    positions: Optional[np.ndarray] = None,
+                    aggregator_battery_j: float = 1e9) -> ScheduledCluster:
         """Register a cluster's training session."""
         if any(c.name == name for c in self.clusters):
             raise ValueError(f"duplicate cluster name {name!r}")
         stream = np.random.default_rng(self.rng.integers(2 ** 63))
         cluster = ScheduledCluster(name, trainer, data, batch_size, deadline_s,
-                                   stream_rng=stream)
+                                   stream_rng=stream, positions=positions,
+                                   aggregator_battery_j=aggregator_battery_j)
         self.clusters.append(cluster)
         return cluster
 
@@ -242,6 +518,8 @@ class EdgeTrainingScheduler:
             raise RuntimeError("no clusters registered")
         if rounds_per_cluster <= 0:
             raise ValueError("rounds_per_cluster must be positive")
+        if self.engine == "event":
+            return self._run_event(rounds_per_cluster)
         if self.engine == "batched":
             self._check_batch_geometry()
         if self.engine == "batched" or (self.engine == "auto"
@@ -300,6 +578,176 @@ class EdgeTrainingScheduler:
             deadline_misses=misses,
             engine="sequential",
             completion_times=completion,
+        )
+
+    # ------------------------------------------------------------------
+    # Event engine: asynchronous rounds on the discrete-event kernel
+    # ------------------------------------------------------------------
+    def _run_event(self, rounds_per_cluster: int) -> ScheduleReport:
+        """Drive training on the :mod:`repro.sim.events` kernel.
+
+        The edge server is one simulated process; fault injections are
+        independent events interleaved by the kernel at their scheduled
+        times.  Clock bookkeeping mirrors :meth:`_run_sequential`'s
+        arithmetic exactly (an exact ``edge_clock`` mirror is kept
+        alongside the kernel clock, so the zero-fault run is bit-equal,
+        not merely close) while degraded rounds stretch, fail or retire
+        clusters per the resilience policy.
+        """
+        sim = EventScheduler()
+        states: Dict[str, _EventClusterState] = {
+            c.name: _EventClusterState(c, self.resilience, sim, self.channels,
+                                       self.rng, self.backhaul_distance_m)
+            for c in self.clusters}
+        injector = FaultInjector(self.fault_schedule, states)
+        injector.arm(sim)
+
+        budget = {c.name: rounds_per_cluster for c in self.clusters}
+        completion: Dict[str, List[float]] = {c.name: [] for c in self.clusters}
+        misses: List[str] = []
+        edge_busy = [0.0]
+        edge_clock = [0.0]       # exact mirror of the sequential arithmetic
+        halted = [False]
+
+        def spend_round(cluster: ScheduledCluster,
+                        state: _EventClusterState) -> None:
+            """Consume one budget slot and settle the deadline check.
+
+            Failed rounds burn budget too, so the deadline verdict must
+            fire on whichever path exhausts the budget — not only the
+            success path (the sequential engine has no failure paths,
+            so its single check is equivalent).
+            """
+            budget[cluster.name] -= 1
+            if cluster.deadline_s is not None \
+                    and budget[cluster.name] == 0 \
+                    and state.ready_at > cluster.deadline_s \
+                    and cluster.name not in misses:
+                misses.append(cluster.name)
+
+        def edge_process():
+            while True:
+                alive = [c for c in self.clusters if not states[c.name].dead]
+                if (self.resilience.quorum > 0.0 and self.clusters
+                        and len(alive) / len(self.clusters)
+                        < self.resilience.quorum):
+                    halted[0] = True
+                    break
+                pending = [c for c in alive if budget[c.name] > 0]
+                if not pending:
+                    break
+                cluster = self._pick(pending, budget, edge_clock[0])
+                state = states[cluster.name]
+                start = max(edge_clock[0], state.ready_at)
+                if start > sim.now:
+                    yield start - sim.now
+                    # Faults may have fired while the edge waited.
+                    if state.dead:
+                        continue
+                    if state.ready_at > start + 1e-9:
+                        continue   # failover downtime pushed it back out
+                trainer = cluster.trainer
+                costs = trainer.round_costs(cluster.batch_size)
+                timing = costs.timing
+                agg_s = timing.aggregator_compute_s * state.slow_factor
+
+                up = state.transmit_up(costs.up_bytes)
+                if not up.delivered:
+                    # ARQ budget exhausted: the round is lost before the
+                    # edge ever sees it.  Time and energy are spent.
+                    trainer.ledger.record(0, -1, 0, up.wire_bytes,
+                                          "latent_uplink_failed",
+                                          up.elapsed_s, up.attempts, False)
+                    trainer.clock_s += agg_s + up.elapsed_s
+                    state.charge_backhaul(up.wire_bytes, 0)
+                    state.round_failed()
+                    state.ready_at = start + agg_s + up.elapsed_s
+                    spend_round(cluster, state)
+                    continue
+
+                down = state.transmit_down(costs.down_bytes)
+                edge_clock[0] = start + timing.edge_compute_s
+                edge_busy[0] += timing.edge_compute_s
+                yield timing.edge_compute_s
+
+                if not down.delivered:
+                    # Edge decoded, but reconstructions/gradients never
+                    # reached the aggregator: no update on either side.
+                    trainer.ledger.record(-1, 0, 0, down.wire_bytes,
+                                          "recon_downlink_failed",
+                                          down.elapsed_s, down.attempts,
+                                          False)
+                    trainer.clock_s += (agg_s + up.elapsed_s
+                                        + timing.edge_compute_s
+                                        + down.elapsed_s)
+                    state.charge_backhaul(up.wire_bytes,
+                                          down.received_wire_bytes)
+                    state.round_failed()
+                    state.ready_at = edge_clock[0] + agg_s + up.elapsed_s \
+                        + down.elapsed_s
+                    spend_round(cluster, state)
+                    continue
+
+                batch = cluster.next_batch()
+                if not state.alive_mask.all():
+                    # Dead devices contribute nothing: the aggregator's
+                    # stacked vector X is masked (partial-sum semantics
+                    # of the hybrid encode with missing contributors).
+                    batch = batch * state.alive_mask
+                epoch = (cluster.rounds_completed
+                         // cluster.rounds_per_epoch + 1)
+                record = trainer.step(batch, epoch=epoch)
+                extra = ((agg_s - timing.aggregator_compute_s)
+                         + (up.elapsed_s - timing.uplink_s)
+                         + (down.elapsed_s - timing.downlink_s))
+                if extra != 0.0:
+                    # Stragglers and retransmissions stretch the modeled
+                    # round beyond the ideal accounting step() charged.
+                    trainer.clock_s += extra
+                    record.time_s += extra
+                retx_up = up.wire_bytes - costs.up_wire_bytes
+                if retx_up > 0:
+                    trainer.ledger.record(0, -1, 0, retx_up,
+                                          "latent_uplink_retx",
+                                          up.elapsed_s - timing.uplink_s,
+                                          up.retransmissions, True)
+                retx_down = down.wire_bytes - costs.down_wire_bytes
+                if retx_down > 0:
+                    trainer.ledger.record(-1, 0, 0, retx_down,
+                                          "recon_downlink_retx",
+                                          down.elapsed_s - timing.downlink_s,
+                                          down.retransmissions, True)
+                state.charge_backhaul(up.wire_bytes, down.received_wire_bytes)
+                state.round_succeeded()
+                state.ready_at = edge_clock[0] + agg_s + up.elapsed_s \
+                    + down.elapsed_s
+                completion[cluster.name].append(state.ready_at)
+                cluster.history.rounds.append(record)
+                cluster.rounds_completed += 1
+                spend_round(cluster, state)
+
+        sim.process(edge_process())
+        sim.run()
+
+        return ScheduleReport(
+            policy=self.policy,
+            total_edge_time_s=edge_busy[0],
+            makespan_s=max(states[c.name].ready_at for c in self.clusters),
+            rounds_per_cluster={c.name: c.rounds_completed
+                                for c in self.clusters},
+            final_loss_per_cluster={c.name: c.current_loss
+                                    for c in self.clusters},
+            deadline_misses=misses,
+            engine="event",
+            completion_times=completion,
+            failed_rounds={name: st.failed_rounds
+                           for name, st in states.items() if st.failed_rounds},
+            dead_clusters={name: st.dead_reason
+                           for name, st in states.items() if st.dead},
+            energy_j={name: st.radio_energy_j
+                      for name, st in states.items()},
+            halted=halted[0],
+            faults_applied=len(injector.applied),
         )
 
     # ------------------------------------------------------------------

@@ -19,6 +19,7 @@ from . import (
     finetune_drift,
     multicluster_scaling,
     overhead_analysis,
+    resilience,
 )
 from .common import (
     ExperimentResult,
@@ -39,6 +40,7 @@ EXPERIMENTS = {
     "overhead": overhead_analysis.run,
     "finetune": finetune_drift.run,
     "multicluster": multicluster_scaling.run,
+    "resilience": resilience.run,
 }
 
 __all__ = [
@@ -47,4 +49,5 @@ __all__ = [
     "fig2_reconstruction", "fig3_transmission", "fig4_time_to_loss",
     "fig5_classifier", "fig6_latent_dims", "fig7_noise",
     "fig8_decoder_depth", "finetune_drift", "overhead_analysis",
+    "resilience",
 ]

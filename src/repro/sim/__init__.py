@@ -1,0 +1,45 @@
+"""`repro.sim` — discrete-event runtime for unreliable-network scenarios.
+
+Three layers, each usable on its own:
+
+* :mod:`repro.sim.events` — the simulation kernel (monotonic event
+  queue, simulated clock, generator-based processes);
+* :mod:`repro.sim.channel` — unreliable links (Bernoulli /
+  Gilbert-Elliott frame loss, ARQ retransmission budgets, latency
+  jitter) wrapped around the ideal :class:`~repro.wsn.link.LinkModel`;
+* :mod:`repro.sim.faults` — declarative fault schedules (node death,
+  battery brownout, aggregator failover, stragglers, churn) injected at
+  simulated times.
+
+The scheduler's ``engine="event"`` mode composes all three; with zero
+faults and zero loss it reproduces the sequential engine's ledger and
+modeled clock exactly.
+"""
+
+from .channel import (
+    ARQConfig,
+    BernoulliLoss,
+    ChannelSpec,
+    GilbertElliottLoss,
+    TransmitResult,
+    UnreliableChannel,
+    as_loss_model,
+)
+from .events import Event, EventScheduler, SimulationError
+from .faults import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
+    NetworkFaultTarget,
+    apply_fault,
+    apply_fault_to_network,
+)
+
+__all__ = [
+    "ARQConfig", "BernoulliLoss", "ChannelSpec", "GilbertElliottLoss",
+    "TransmitResult", "UnreliableChannel", "as_loss_model",
+    "Event", "EventScheduler", "SimulationError",
+    "FAULT_KINDS", "FaultEvent", "FaultInjector", "FaultSchedule",
+    "NetworkFaultTarget", "apply_fault", "apply_fault_to_network",
+]

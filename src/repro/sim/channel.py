@@ -1,0 +1,272 @@
+"""Unreliable links: frame loss, ARQ retransmission and latency jitter.
+
+The seed's :class:`~repro.wsn.link.LinkModel` moves every byte
+perfectly.  Real 802.15.4 sensor links and congested backhauls do not,
+and the paper's IoT-edge setting makes loss the interesting regime: a
+dropped latent-uplink frame costs a retransmission (energy + airtime)
+or, past the ARQ budget, the whole round.  This module models that
+per-frame:
+
+* **loss models** — i.i.d. :class:`BernoulliLoss` and the bursty
+  two-state :class:`GilbertElliottLoss` channel (good/bad states with
+  per-state loss rates), the two standard abstractions;
+* **ARQ** — stop-and-wait per frame with a retry budget and an
+  ACK-timeout charge per lost attempt (:class:`ARQConfig`);
+* **jitter** — optional exponential per-frame latency jitter.
+
+Contract with the ideal layer: with no loss events and zero jitter a
+:meth:`UnreliableChannel.transmit` reports *exactly*
+``link.transfer_time(n)`` seconds and ``link.wire_bytes(n)`` bytes —
+the property the event engine's zero-fault equivalence anchor rests on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from ..wsn.link import LinkModel
+
+
+# ----------------------------------------------------------------------
+# Loss models
+# ----------------------------------------------------------------------
+class BernoulliLoss:
+    """Each frame is lost independently with probability ``rate``."""
+
+    def __init__(self, rate: float):
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"loss rate must be in [0, 1), got {rate}")
+        self.rate = rate
+
+    def frame_lost(self, rng: np.random.Generator) -> bool:
+        return bool(self.rate > 0.0 and rng.random() < self.rate)
+
+    def reset(self) -> None:
+        """i.i.d. model: nothing to reset."""
+
+    @property
+    def mean_loss_rate(self) -> float:
+        return self.rate
+
+
+class GilbertElliottLoss:
+    """Two-state bursty loss: a Markov chain over GOOD/BAD channel states.
+
+    Parameters
+    ----------
+    p_good_to_bad / p_bad_to_good:
+        Per-frame transition probabilities of the hidden channel state.
+    loss_good / loss_bad:
+        Frame-loss probability while in each state (classic
+        Gilbert-Elliott; Gilbert's original model is ``loss_good=0``).
+    """
+
+    def __init__(self, p_good_to_bad: float = 0.05,
+                 p_bad_to_good: float = 0.4,
+                 loss_good: float = 0.0, loss_bad: float = 0.8):
+        for name, p in (("p_good_to_bad", p_good_to_bad),
+                        ("p_bad_to_good", p_bad_to_good),
+                        ("loss_good", loss_good), ("loss_bad", loss_bad)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        if p_bad_to_good == 0.0 and loss_bad >= 1.0:
+            raise ValueError("an inescapable always-lossy BAD state never "
+                             "delivers; give p_bad_to_good > 0 or loss_bad < 1")
+        self.p_good_to_bad = p_good_to_bad
+        self.p_bad_to_good = p_bad_to_good
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+        self.bad = False
+
+    def frame_lost(self, rng: np.random.Generator) -> bool:
+        flip = self.p_bad_to_good if self.bad else self.p_good_to_bad
+        if rng.random() < flip:
+            self.bad = not self.bad
+        rate = self.loss_bad if self.bad else self.loss_good
+        return bool(rate > 0.0 and rng.random() < rate)
+
+    def reset(self) -> None:
+        self.bad = False
+
+    @property
+    def mean_loss_rate(self) -> float:
+        """Steady-state frame loss rate of the chain."""
+        denom = self.p_good_to_bad + self.p_bad_to_good
+        if denom == 0.0:
+            return self.loss_good
+        pi_bad = self.p_good_to_bad / denom
+        return (1.0 - pi_bad) * self.loss_good + pi_bad * self.loss_bad
+
+
+LossModelLike = Union[None, float, BernoulliLoss, GilbertElliottLoss]
+
+
+def as_loss_model(loss: LossModelLike):
+    """Coerce ``None`` / a float rate / a model instance to a loss model."""
+    if loss is None:
+        return None
+    if isinstance(loss, (int, float)):
+        return BernoulliLoss(float(loss)) if loss > 0 else None
+    return loss
+
+
+# ----------------------------------------------------------------------
+# ARQ + channel
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ARQConfig:
+    """Stop-and-wait retransmission policy for one link.
+
+    ``max_retries`` counts retransmissions *beyond* the first attempt;
+    each lost attempt additionally costs ``ack_timeout_s`` of waiting
+    before the sender concludes the frame is gone.
+    """
+
+    max_retries: int = 3
+    ack_timeout_s: float = 0.01
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.ack_timeout_s < 0:
+            raise ValueError("ack_timeout_s must be >= 0")
+
+
+@dataclass(frozen=True)
+class TransmitResult:
+    """Outcome of one message transmission over an unreliable channel."""
+
+    payload_bytes: int
+    frames: int          # frames the message fragments into
+    attempts: int        # frame transmissions actually radiated
+    lost_frames: int     # attempts that were lost in flight
+    delivered: bool      # every frame delivered within its ARQ budget?
+    wire_bytes: int      # bytes radiated across all attempts
+    elapsed_s: float     # sender-side elapsed time incl. timeouts/jitter
+    received_wire_bytes: int = 0   # bytes that actually reached the receiver
+    retransmissions: int = 0       # attempts beyond the first, per frame
+
+
+class UnreliableChannel:
+    """A :class:`LinkModel` wrapped with loss, ARQ and jitter.
+
+    Parameters
+    ----------
+    link:
+        The ideal link (bandwidth/latency/framing) being degraded.
+    loss:
+        ``None`` (lossless), a float Bernoulli rate, or a loss model
+        object with ``frame_lost(rng) -> bool``.
+    arq:
+        Retransmission policy; ``None`` uses the default budget.
+    jitter_s:
+        Mean of an exponential extra per-frame delay (0 disables).
+    rng:
+        Generator driving loss and jitter draws (deterministic per seed).
+    """
+
+    def __init__(self, link: LinkModel, loss: LossModelLike = None,
+                 arq: Optional[ARQConfig] = None, jitter_s: float = 0.0,
+                 rng: Optional[np.random.Generator] = None):
+        if jitter_s < 0:
+            raise ValueError("jitter_s must be >= 0")
+        self.link = link
+        self.loss = as_loss_model(loss)
+        self.arq = arq or ARQConfig()
+        self.jitter_s = jitter_s
+        self.rng = rng or np.random.default_rng()
+
+    # ------------------------------------------------------------------
+    def transmit(self, n_bytes: int) -> TransmitResult:
+        """Move ``n_bytes`` across the link, frame by frame with ARQ.
+
+        A message is delivered iff *every* frame is delivered within the
+        retry budget; on a frame giving up, remaining frames are not
+        sent (the sender aborts the message).  Lossless + jitterless
+        transmits reproduce the ideal link's closed-form time and bytes
+        exactly.
+        """
+        if n_bytes < 0:
+            raise ValueError("n_bytes must be non-negative")
+        link = self.link
+        frames = link.frame_sizes(n_bytes)
+        if not frames:
+            return TransmitResult(0, 0, 0, 0, True, 0, 0.0, 0, 0)
+
+        elapsed = link.latency_s
+        wire = 0
+        received = 0
+        attempts = 0
+        lost = 0
+        retransmissions = 0
+        delivered = True
+        for payload in frames:
+            frame_wire = payload + link.header_bytes
+            frame_time = link.frame_time(payload)
+            frame_done = False
+            for attempt in range(self.arq.max_retries + 1):
+                attempts += 1
+                retransmissions += attempt > 0
+                wire += frame_wire
+                elapsed += frame_time
+                if self.jitter_s > 0.0:
+                    elapsed += float(self.rng.exponential(self.jitter_s))
+                if self.loss is not None and self.loss.frame_lost(self.rng):
+                    lost += 1
+                    elapsed += self.arq.ack_timeout_s
+                    continue
+                received += frame_wire
+                frame_done = True
+                break
+            if not frame_done:
+                delivered = False
+                break
+
+        if delivered and lost == 0 and self.jitter_s == 0.0:
+            # Bit-exact agreement with the ideal link (no per-frame
+            # floating-point summation drift on the clean path).
+            elapsed = link.transfer_time(n_bytes)
+            wire = link.wire_bytes(n_bytes)
+            received = wire
+        return TransmitResult(n_bytes, len(frames), attempts, lost,
+                              delivered, wire, elapsed, received,
+                              retransmissions)
+
+    def reset(self) -> None:
+        """Reset bursty loss state (new epoch / new channel realisation)."""
+        if self.loss is not None:
+            self.loss.reset()
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    """Declarative recipe for building per-link unreliable channels.
+
+    Experiments and the scheduler's event engine describe degradation
+    once (`loss rate`, ARQ budget, jitter) and stamp out one channel per
+    cluster/link with independent RNG streams via :meth:`build`.
+
+    ``loss`` may be a float (Bernoulli rate) or a zero-argument factory
+    returning a fresh loss-model instance (needed for stateful
+    Gilbert-Elliott channels, which must not share burst state).
+    """
+
+    loss: Union[float, Callable[[], object], None] = None
+    arq: ARQConfig = field(default_factory=ARQConfig)
+    jitter_s: float = 0.0
+
+    def build(self, link: LinkModel,
+              rng: np.random.Generator) -> UnreliableChannel:
+        loss = self.loss() if callable(self.loss) else self.loss
+        return UnreliableChannel(link, loss=loss, arq=self.arq,
+                                 jitter_s=self.jitter_s, rng=rng)
+
+    @property
+    def ideal(self) -> bool:
+        """True when this spec degrades nothing (lossless, no jitter)."""
+        if callable(self.loss):
+            return False
+        return (self.loss is None or self.loss == 0.0) and self.jitter_s == 0.0

@@ -1,0 +1,265 @@
+"""Declarative fault injection: node death, brownout, failover, churn.
+
+A :class:`FaultSchedule` is a sorted list of :class:`FaultEvent`\\ s —
+"at simulated second 40, device 3 of cluster-1 dies", "at 60, cluster-2
+straggles 6x" — that a :class:`FaultInjector` arms on an
+:class:`~repro.sim.events.EventScheduler`, applying each event to a
+*fault target* when the simulated clock reaches it.
+
+A fault target is anything implementing the small mutation protocol
+below (:class:`FaultTarget`): the scheduler's event engine exposes its
+per-cluster state this way, and :func:`apply_fault_to_network` adapts a
+:class:`~repro.wsn.network.WSNetwork` so the same schedules drive
+single-cluster WSN simulations (aggregator failover there re-runs
+:func:`~repro.wsn.clustering.select_aggregator` over the survivors, as
+the paper's proximity rule prescribes).
+
+Event kinds
+-----------
+``node_death``        device ``device`` stops contributing (and, as a
+                      relay, drops its subtree in masked aggregation)
+``node_revive``       churn: the device rejoins
+``aggregator_death``  the cluster head dies; resilient policies fail
+                      over by re-running aggregator selection
+``brownout``          battery knee: remaining energy multiplies by
+                      ``magnitude`` (0 < m < 1)
+``straggler``         the cluster's compute slows by ``magnitude`` (>= 1)
+``recover``           straggler recovery: slow factor back to 1
+``cluster_death``     the whole cluster leaves the fleet
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Iterator, List, Optional, Protocol
+
+from .events import EventScheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..wsn.network import WSNetwork
+
+FAULT_KINDS = ("node_death", "node_revive", "aggregator_death", "brownout",
+               "straggler", "recover", "cluster_death")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``magnitude`` is kind-specific: brownout keeps that *fraction* of
+    remaining battery; straggler multiplies compute time by it.
+    """
+
+    time_s: float
+    kind: str
+    cluster: str = ""
+    device: Optional[int] = None
+    magnitude: float = 1.0
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; "
+                             f"choose from {FAULT_KINDS}")
+        if self.time_s < 0:
+            raise ValueError("fault time must be non-negative")
+        if self.kind in ("node_death", "node_revive") and self.device is None:
+            raise ValueError(f"{self.kind} needs a device index")
+        if self.kind == "brownout" and not 0.0 <= self.magnitude <= 1.0:
+            raise ValueError("brownout magnitude is the battery fraction "
+                             "kept; must be in [0, 1]")
+        if self.kind == "straggler" and self.magnitude < 1.0:
+            raise ValueError("straggler magnitude is a slowdown factor >= 1")
+
+
+class FaultSchedule:
+    """An immutable, time-sorted collection of fault events."""
+
+    def __init__(self, events: Iterable[FaultEvent] = ()):
+        self.events: List[FaultEvent] = sorted(
+            events, key=lambda e: (e.time_s, e.kind, e.cluster))
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def for_cluster(self, name: str) -> "FaultSchedule":
+        return FaultSchedule(e for e in self.events if e.cluster == name)
+
+    def between(self, t0: float, t1: float) -> List[FaultEvent]:
+        """Events with ``t0 < time_s <= t1`` (the advance-window query)."""
+        return [e for e in self.events if t0 < e.time_s <= t1]
+
+    def clusters(self) -> List[str]:
+        seen: List[str] = []
+        for event in self.events:
+            if event.cluster not in seen:
+                seen.append(event.cluster)
+        return seen
+
+    # ------------------------------------------------------------------
+    # Common scenario builders
+    # ------------------------------------------------------------------
+    @classmethod
+    def first_death(cls, cluster: str, time_s: float,
+                    device: int) -> "FaultSchedule":
+        """The canonical lifetime scenario: one device dies mid-training."""
+        return cls([FaultEvent(time_s, "node_death", cluster, device)])
+
+    @classmethod
+    def attrition(cls, cluster: str, devices: Iterable[int], start_s: float,
+                  interval_s: float) -> "FaultSchedule":
+        """Devices die one by one every ``interval_s`` from ``start_s``."""
+        return cls([FaultEvent(start_s + i * interval_s, "node_death",
+                               cluster, dev)
+                    for i, dev in enumerate(devices)])
+
+    @classmethod
+    def straggler_window(cls, cluster: str, start_s: float, end_s: float,
+                         factor: float) -> "FaultSchedule":
+        """The cluster slows by ``factor`` between ``start_s`` and ``end_s``."""
+        if end_s <= start_s:
+            raise ValueError("straggler window must have end_s > start_s")
+        return cls([FaultEvent(start_s, "straggler", cluster,
+                               magnitude=factor),
+                    FaultEvent(end_s, "recover", cluster)])
+
+    def merged(self, *others: "FaultSchedule") -> "FaultSchedule":
+        events = list(self.events)
+        for other in others:
+            events.extend(other.events)
+        return FaultSchedule(events)
+
+
+class FaultTarget(Protocol):
+    """Mutation protocol a fault-injectable cluster state implements."""
+
+    def kill_device(self, device: int) -> None: ...
+
+    def revive_device(self, device: int) -> None: ...
+
+    def kill_aggregator(self) -> None: ...
+
+    def brownout(self, fraction: float) -> None: ...
+
+    def set_slow_factor(self, factor: float) -> None: ...
+
+    def kill_cluster(self) -> None: ...
+
+
+def apply_fault(event: FaultEvent, target: FaultTarget) -> None:
+    """Dispatch one event onto a fault target."""
+    if event.kind == "node_death":
+        target.kill_device(event.device)
+    elif event.kind == "node_revive":
+        target.revive_device(event.device)
+    elif event.kind == "aggregator_death":
+        target.kill_aggregator()
+    elif event.kind == "brownout":
+        target.brownout(event.magnitude)
+    elif event.kind == "straggler":
+        target.set_slow_factor(event.magnitude)
+    elif event.kind == "recover":
+        target.set_slow_factor(1.0)
+    elif event.kind == "cluster_death":
+        target.kill_cluster()
+    else:  # pragma: no cover - guarded by FaultEvent validation
+        raise ValueError(f"unhandled fault kind {event.kind!r}")
+
+
+@dataclass
+class FaultInjector:
+    """Arms a schedule on a kernel and applies events to named targets.
+
+    ``targets`` maps cluster names to fault targets.  Events naming an
+    unknown cluster raise at :meth:`arm` time (declarative schedules
+    should fail loudly, not silently no-op).  ``applied`` records the
+    events that actually fired, in order — the audit trail experiment
+    reports lean on.
+    """
+
+    schedule: FaultSchedule
+    targets: dict
+    applied: List[FaultEvent] = field(default_factory=list)
+
+    def arm(self, sim: EventScheduler) -> None:
+        unknown = [e.cluster for e in self.schedule
+                   if e.cluster not in self.targets]
+        if unknown:
+            raise KeyError(f"fault schedule names unknown clusters {unknown}; "
+                           f"known: {sorted(self.targets)}")
+        for event in self.schedule:
+            sim.schedule_at(event.time_s, self._fire, event)
+
+    def _fire(self, event: FaultEvent) -> None:
+        apply_fault(event, self.targets[event.cluster])
+        self.applied.append(event)
+
+
+# ----------------------------------------------------------------------
+# WSNetwork adapter
+# ----------------------------------------------------------------------
+class NetworkFaultTarget:
+    """Adapts a :class:`~repro.wsn.network.WSNetwork` to the fault protocol.
+
+    Aggregator death triggers failover: the replacement head is chosen
+    by re-running :func:`~repro.wsn.clustering.select_aggregator` over
+    the surviving devices' positions (proximity rule), mirroring the
+    paper's cluster-head-selection citations.
+    """
+
+    def __init__(self, network: "WSNetwork"):
+        self.network = network
+        self.failovers: List[int] = []
+
+    def kill_device(self, device: int) -> None:
+        self.network.kill_node(device)
+        if device == self.network.aggregator_id:
+            self._failover()
+
+    def revive_device(self, device: int) -> None:
+        self.network.revive_node(device)
+
+    def kill_aggregator(self) -> None:
+        if self.network.aggregator_id is None:
+            raise RuntimeError("network has no aggregator to kill")
+        self.kill_device(self.network.aggregator_id)
+
+    def brownout(self, fraction: float) -> None:
+        for nid in self.network.alive_device_ids:
+            battery = self.network.nodes[nid].battery
+            battery.remaining_j *= fraction
+
+    def set_slow_factor(self, factor: float) -> None:
+        """Networks model no compute; stragglers are a no-op here."""
+
+    def kill_cluster(self) -> None:
+        for nid in list(self.network.alive_device_ids):
+            self.network.kill_node(nid)
+
+    # ------------------------------------------------------------------
+    def _failover(self) -> None:
+        import numpy as np
+
+        from ..wsn.clustering import select_aggregator
+
+        alive = self.network.alive_device_ids
+        if not alive:
+            return
+        positions = np.array([self.network.nodes[n].position for n in alive])
+        replacement = alive[select_aggregator(positions)]
+        self.network.set_aggregator(replacement)
+        self.failovers.append(replacement)
+
+
+def apply_fault_to_network(event: FaultEvent, network: "WSNetwork",
+                           target: Optional[NetworkFaultTarget] = None
+                           ) -> NetworkFaultTarget:
+    """One-shot convenience: apply ``event`` to ``network`` immediately."""
+    target = target or NetworkFaultTarget(network)
+    apply_fault(event, target)
+    return target

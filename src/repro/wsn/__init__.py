@@ -12,8 +12,11 @@ from .aggregation import (
     TDMASchedule,
     build_aggregation_tree,
     hybrid_encode,
+    hybrid_encode_partial,
+    reachable_nodes,
     simulate_encoder_distribution,
     simulate_hybrid_aggregation,
+    simulate_masked_hybrid_aggregation,
     simulate_raw_aggregation,
 )
 from .clustering import (
@@ -40,6 +43,7 @@ from .lifetime import (
 from .link import LinkModel, cloud_uplink, downlink, sensor_link, uplink
 from .network import (
     EDGE_SERVER_ID,
+    DeadNodeError,
     Node,
     NodeRole,
     TransmissionLedger,
@@ -50,8 +54,10 @@ from .network import (
 
 __all__ = [
     "AggregationReport", "AggregationTree", "TDMASchedule",
-    "build_aggregation_tree", "hybrid_encode", "simulate_encoder_distribution",
-    "simulate_hybrid_aggregation", "simulate_raw_aggregation",
+    "build_aggregation_tree", "hybrid_encode", "hybrid_encode_partial",
+    "reachable_nodes", "simulate_encoder_distribution",
+    "simulate_hybrid_aggregation", "simulate_masked_hybrid_aggregation",
+    "simulate_raw_aggregation",
     "cluster_aggregators", "leach_rotation", "lloyd_clusters", "select_aggregator",
     "Battery", "BatteryDepletedError", "RadioEnergyModel",
     "centroid", "distance", "pairwise_distances", "place_clustered",
@@ -59,6 +65,6 @@ __all__ = [
     "LifetimeReport", "compare_lifetime", "lifetime_extension_factor",
     "simulate_lifetime",
     "LinkModel", "cloud_uplink", "downlink", "sensor_link", "uplink",
-    "EDGE_SERVER_ID", "Node", "NodeRole", "TransmissionLedger",
-    "TransmissionRecord", "WSNetwork", "build_cluster",
+    "EDGE_SERVER_ID", "DeadNodeError", "Node", "NodeRole",
+    "TransmissionLedger", "TransmissionRecord", "WSNetwork", "build_cluster",
 ]

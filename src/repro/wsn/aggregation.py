@@ -20,7 +20,7 @@ mitigation the paper attributes to tree aggregation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import AbstractSet, Dict, FrozenSet, List, Optional, Tuple
 
 import networkx as nx
 import numpy as np
@@ -229,15 +229,24 @@ class TDMASchedule:
 
 def _simulate_upward(network: WSNetwork, tree: AggregationTree,
                      values_per_node: Dict[int, int], value_bytes: int,
-                     kind: str) -> AggregationReport:
+                     kind: str,
+                     transmitters: Optional[AbstractSet[int]] = None
+                     ) -> AggregationReport:
     """Charge the network for an upward pass where node ``i`` transmits
-    ``values_per_node[i]`` scalars to its parent; compute slot makespan."""
+    ``values_per_node[i]`` scalars to its parent; compute slot makespan.
+
+    ``transmitters`` restricts the pass to a surviving subset (masked
+    aggregation under faults); other nodes keep their TDMA slots but
+    stay silent.
+    """
     report = AggregationReport(per_node_values=dict(values_per_node))
     schedule = TDMASchedule(tree)
     report.slots = schedule.num_slots
     for slot in schedule.slots:
         slot_time = 0.0
         for node in slot:
+            if transmitters is not None and node not in transmitters:
+                continue
             count = values_per_node.get(node, 0)
             payload = count * value_bytes
             elapsed = network.unicast(node, tree.parent[node], payload,
@@ -303,12 +312,61 @@ def hybrid_encode(tree: AggregationTree, readings: Dict[int, float],
         ``latent`` is the ``M``-vector ``We @ x``; ``sent_counts`` maps
         each non-root node to the scalar count it transmitted.
     """
+    latent, sent, _ = hybrid_encode_partial(tree, readings, weight,
+                                            device_index)
+    return latent, sent
+
+
+def reachable_nodes(tree: AggregationTree,
+                    failed: AbstractSet[int]) -> FrozenSet[int]:
+    """Nodes whose entire path to the root avoids ``failed`` relays.
+
+    A dead interior node severs its subtree: partial sums cannot be
+    forwarded around it (single-parent tree routing), so every
+    descendant is unreachable even if individually alive.  The root is
+    excluded from ``failed`` handling here — a dead root needs
+    aggregator failover first (see :mod:`repro.sim.faults`).
+    """
+    if tree.root in failed:
+        raise ValueError("root (aggregator) is failed; run failover before "
+                         "aggregating")
+    reachable = set()
+    for node in tree.nodes:
+        if node in failed:
+            continue
+        if all(hop not in failed for hop in tree.path_to_root(node)):
+            reachable.add(node)
+    return frozenset(reachable)
+
+
+def hybrid_encode_partial(tree: AggregationTree, readings: Dict[int, float],
+                          weight: np.ndarray, device_index: Dict[int, int],
+                          failed: AbstractSet[int] = frozenset()
+                          ) -> Tuple[np.ndarray, Dict[int, int], FrozenSet[int]]:
+    """Masked eq. (6): distributed encoding with missing contributors.
+
+    Devices in ``failed`` contribute nothing; a failed *relay* also
+    drops its whole subtree (the partial sums have no route up).  The
+    returned latent equals the centralized masked product
+    ``We[:, alive] @ x[alive]`` over the contributing devices exactly.
+
+    Returns
+    -------
+    (latent, sent_counts, contributors):
+        ``latent`` is the ``M``-vector partial sum; ``sent_counts`` maps
+        each transmitting node to the scalar count it sent;
+        ``contributors`` is the set of devices whose readings made it
+        into the latent (the mask the edge needs for decoding QA).
+    """
+    alive = reachable_nodes(tree, failed)
     latent_dim = weight.shape[0]
     raw_carry: Dict[int, List[Tuple[int, float]]] = {}
     coded_carry: Dict[int, np.ndarray] = {}
     sent: Dict[int, int] = {}
 
     for node in tree.post_order():
+        if node not in alive:
+            continue
         raw: List[Tuple[int, float]] = [(node, readings[node])]
         coded: Optional[np.ndarray] = None
         for child in tree.children[node]:
@@ -321,13 +379,43 @@ def hybrid_encode(tree: AggregationTree, readings: Dict[int, float],
             for dev, value in raw:
                 acc = acc + weight[:, device_index[dev]] * value
             if node == tree.root:
-                return acc, sent
+                return acc, sent, alive
             coded_carry[node] = acc
             sent[node] = latent_dim
         else:
             raw_carry[node] = raw
             sent[node] = len(raw)
     raise AssertionError("post_order did not end at the root")
+
+
+def simulate_masked_hybrid_aggregation(network: WSNetwork,
+                                       tree: AggregationTree,
+                                       latent_dim: int,
+                                       failed: AbstractSet[int] = frozenset(),
+                                       values_per_node: int = 1,
+                                       value_bytes: int = 4,
+                                       kind: str = "hybrid_aggregation"
+                                       ) -> AggregationReport:
+    """Cost of one hybrid round when some devices are dead.
+
+    Only reachable, live nodes transmit; a surviving node's scalar count
+    is bounded by the *surviving* portion of its subtree (dead
+    descendants stop contributing values).
+    """
+    if latent_dim <= 0:
+        raise ValueError("latent_dim must be positive")
+    alive = reachable_nodes(tree, failed)
+    surviving_subtree: Dict[int, int] = {}
+    for node in tree.post_order():
+        if node not in alive:
+            continue
+        surviving_subtree[node] = 1 + sum(
+            surviving_subtree.get(child, 0) for child in tree.children[node])
+    counts = {node: min(surviving_subtree[node] * values_per_node, latent_dim)
+              for node in tree.nodes
+              if node != tree.root and node in alive}
+    return _simulate_upward(network, tree, counts, value_bytes, kind,
+                            transmitters=alive)
 
 
 def simulate_encoder_distribution(network: WSNetwork, tree: AggregationTree,

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import List
 
 
 @dataclass(frozen=True)
@@ -50,6 +51,25 @@ class LinkModel:
         if n_bytes == 0:
             return 0
         return math.ceil(n_bytes / self.max_payload_bytes)
+
+    def frame_sizes(self, n_bytes: int) -> List[int]:
+        """Per-frame payload sizes carrying ``n_bytes`` (last may be short).
+
+        Zero payload fragments into zero frames — the model never emits
+        header-only frames.  Per-frame ARQ in
+        :class:`repro.sim.channel.UnreliableChannel` iterates this.
+        """
+        count = self.frames_for(n_bytes)
+        if count == 0:
+            return []
+        full = [self.max_payload_bytes] * (count - 1)
+        return full + [n_bytes - (count - 1) * self.max_payload_bytes]
+
+    def frame_time(self, payload_bytes: int) -> float:
+        """Airtime of one frame (header + payload), excluding access latency."""
+        if payload_bytes < 0:
+            raise ValueError("payload_bytes must be non-negative")
+        return (payload_bytes + self.header_bytes) * 8.0 / self.bandwidth_bps
 
     def wire_bytes(self, n_bytes: int) -> int:
         """Bytes actually put on the air, including frame headers."""

@@ -4,6 +4,15 @@
 one edge server (Fig. 1 of the paper).  Every byte that moves is recorded
 in a :class:`TransmissionLedger` (this is what Fig. 3 plots) and charged
 against node batteries using the first-order radio model.
+
+Unreliable operation: :meth:`WSNetwork.attach_unreliable` wraps any of
+the three link classes in a :class:`repro.sim.channel.UnreliableChannel`
+(frame loss + ARQ + jitter).  The transmit primitives then charge every
+*retransmitted* byte to the sender's battery and the ledger too, and
+records carry ``attempts``/``delivered`` so experiments can separate
+goodput from radiated traffic.  Nodes can die (:meth:`WSNetwork.kill_node`
+— battery depletion or an injected fault); transmissions involving dead
+nodes raise :class:`DeadNodeError`.
 """
 
 from __future__ import annotations
@@ -11,13 +20,20 @@ from __future__ import annotations
 import enum
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
 from .energy import Battery, RadioEnergyModel
 from .geometry import distance, pairwise_distances
 from .link import LinkModel, downlink, sensor_link, uplink
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.channel import ChannelSpec, UnreliableChannel
+
+
+class DeadNodeError(RuntimeError):
+    """Raised when a dead node is asked to transmit or receive."""
 
 
 class NodeRole(enum.Enum):
@@ -54,7 +70,13 @@ class Node:
 
 @dataclass(frozen=True)
 class TransmissionRecord:
-    """One logical message: who, to whom, how many payload bytes, what for."""
+    """One logical message: who, to whom, how many payload bytes, what for.
+
+    ``wire_bytes`` counts every radiated byte including retransmissions;
+    ``attempts`` is the number of frame transmissions that produced it
+    and ``delivered`` whether the message survived its ARQ budget
+    (always ``1``/``True`` on ideal links).
+    """
 
     src: int
     dst: int
@@ -62,6 +84,8 @@ class TransmissionRecord:
     wire_bytes: int
     kind: str
     time_s: float
+    attempts: int = 1
+    delivered: bool = True
 
 
 class TransmissionLedger:
@@ -75,9 +99,11 @@ class TransmissionLedger:
         self.records: List[TransmissionRecord] = []
 
     def record(self, src: int, dst: int, payload_bytes: int, wire_bytes: int,
-               kind: str, time_s: float) -> None:
+               kind: str, time_s: float, attempts: int = 1,
+               delivered: bool = True) -> None:
         self.records.append(TransmissionRecord(src, dst, payload_bytes,
-                                               wire_bytes, kind, time_s))
+                                               wire_bytes, kind, time_s,
+                                               attempts, delivered))
 
     def __len__(self) -> int:
         return len(self.records)
@@ -111,6 +137,19 @@ class TransmissionLedger:
         for record in self.records:
             totals[record.src] += record.wire_bytes
         return dict(totals)
+
+    def delivered_fraction(self, kind: Optional[str] = None) -> float:
+        """Fraction of logical messages that survived their ARQ budget."""
+        relevant = [r for r in self.records
+                    if kind is None or r.kind == kind]
+        if not relevant:
+            return 1.0
+        return sum(r.delivered for r in relevant) / len(relevant)
+
+    def total_attempts(self, kind: Optional[str] = None) -> int:
+        """Frame transmissions radiated (retransmissions included)."""
+        return sum(r.attempts for r in self.records
+                   if kind is None or r.kind == kind)
 
     def merge(self, other: "TransmissionLedger") -> None:
         self.records.extend(other.records)
@@ -164,6 +203,10 @@ class WSNetwork:
         self.value_bytes = value_bytes
         self.ledger = TransmissionLedger()
         self.aggregator_id: Optional[int] = None
+        self.failed_nodes: Set[int] = set()
+        self.sensor_channel: Optional["UnreliableChannel"] = None
+        self.uplink_channel: Optional["UnreliableChannel"] = None
+        self.downlink_channel: Optional["UnreliableChannel"] = None
 
     # ------------------------------------------------------------------
     # Topology
@@ -188,6 +231,56 @@ class WSNetwork:
         self.nodes[node_id].role = NodeRole.AGGREGATOR
         self.aggregator_id = node_id
 
+    # ------------------------------------------------------------------
+    # Liveness and unreliability
+    # ------------------------------------------------------------------
+    @property
+    def alive_device_ids(self) -> List[int]:
+        """Devices that can still transmit (battery left, not failed)."""
+        return [nid for nid in self.device_ids if self.is_alive(nid)]
+
+    def is_alive(self, node_id: int) -> bool:
+        node = self.nodes[node_id]
+        return node_id not in self.failed_nodes and node.battery.remaining_j > 0
+
+    def kill_node(self, node_id: int) -> None:
+        """Mark a device dead (fault injection or battery depletion)."""
+        if node_id not in self.nodes:
+            raise KeyError(f"no node {node_id}")
+        self.failed_nodes.add(node_id)
+
+    def revive_node(self, node_id: int) -> None:
+        """Churn: a previously failed device rejoins the cluster."""
+        if node_id not in self.nodes:
+            raise KeyError(f"no node {node_id}")
+        self.failed_nodes.discard(node_id)
+
+    def attach_unreliable(self, sensor: Optional["ChannelSpec"] = None,
+                          up: Optional["ChannelSpec"] = None,
+                          down: Optional["ChannelSpec"] = None,
+                          rng: Optional[np.random.Generator] = None) -> None:
+        """Wrap link classes in unreliable channels built from specs.
+
+        Each attached channel draws loss/jitter from its own stream of
+        ``rng`` (deterministic per seed).  Passing ``None`` for a link
+        class leaves it ideal.
+        """
+        rng = rng or np.random.default_rng()
+        if sensor is not None:
+            self.sensor_channel = sensor.build(
+                self.sensor_link, np.random.default_rng(rng.integers(2 ** 63)))
+        if up is not None:
+            self.uplink_channel = up.build(
+                self.uplink, np.random.default_rng(rng.integers(2 ** 63)))
+        if down is not None:
+            self.downlink_channel = down.build(
+                self.downlink, np.random.default_rng(rng.integers(2 ** 63)))
+
+    def _require_alive(self, node_id: int) -> Node:
+        if node_id != EDGE_SERVER_ID and not self.is_alive(node_id):
+            raise DeadNodeError(f"node {node_id} is dead")
+        return self.edge if node_id == EDGE_SERVER_ID else self.nodes[node_id]
+
     def connectivity(self) -> "np.ndarray":
         """Boolean adjacency matrix: nodes within radio range."""
         dist = pairwise_distances(self.positions())
@@ -210,6 +303,23 @@ class WSNetwork:
         if not node.is_powered:
             node.battery.drain(joules)
 
+    def _transmit(self, link: LinkModel, channel: Optional["UnreliableChannel"],
+                  payload_bytes: int) -> Tuple[int, int, float, int, bool]:
+        """Move a message over one link class, ideal or unreliable.
+
+        Returns ``(radiated_wire_bytes, received_wire_bytes, elapsed_s,
+        attempts, delivered)``.  Ideal links deliver every frame exactly
+        once; unreliable channels may radiate more (retransmissions) and
+        still fail.
+        """
+        if channel is None:
+            wire = link.wire_bytes(payload_bytes)
+            attempts = max(1, link.frames_for(payload_bytes))
+            return wire, wire, link.transfer_time(payload_bytes), attempts, True
+        result = channel.transmit(payload_bytes)
+        return (result.wire_bytes, result.received_wire_bytes,
+                result.elapsed_s, max(1, result.attempts), result.delivered)
+
     def unicast(self, src: int, dst: int, payload_bytes: int,
                 kind: str = "data", force: bool = False) -> float:
         """Send bytes over one sensor-radio hop; returns transfer seconds.
@@ -217,49 +327,53 @@ class WSNetwork:
         ``force=True`` permits hops beyond the nominal radio range
         (bridged links for stranded nodes raise TX power); the energy
         model's d^4 multipath term makes such hops appropriately costly.
+        With an unreliable sensor channel attached, retransmissions are
+        charged to the sender's battery and the ledger alongside the
+        delivered bytes.
         """
         if src == dst:
             raise ValueError("unicast to self")
-        src_node, dst_node = self.nodes[src], self.nodes[dst]
+        src_node, dst_node = self._require_alive(src), self._require_alive(dst)
         hop = self.link_distance(src, dst)
         if hop > self.comm_range_m + 1e-9 and not force:
             raise ValueError(f"nodes {src} and {dst} are out of radio range "
                              f"({hop:.1f} m > {self.comm_range_m} m)")
-        wire = self.sensor_link.wire_bytes(payload_bytes)
-        bits = wire * 8
-        self._charge(src_node, src_node.radio.tx_energy(bits, hop))
-        self._charge(dst_node, dst_node.radio.rx_energy(bits))
-        elapsed = self.sensor_link.transfer_time(payload_bytes)
-        self.ledger.record(src, dst, payload_bytes, wire, kind, elapsed)
+        wire, received, elapsed, attempts, delivered = self._transmit(
+            self.sensor_link, self.sensor_channel, payload_bytes)
+        self._charge(src_node, src_node.radio.tx_energy(wire * 8, hop))
+        self._charge(dst_node, dst_node.radio.rx_energy(received * 8))
+        self.ledger.record(src, dst, payload_bytes, wire, kind, elapsed,
+                           attempts, delivered)
         return elapsed
 
     def broadcast(self, src: int, payload_bytes: int,
                   kind: str = "broadcast") -> float:
-        """One radio broadcast reaching every in-range neighbour."""
-        src_node = self.nodes[src]
-        neighbor_ids = self.neighbors(src)
-        wire = self.sensor_link.wire_bytes(payload_bytes)
-        bits = wire * 8
-        self._charge(src_node, src_node.radio.tx_energy(bits, self.comm_range_m))
+        """One radio broadcast reaching every in-range live neighbour."""
+        src_node = self._require_alive(src)
+        neighbor_ids = [n for n in self.neighbors(src) if self.is_alive(n)]
+        wire, received, elapsed, attempts, delivered = self._transmit(
+            self.sensor_link, self.sensor_channel, payload_bytes)
+        self._charge(src_node, src_node.radio.tx_energy(wire * 8,
+                                                        self.comm_range_m))
         for nid in neighbor_ids:
-            self._charge(self.nodes[nid], self.nodes[nid].radio.rx_energy(bits))
-        elapsed = self.sensor_link.transfer_time(payload_bytes)
+            self._charge(self.nodes[nid],
+                         self.nodes[nid].radio.rx_energy(received * 8))
         self.ledger.record(src, EDGE_SERVER_ID if not neighbor_ids else neighbor_ids[0],
-                           payload_bytes, wire, kind, elapsed)
+                           payload_bytes, wire, kind, elapsed, attempts,
+                           delivered)
         return elapsed
 
     def uplink_to_edge(self, payload_bytes: int, kind: str = "uplink") -> float:
         """Aggregator -> edge server transfer over the backhaul uplink."""
         if self.aggregator_id is None:
             raise RuntimeError("no aggregator selected")
-        aggregator = self.nodes[self.aggregator_id]
-        wire = self.uplink.wire_bytes(payload_bytes)
-        bits = wire * 8
+        aggregator = self._require_alive(self.aggregator_id)
+        wire, _, elapsed, attempts, delivered = self._transmit(
+            self.uplink, self.uplink_channel, payload_bytes)
         backhaul = distance(aggregator.position, self.edge.position)
-        self._charge(aggregator, aggregator.radio.tx_energy(bits, backhaul))
-        elapsed = self.uplink.transfer_time(payload_bytes)
+        self._charge(aggregator, aggregator.radio.tx_energy(wire * 8, backhaul))
         self.ledger.record(self.aggregator_id, EDGE_SERVER_ID, payload_bytes,
-                           wire, kind, elapsed)
+                           wire, kind, elapsed, attempts, delivered)
         return elapsed
 
     def downlink_from_edge(self, payload_bytes: int,
@@ -267,13 +381,12 @@ class WSNetwork:
         """Edge server -> aggregator transfer over the cheap downlink."""
         if self.aggregator_id is None:
             raise RuntimeError("no aggregator selected")
-        aggregator = self.nodes[self.aggregator_id]
-        wire = self.downlink.wire_bytes(payload_bytes)
-        bits = wire * 8
-        self._charge(aggregator, aggregator.radio.rx_energy(bits))
-        elapsed = self.downlink.transfer_time(payload_bytes)
+        aggregator = self._require_alive(self.aggregator_id)
+        wire, received, elapsed, attempts, delivered = self._transmit(
+            self.downlink, self.downlink_channel, payload_bytes)
+        self._charge(aggregator, aggregator.radio.rx_energy(received * 8))
         self.ledger.record(EDGE_SERVER_ID, self.aggregator_id, payload_bytes,
-                           wire, kind, elapsed)
+                           wire, kind, elapsed, attempts, delivered)
         return elapsed
 
     # ------------------------------------------------------------------
@@ -284,8 +397,8 @@ class WSNetwork:
         return {nid: node.battery.consumed_j for nid, node in self.nodes.items()}
 
     def alive_fraction(self) -> float:
-        """Fraction of devices with battery energy remaining."""
-        alive = sum(1 for n in self.nodes.values() if n.battery.remaining_j > 0)
+        """Fraction of devices still operational (energy left, not failed)."""
+        alive = sum(1 for nid in self.nodes if self.is_alive(nid))
         return alive / len(self.nodes)
 
     def reset_ledger(self) -> TransmissionLedger:

@@ -1,0 +1,311 @@
+"""Event-engine tests: equivalence anchor + resilient orchestration."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EdgeTrainingScheduler,
+    OrcoDCSConfig,
+    OrcoDCSFramework,
+    ResilientOrchestrationPolicy,
+)
+from repro.sim import ARQConfig, ChannelSpec, FaultEvent, FaultSchedule
+from repro.wsn import place_uniform
+
+DIM = 24
+LATENT = 4
+BATCH = 8
+ROWS = 48
+
+
+def build_scheduler(engine, policy="round_robin", clusters=3, seed=0,
+                    with_positions=False, **kwargs):
+    scheduler = EdgeTrainingScheduler(policy, rng=np.random.default_rng(seed),
+                                      engine=engine, **kwargs)
+    for index in range(clusters):
+        config = OrcoDCSConfig(input_dim=DIM, latent_dim=LATENT, seed=index,
+                               noise_sigma=0.05, batch_size=BATCH)
+        data = np.random.default_rng(100 + index).random((ROWS, DIM))
+        positions = (place_uniform(DIM, (80.0, 80.0),
+                                   np.random.default_rng(index))
+                     if with_positions else None)
+        scheduler.add_cluster(f"c{index}", OrcoDCSFramework(config), data,
+                              batch_size=BATCH, positions=positions)
+    return scheduler
+
+
+class TestZeroFaultEquivalence:
+    """The correctness anchor: zero faults, zero loss => sequential run."""
+
+    @pytest.mark.parametrize("policy", ["fifo", "round_robin",
+                                        "loss_priority", "deadline"])
+    def test_trajectories_ledger_and_clock_match(self, policy):
+        sequential = build_scheduler("sequential", policy=policy)
+        report_seq = sequential.run(rounds_per_cluster=10)
+        event = build_scheduler("event", policy=policy)
+        report_ev = event.run(rounds_per_cluster=10)
+
+        assert report_ev.engine == "event"
+        for c_seq, c_ev in zip(sequential.clusters, event.clusters):
+            assert np.abs(c_ev.history.losses
+                          - c_seq.history.losses).max() <= 1e-6
+            assert np.abs(c_ev.history.times
+                          - c_seq.history.times).max() <= 1e-6
+            # Transmission ledgers agree record-for-record.
+            seq_ledger = c_seq.trainer.ledger
+            ev_ledger = c_ev.trainer.ledger
+            assert len(ev_ledger) == len(seq_ledger)
+            assert ev_ledger.total_wire_bytes() == seq_ledger.total_wire_bytes()
+            assert ev_ledger.by_kind() == seq_ledger.by_kind()
+            assert abs(c_ev.trainer.clock_s - c_seq.trainer.clock_s) <= 1e-6
+        assert report_ev.makespan_s == pytest.approx(report_seq.makespan_s,
+                                                     abs=1e-6)
+        assert report_ev.total_edge_time_s == pytest.approx(
+            report_seq.total_edge_time_s, abs=1e-6)
+        for name in report_seq.completion_times:
+            np.testing.assert_allclose(report_ev.completion_times[name],
+                                       report_seq.completion_times[name],
+                                       atol=1e-9, rtol=0)
+
+    def test_no_failures_or_deaths_reported(self):
+        report = build_scheduler("event").run(rounds_per_cluster=5)
+        assert report.failed_rounds == {}
+        assert report.dead_clusters == {}
+        assert not report.halted
+        assert report.faults_applied == 0
+        assert all(e > 0 for e in report.energy_j.values())
+
+    def test_deadline_misses_match_sequential(self):
+        def with_deadlines(engine):
+            scheduler = EdgeTrainingScheduler(
+                "deadline", rng=np.random.default_rng(0), engine=engine)
+            config = OrcoDCSConfig(input_dim=DIM, latent_dim=LATENT, seed=0,
+                                   batch_size=BATCH)
+            data = np.random.default_rng(0).random((ROWS, DIM))
+            scheduler.add_cluster("tight", OrcoDCSFramework(config), data,
+                                  batch_size=BATCH, deadline_s=1e-9)
+            config2 = OrcoDCSConfig(input_dim=DIM, latent_dim=LATENT, seed=1,
+                                    batch_size=BATCH)
+            data2 = np.random.default_rng(1).random((ROWS, DIM))
+            scheduler.add_cluster("loose", OrcoDCSFramework(config2), data2,
+                                  batch_size=BATCH, deadline_s=1e9)
+            return scheduler.run(rounds_per_cluster=3)
+
+        assert with_deadlines("event").deadline_misses \
+            == with_deadlines("sequential").deadline_misses == ["tight"]
+
+
+class TestEngineGuards:
+    def test_faults_require_event_engine(self):
+        schedule = FaultSchedule([FaultEvent(1.0, "cluster_death", "c0")])
+        with pytest.raises(ValueError):
+            EdgeTrainingScheduler("fifo", engine="sequential",
+                                  fault_schedule=schedule)
+
+    def test_lossy_channels_require_event_engine(self):
+        with pytest.raises(ValueError):
+            EdgeTrainingScheduler("fifo", engine="batched",
+                                  channels=ChannelSpec(loss=0.1))
+
+    def test_ideal_channelspec_allowed_anywhere(self):
+        EdgeTrainingScheduler("fifo", engine="sequential",
+                              channels=ChannelSpec())
+
+    def test_positions_shape_validated(self):
+        scheduler = EdgeTrainingScheduler("fifo", engine="event")
+        config = OrcoDCSConfig(input_dim=DIM, latent_dim=LATENT, seed=0)
+        with pytest.raises(ValueError):
+            scheduler.add_cluster("c", OrcoDCSFramework(config),
+                                  np.random.default_rng(0).random((ROWS, DIM)),
+                                  positions=np.zeros((3, 2)))
+
+
+class TestUnreliableChannels:
+    def test_retransmissions_appear_in_ledger_and_clock(self):
+        ideal = build_scheduler("event", seed=0)
+        ideal_report = ideal.run(rounds_per_cluster=8)
+        lossy = build_scheduler("event", seed=0,
+                                channels=ChannelSpec(loss=0.2))
+        lossy_report = lossy.run(rounds_per_cluster=8)
+
+        retx = sum(c.trainer.ledger.total_wire_bytes("latent_uplink_retx")
+                   + c.trainer.ledger.total_wire_bytes("recon_downlink_retx")
+                   for c in lossy.clusters)
+        assert retx > 0
+        assert lossy_report.makespan_s > ideal_report.makespan_s
+        assert sum(lossy_report.energy_j.values()) \
+            > sum(ideal_report.energy_j.values())
+        # Losses are unaffected when every round still delivers: the
+        # channel costs energy and time, not training signal.
+        for c_ideal, c_lossy in zip(ideal.clusters, lossy.clusters):
+            if len(c_ideal.history.losses) == len(c_lossy.history.losses):
+                np.testing.assert_allclose(c_lossy.history.losses,
+                                           c_ideal.history.losses, rtol=1e-12)
+
+    def test_arq_exhaustion_fails_rounds(self):
+        scheduler = build_scheduler(
+            "event", clusters=2,
+            channels=ChannelSpec(loss=0.45, arq=ARQConfig(max_retries=0)),
+            resilience=ResilientOrchestrationPolicy(
+                max_consecutive_failures=1000))
+        report = scheduler.run(rounds_per_cluster=10)
+        assert sum(report.failed_rounds.values()) > 0
+        for cluster in scheduler.clusters:
+            completed = report.rounds_per_cluster[cluster.name]
+            assert completed == len(cluster.history.rounds)
+            assert completed + report.failed_rounds.get(cluster.name, 0) == 10
+        failed_kinds = [k for c in scheduler.clusters
+                        for k in c.trainer.ledger.by_kind()
+                        if k.endswith("_failed")]
+        assert failed_kinds
+
+    def test_flaky_cluster_retired_after_consecutive_failures(self):
+        scheduler = build_scheduler(
+            "event", clusters=2,
+            channels=ChannelSpec(loss=0.9, arq=ARQConfig(max_retries=0)),
+            resilience=ResilientOrchestrationPolicy(
+                max_consecutive_failures=3))
+        report = scheduler.run(rounds_per_cluster=20)
+        assert report.dead_clusters
+        assert any("consecutive" in reason
+                   for reason in report.dead_clusters.values())
+
+
+class TestFaultInjection:
+    def test_node_death_masks_training_but_run_completes(self):
+        faults = FaultSchedule.first_death("c0", 1e-4, device=5)
+        scheduler = build_scheduler("event", fault_schedule=faults)
+        report = scheduler.run(rounds_per_cluster=8)
+        assert report.faults_applied == 1
+        assert report.rounds_per_cluster["c0"] == 8
+        assert np.isfinite(scheduler.clusters[0].history.losses).all()
+
+    def test_aggregator_death_fails_over_with_positions(self):
+        faults = FaultSchedule([FaultEvent(1e-4, "aggregator_death", "c0")])
+        scheduler = build_scheduler(
+            "event", with_positions=True, fault_schedule=faults,
+            resilience=ResilientOrchestrationPolicy(
+                on_aggregator_death="replace", failover_downtime_s=0.01))
+        report = scheduler.run(rounds_per_cluster=6)
+        assert "c0" not in report.dead_clusters
+        assert report.rounds_per_cluster["c0"] == 6
+
+    def test_aggregator_death_skip_policy_retires_cluster(self):
+        faults = FaultSchedule([FaultEvent(1e-4, "aggregator_death", "c0")])
+        scheduler = build_scheduler(
+            "event", fault_schedule=faults,
+            resilience=ResilientOrchestrationPolicy(
+                on_aggregator_death="skip"))
+        report = scheduler.run(rounds_per_cluster=6)
+        assert "c0" in report.dead_clusters
+        assert report.rounds_per_cluster["c0"] < 6
+        # Other clusters keep their full budget.
+        assert report.rounds_per_cluster["c1"] == 6
+
+    def test_attrition_below_quorum_retires_cluster(self):
+        deaths = FaultSchedule.attrition("c0", range(0, 16), 1e-4, 1e-6)
+        scheduler = build_scheduler(
+            "event", fault_schedule=deaths,
+            resilience=ResilientOrchestrationPolicy(min_device_fraction=0.5))
+        report = scheduler.run(rounds_per_cluster=6)
+        assert "c0" in report.dead_clusters
+        assert "attrition" in report.dead_clusters["c0"]
+
+    def test_straggler_stretches_makespan(self):
+        ideal = build_scheduler("event").run(rounds_per_cluster=6)
+        window = FaultSchedule.straggler_window(
+            "c0", 1e-4, ideal.makespan_s, factor=10.0)
+        slow = build_scheduler("event", fault_schedule=window)
+        slow_report = slow.run(rounds_per_cluster=6)
+        assert slow_report.makespan_s > ideal.makespan_s
+        assert slow_report.rounds_per_cluster["c0"] == 6
+
+    def test_straggler_skip_policy_retires(self):
+        window = FaultSchedule([
+            FaultEvent(1e-4, "straggler", "c0", magnitude=10.0)])
+        scheduler = build_scheduler(
+            "event", fault_schedule=window,
+            resilience=ResilientOrchestrationPolicy(on_straggler="skip",
+                                                    straggler_cutoff=8.0))
+        report = scheduler.run(rounds_per_cluster=6)
+        assert "c0" in report.dead_clusters
+
+    def test_quorum_halts_the_fleet(self):
+        faults = FaultSchedule([
+            FaultEvent(1e-4, "cluster_death", "c0"),
+            FaultEvent(2e-4, "cluster_death", "c1"),
+        ])
+        scheduler = build_scheduler(
+            "event", clusters=3, fault_schedule=faults,
+            resilience=ResilientOrchestrationPolicy(quorum=0.5))
+        report = scheduler.run(rounds_per_cluster=50)
+        assert report.halted
+        assert report.rounds_per_cluster["c2"] < 50
+
+    def test_battery_depletion_retires_cluster(self):
+        scheduler = EdgeTrainingScheduler(
+            "round_robin", rng=np.random.default_rng(0), engine="event")
+        config = OrcoDCSConfig(input_dim=DIM, latent_dim=LATENT, seed=0,
+                               batch_size=BATCH)
+        data = np.random.default_rng(0).random((ROWS, DIM))
+        scheduler.add_cluster("tiny-battery", OrcoDCSFramework(config), data,
+                              batch_size=BATCH, aggregator_battery_j=1e-4)
+        report = scheduler.run(rounds_per_cluster=200)
+        assert "tiny-battery" in report.dead_clusters
+        assert "battery" in report.dead_clusters["tiny-battery"]
+        assert report.rounds_per_cluster["tiny-battery"] < 200
+
+    def test_brownout_accelerates_battery_death(self):
+        def run_with(brownout):
+            faults = FaultSchedule(
+                [FaultEvent(1e-6, "brownout", "c", magnitude=0.02)]
+                if brownout else [])
+            scheduler = EdgeTrainingScheduler(
+                "round_robin", rng=np.random.default_rng(0), engine="event",
+                fault_schedule=faults)
+            config = OrcoDCSConfig(input_dim=DIM, latent_dim=LATENT, seed=0,
+                                   batch_size=BATCH)
+            data = np.random.default_rng(0).random((ROWS, DIM))
+            scheduler.add_cluster("c", OrcoDCSFramework(config), data,
+                                  batch_size=BATCH,
+                                  aggregator_battery_j=0.02)
+            return scheduler.run(rounds_per_cluster=400)
+
+        healthy = run_with(brownout=False)
+        browned = run_with(brownout=True)
+        assert browned.rounds_per_cluster["c"] \
+            < healthy.rounds_per_cluster["c"]
+
+
+class TestReviewRegressions:
+    def test_deadline_miss_recorded_when_final_round_fails(self):
+        """A cluster whose last budgeted round is lost to ARQ exhaustion
+        must still be checked against its deadline."""
+        scheduler = EdgeTrainingScheduler(
+            "deadline", rng=np.random.default_rng(0), engine="event",
+            channels=ChannelSpec(loss=0.6, arq=ARQConfig(max_retries=0)),
+            resilience=ResilientOrchestrationPolicy(
+                max_consecutive_failures=1000))
+        config = OrcoDCSConfig(input_dim=DIM, latent_dim=LATENT, seed=0,
+                               batch_size=BATCH)
+        data = np.random.default_rng(0).random((ROWS, DIM))
+        scheduler.add_cluster("doomed", OrcoDCSFramework(config), data,
+                              batch_size=BATCH, deadline_s=1e-9)
+        report = scheduler.run(rounds_per_cluster=6)
+        assert sum(report.failed_rounds.values()) > 0
+        assert "doomed" in report.deadline_misses
+
+    def test_retransmissions_field_exact_on_failure(self):
+        from repro.sim import UnreliableChannel
+        from repro.wsn import LinkModel
+
+        link = LinkModel(bandwidth_bps=8e6, latency_s=0.0,
+                         max_payload_bytes=100, header_bytes=0)
+        channel = UnreliableChannel(link, loss=0.95, rng=np.random.default_rng(0),
+                                    arq=ARQConfig(max_retries=3))
+        result = channel.transmit(1000)
+        assert not result.delivered
+        assert result.retransmissions >= 0
+        # Attempts = one first try per frame reached + the retransmissions.
+        frames_tried = result.attempts - result.retransmissions
+        assert 1 <= frames_tried <= result.frames

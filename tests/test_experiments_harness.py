@@ -94,7 +94,7 @@ class TestScaling:
 class TestRegistry:
     def test_all_figures_registered(self):
         expected = {"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-                    "overhead", "finetune", "multicluster"}
+                    "overhead", "finetune", "multicluster", "resilience"}
         assert expected == set(EXPERIMENTS)
 
     def test_entries_are_callables(self):

@@ -5,6 +5,7 @@ benchmark harness; here we run the analytic/cheap ones to completion and
 assert their shape checks hold.
 """
 
+import numpy as np
 import pytest
 
 from repro.experiments import EXPERIMENTS
@@ -46,3 +47,21 @@ class TestFinetuneDrift:
         result = EXPERIMENTS["finetune"](scale=0.25, seed=0)
         assert result.all_checks_pass, result.checks
         assert result.summary["num_retrains"] >= 1
+
+
+class TestResilience:
+    def test_runs_and_checks_pass(self):
+        result = EXPERIMENTS["resilience"](scale=0.2, seed=0)
+        assert result.all_checks_pass, result.checks
+        # The equivalence anchor is the tentpole contract.
+        assert result.summary["event_vs_sequential_max_loss_divergence"] <= 1e-6
+        assert result.summary["event_vs_sequential_max_clock_divergence_s"] <= 1e-6
+        assert result.summary["event_vs_sequential_ledger_divergence_bytes"] == 0
+
+    def test_loss_sweep_shape(self):
+        result = EXPERIMENTS["resilience"](scale=0.2, seed=1)
+        series = result.series["nmse_vs_loss"]
+        assert series["x"] == [0.0, 0.05, 0.1, 0.2]
+        assert all(np.isfinite(v) for v in series["y"])
+        overhead = result.series["energy_overhead_vs_loss"]["y"]
+        assert overhead[0] == pytest.approx(1.0)

@@ -33,3 +33,65 @@ class TestSerialize:
         path = str(tmp_path / "a" / "b" / "c" / "ckpt")
         nn.save_state(path, {"x": np.zeros(1)})
         assert np.allclose(nn.load_state(path)["x"], 0)
+
+
+class TestDeploymentRoundTrip:
+    """Satellite coverage: checkpoints survive the full deployment path.
+
+    A trained encoder is saved, reloaded into a fresh model, and the
+    *reloaded* weights are distributed column-by-column through an
+    EncoderDeployment — the restored distributed encode must equal the
+    original centralized one bit-for-bit-ish.
+    """
+
+    def _trained_model(self, devices=12, latent=3, seed=0):
+        from repro.core import OrcoDCSConfig
+        from repro.core.autoencoder import AsymmetricAutoencoder
+
+        config = OrcoDCSConfig(input_dim=devices, latent_dim=latent,
+                               seed=seed, noise_sigma=0.0)
+        return AsymmetricAutoencoder(config, np.random.default_rng(seed))
+
+    def _cluster(self, devices=12):
+        from repro.wsn import WSNetwork, build_aggregation_tree
+
+        positions = np.array([[i * 9.0, (i % 4) * 9.0]
+                              for i in range(devices)])
+        network = WSNetwork(positions, comm_range_m=30.0,
+                            battery_capacity_j=50.0)
+        network.set_aggregator(0)
+        return network, build_aggregation_tree(network)
+
+    def test_roundtrip_through_column_distribution(self, tmp_path):
+        from repro.core import OrcoDCSConfig
+        from repro.core.autoencoder import AsymmetricAutoencoder
+        from repro.core.deployment import EncoderDeployment
+
+        model = self._trained_model()
+        path = str(tmp_path / "encoder")
+        nn.save_module(path, model)
+
+        config = OrcoDCSConfig(input_dim=12, latent_dim=3, seed=99,
+                               noise_sigma=0.0)
+        clone = AsymmetricAutoencoder(config, np.random.default_rng(99))
+        nn.load_module(path, clone)
+
+        network, tree = self._cluster()
+        deployment = EncoderDeployment(clone, network, tree)
+        deployment.distribute()
+        readings = {nid: float(np.sin(nid)) for nid in network.device_ids}
+        collected = deployment.compressed_round(readings,
+                                                charge_network=False)
+
+        reference = EncoderDeployment(model, *self._cluster())
+        centralized = reference.centralized_latent(readings)
+        assert np.allclose(collected.latent, centralized, atol=1e-12)
+        assert collected.contributors == tuple(network.device_ids)
+
+    def test_roundtrip_preserves_state_dict_exactly(self, tmp_path):
+        model = self._trained_model(seed=4)
+        path = str(tmp_path / "ckpt")
+        nn.save_module(path, model)
+        state = nn.load_state(path)
+        for name, value in model.state_dict().items():
+            assert np.array_equal(state[name], value)

@@ -1,0 +1,202 @@
+"""Unit tests for unreliable channels: loss models, ARQ, jitter."""
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    ARQConfig,
+    BernoulliLoss,
+    ChannelSpec,
+    GilbertElliottLoss,
+    UnreliableChannel,
+    as_loss_model,
+)
+from repro.wsn import LinkModel, sensor_link, uplink
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestLossModels:
+    def test_bernoulli_rate_statistics(self):
+        loss = BernoulliLoss(0.3)
+        generator = rng(3)
+        hits = sum(loss.frame_lost(generator) for _ in range(20000))
+        assert abs(hits / 20000 - 0.3) < 0.02
+
+    def test_bernoulli_zero_never_loses(self):
+        loss = BernoulliLoss(0.0)
+        generator = rng(0)
+        assert not any(loss.frame_lost(generator) for _ in range(100))
+
+    def test_bernoulli_validation(self):
+        with pytest.raises(ValueError):
+            BernoulliLoss(1.0)
+        with pytest.raises(ValueError):
+            BernoulliLoss(-0.1)
+
+    def test_gilbert_elliott_steady_state(self):
+        loss = GilbertElliottLoss(p_good_to_bad=0.1, p_bad_to_good=0.3,
+                                  loss_good=0.0, loss_bad=0.8)
+        generator = rng(0)
+        hits = sum(loss.frame_lost(generator) for _ in range(40000))
+        assert abs(hits / 40000 - loss.mean_loss_rate) < 0.02
+
+    def test_gilbert_elliott_burstiness(self):
+        """Losses cluster: P(loss | previous loss) >> marginal rate."""
+        loss = GilbertElliottLoss(p_good_to_bad=0.02, p_bad_to_good=0.2,
+                                  loss_good=0.0, loss_bad=0.9)
+        generator = rng(0)
+        draws = [loss.frame_lost(generator) for _ in range(40000)]
+        marginal = np.mean(draws)
+        pairs = [(a, b) for a, b in zip(draws, draws[1:])]
+        after_loss = [b for a, b in pairs if a]
+        assert np.mean(after_loss) > 3 * marginal
+
+    def test_gilbert_elliott_reset(self):
+        loss = GilbertElliottLoss(p_good_to_bad=1.0, p_bad_to_good=0.0,
+                                  loss_bad=0.5)
+        generator = rng(0)
+        loss.frame_lost(generator)
+        assert loss.bad
+        loss.reset()
+        assert not loss.bad
+
+    def test_inescapable_lossy_state_rejected(self):
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(p_bad_to_good=0.0, loss_bad=1.0)
+
+    def test_as_loss_model_coercion(self):
+        assert as_loss_model(None) is None
+        assert as_loss_model(0.0) is None
+        assert isinstance(as_loss_model(0.2), BernoulliLoss)
+        model = GilbertElliottLoss()
+        assert as_loss_model(model) is model
+
+
+class TestIdealEquivalence:
+    """The zero-fault anchor: lossless channels match the ideal link."""
+
+    @pytest.mark.parametrize("n_bytes", [0, 1, 96, 97, 5000])
+    def test_lossless_matches_link_exactly(self, n_bytes):
+        link = sensor_link()
+        channel = UnreliableChannel(link, loss=None, rng=rng(0))
+        result = channel.transmit(n_bytes)
+        assert result.delivered
+        assert result.elapsed_s == link.transfer_time(n_bytes)
+        assert result.wire_bytes == link.wire_bytes(n_bytes)
+        assert result.received_wire_bytes == result.wire_bytes
+        assert result.attempts == result.frames == link.frames_for(n_bytes)
+        assert result.lost_frames == 0
+
+    def test_zero_rate_loss_model_also_exact(self):
+        link = uplink()
+        channel = UnreliableChannel(link, loss=0.0, rng=rng(0))
+        result = channel.transmit(4096)
+        assert result.elapsed_s == link.transfer_time(4096)
+        assert result.wire_bytes == link.wire_bytes(4096)
+
+
+class TestARQ:
+    def test_retransmissions_add_wire_bytes_and_time(self):
+        link = sensor_link()
+        channel = UnreliableChannel(link, loss=0.4, rng=rng(0),
+                                    arq=ARQConfig(max_retries=10,
+                                                  ack_timeout_s=0.005))
+        result = channel.transmit(960)   # 10 frames
+        assert result.delivered
+        assert result.lost_frames > 0
+        assert result.attempts > result.frames
+        assert result.wire_bytes > link.wire_bytes(960)
+        assert result.elapsed_s > link.transfer_time(960)
+        assert result.received_wire_bytes == link.wire_bytes(960)
+
+    def test_budget_exhaustion_fails_delivery(self):
+        link = sensor_link()
+        channel = UnreliableChannel(link, loss=0.95, rng=rng(0),
+                                    arq=ARQConfig(max_retries=1))
+        result = channel.transmit(960)
+        assert not result.delivered
+        # The sender radiated something before giving up, and gave up
+        # before finishing every frame.
+        assert result.attempts >= 2
+        assert result.wire_bytes < link.wire_bytes(960) * 2 + 1000
+
+    def test_zero_retries_single_attempt_per_frame(self):
+        channel = UnreliableChannel(sensor_link(), loss=0.5, rng=rng(0),
+                                    arq=ARQConfig(max_retries=0))
+        result = channel.transmit(96)
+        assert result.attempts == 1
+        assert result.delivered == (result.lost_frames == 0)
+
+    def test_timeout_charged_per_lost_attempt(self):
+        link = LinkModel(bandwidth_bps=8e6, latency_s=0.0,
+                         max_payload_bytes=100, header_bytes=0)
+        channel = UnreliableChannel(link, loss=0.5, rng=rng(3),
+                                    arq=ARQConfig(max_retries=20,
+                                                  ack_timeout_s=1.0))
+        result = channel.transmit(100)
+        expected = result.attempts * link.frame_time(100) \
+            + result.lost_frames * 1.0
+        assert result.elapsed_s == pytest.approx(expected)
+
+    def test_arq_validation(self):
+        with pytest.raises(ValueError):
+            ARQConfig(max_retries=-1)
+        with pytest.raises(ValueError):
+            ARQConfig(ack_timeout_s=-0.1)
+        with pytest.raises(ValueError):
+            UnreliableChannel(sensor_link(), jitter_s=-1.0)
+        with pytest.raises(ValueError):
+            UnreliableChannel(sensor_link()).transmit(-1)
+
+
+class TestJitter:
+    def test_jitter_extends_elapsed_only(self):
+        link = sensor_link()
+        channel = UnreliableChannel(link, jitter_s=0.01, rng=rng(0))
+        result = channel.transmit(960)
+        assert result.delivered
+        assert result.wire_bytes == link.wire_bytes(960)
+        assert result.elapsed_s > link.transfer_time(960)
+
+    def test_jitter_is_deterministic_per_seed(self):
+        results = [UnreliableChannel(sensor_link(), jitter_s=0.01,
+                                     rng=rng(7)).transmit(960).elapsed_s
+                   for _ in range(2)]
+        assert results[0] == results[1]
+
+
+class TestChannelSpec:
+    def test_build_stamps_independent_channels(self):
+        spec = ChannelSpec(loss=0.2)
+        root = rng(0)
+        a = spec.build(sensor_link(), np.random.default_rng(root.integers(2**63)))
+        b = spec.build(sensor_link(), np.random.default_rng(root.integers(2**63)))
+        assert a is not b
+        assert a.transmit(960).wire_bytes != b.transmit(960).wire_bytes \
+            or a.transmit(5000).wire_bytes != b.transmit(5000).wire_bytes
+
+    def test_stateful_loss_needs_factory(self):
+        spec = ChannelSpec(loss=GilbertElliottLoss)
+        channel_a = spec.build(sensor_link(), rng(0))
+        channel_b = spec.build(sensor_link(), rng(1))
+        assert channel_a.loss is not channel_b.loss
+        assert not spec.ideal
+
+    def test_ideal_property(self):
+        assert ChannelSpec().ideal
+        assert ChannelSpec(loss=0.0).ideal
+        assert not ChannelSpec(loss=0.1).ideal
+        assert not ChannelSpec(jitter_s=0.01).ideal
+
+    def test_reset_clears_burst_state(self):
+        channel = UnreliableChannel(
+            sensor_link(),
+            loss=GilbertElliottLoss(p_good_to_bad=1.0, p_bad_to_good=0.1,
+                                    loss_bad=0.5),
+            rng=rng(0))
+        channel.transmit(960)
+        channel.reset()
+        assert not channel.loss.bad

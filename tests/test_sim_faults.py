@@ -1,0 +1,203 @@
+"""Unit tests for declarative fault schedules and injection."""
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    EventScheduler,
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
+    NetworkFaultTarget,
+    apply_fault,
+    apply_fault_to_network,
+)
+from repro.wsn import DeadNodeError, WSNetwork, select_aggregator
+
+
+class RecordingTarget:
+    """Minimal FaultTarget that logs every mutation."""
+
+    def __init__(self):
+        self.calls = []
+
+    def kill_device(self, device):
+        self.calls.append(("kill_device", device))
+
+    def revive_device(self, device):
+        self.calls.append(("revive_device", device))
+
+    def kill_aggregator(self):
+        self.calls.append(("kill_aggregator",))
+
+    def brownout(self, fraction):
+        self.calls.append(("brownout", fraction))
+
+    def set_slow_factor(self, factor):
+        self.calls.append(("set_slow_factor", factor))
+
+    def kill_cluster(self):
+        self.calls.append(("kill_cluster",))
+
+
+class TestFaultEvent:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(1.0, "meteor_strike", "c0")
+
+    def test_node_death_needs_device(self):
+        with pytest.raises(ValueError):
+            FaultEvent(1.0, "node_death", "c0")
+
+    def test_brownout_magnitude_bounds(self):
+        with pytest.raises(ValueError):
+            FaultEvent(1.0, "brownout", "c0", magnitude=1.5)
+
+    def test_straggler_must_slow_down(self):
+        with pytest.raises(ValueError):
+            FaultEvent(1.0, "straggler", "c0", magnitude=0.5)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(-1.0, "cluster_death", "c0")
+
+
+class TestFaultSchedule:
+    def test_events_sorted_by_time(self):
+        schedule = FaultSchedule([
+            FaultEvent(5.0, "cluster_death", "b"),
+            FaultEvent(1.0, "node_death", "a", device=0),
+        ])
+        assert [e.time_s for e in schedule] == [1.0, 5.0]
+        assert len(schedule) == 2 and bool(schedule)
+
+    def test_between_window(self):
+        schedule = FaultSchedule([
+            FaultEvent(t, "cluster_death", "a") for t in (1.0, 2.0, 3.0)])
+        assert [e.time_s for e in schedule.between(1.0, 3.0)] == [2.0, 3.0]
+
+    def test_for_cluster_and_clusters(self):
+        schedule = FaultSchedule([
+            FaultEvent(1.0, "cluster_death", "a"),
+            FaultEvent(2.0, "cluster_death", "b"),
+            FaultEvent(3.0, "recover", "a"),
+        ])
+        assert schedule.clusters() == ["a", "b"]
+        assert len(schedule.for_cluster("a")) == 2
+
+    def test_scenario_builders(self):
+        first = FaultSchedule.first_death("c", 10.0, device=3)
+        assert first.events[0].kind == "node_death"
+        attrition = FaultSchedule.attrition("c", [1, 2, 3], 5.0, 2.0)
+        assert [e.time_s for e in attrition] == [5.0, 7.0, 9.0]
+        window = FaultSchedule.straggler_window("c", 1.0, 4.0, 3.0)
+        assert [e.kind for e in window] == ["straggler", "recover"]
+        with pytest.raises(ValueError):
+            FaultSchedule.straggler_window("c", 4.0, 1.0, 3.0)
+        merged = first.merged(attrition, window)
+        assert len(merged) == 6
+
+    def test_empty_schedule_is_falsy(self):
+        assert not FaultSchedule()
+
+
+class TestInjector:
+    def test_dispatch_covers_all_kinds(self):
+        target = RecordingTarget()
+        events = [
+            FaultEvent(1.0, "node_death", "c", device=2),
+            FaultEvent(2.0, "node_revive", "c", device=2),
+            FaultEvent(3.0, "aggregator_death", "c"),
+            FaultEvent(4.0, "brownout", "c", magnitude=0.5),
+            FaultEvent(5.0, "straggler", "c", magnitude=4.0),
+            FaultEvent(6.0, "recover", "c"),
+            FaultEvent(7.0, "cluster_death", "c"),
+        ]
+        for event in events:
+            apply_fault(event, target)
+        assert target.calls == [
+            ("kill_device", 2), ("revive_device", 2), ("kill_aggregator",),
+            ("brownout", 0.5), ("set_slow_factor", 4.0),
+            ("set_slow_factor", 1.0), ("kill_cluster",)]
+
+    def test_armed_injector_fires_at_simulated_times(self):
+        sim = EventScheduler()
+        target = RecordingTarget()
+        schedule = FaultSchedule([
+            FaultEvent(2.0, "straggler", "c", magnitude=2.0),
+            FaultEvent(1.0, "brownout", "c", magnitude=0.9),
+        ])
+        injector = FaultInjector(schedule, {"c": target})
+        injector.arm(sim)
+        sim.run(until=1.5)
+        assert target.calls == [("brownout", 0.9)]
+        sim.run()
+        assert len(injector.applied) == 2
+        assert injector.applied[0].kind == "brownout"
+
+    def test_unknown_cluster_fails_loudly(self):
+        injector = FaultInjector(
+            FaultSchedule([FaultEvent(1.0, "cluster_death", "ghost")]),
+            {"real": RecordingTarget()})
+        with pytest.raises(KeyError):
+            injector.arm(EventScheduler())
+
+
+class TestNetworkTarget:
+    def make_network(self, n=9):
+        positions = np.array([[i * 10.0, (i % 3) * 10.0] for i in range(n)])
+        network = WSNetwork(positions, comm_range_m=200.0,
+                            battery_capacity_j=5.0)
+        network.set_aggregator(int(select_aggregator(positions)))
+        return network
+
+    def test_node_death_marks_dead(self):
+        network = self.make_network()
+        apply_fault_to_network(
+            FaultEvent(0.0, "node_death", "c", device=2), network)
+        assert not network.is_alive(2)
+        assert 2 not in network.alive_device_ids
+        with pytest.raises(DeadNodeError):
+            network.unicast(2, 3, 10)
+        with pytest.raises(DeadNodeError):
+            network.unicast(3, 2, 10)
+
+    def test_aggregator_death_triggers_proximity_failover(self):
+        network = self.make_network()
+        old_head = network.aggregator_id
+        target = apply_fault_to_network(
+            FaultEvent(0.0, "aggregator_death", "c"), network)
+        assert network.aggregator_id != old_head
+        assert network.is_alive(network.aggregator_id)
+        assert target.failovers == [network.aggregator_id]
+        # The replacement is the proximity-rule winner among survivors.
+        alive = network.alive_device_ids
+        expected = alive[select_aggregator(
+            np.array([network.nodes[n].position for n in alive]))]
+        assert network.aggregator_id == expected
+
+    def test_brownout_scales_batteries(self):
+        network = self.make_network()
+        before = [network.nodes[n].battery.remaining_j
+                  for n in network.device_ids]
+        apply_fault_to_network(
+            FaultEvent(0.0, "brownout", "c", magnitude=0.25), network)
+        after = [network.nodes[n].battery.remaining_j
+                 for n in network.device_ids]
+        assert all(b == pytest.approx(0.25 * a)
+                   for a, b in zip(before, after))
+
+    def test_revive_restores_node(self):
+        network = self.make_network()
+        target = NetworkFaultTarget(network)
+        target.kill_device(4)
+        assert not network.is_alive(4)
+        target.revive_device(4)
+        assert network.is_alive(4)
+
+    def test_kill_cluster_empties_network(self):
+        network = self.make_network()
+        apply_fault_to_network(
+            FaultEvent(0.0, "cluster_death", "c"), network)
+        assert network.alive_device_ids == []
+        assert network.alive_fraction() == 0.0

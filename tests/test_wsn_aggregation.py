@@ -9,8 +9,11 @@ from repro.wsn import (
     WSNetwork,
     build_aggregation_tree,
     hybrid_encode,
+    hybrid_encode_partial,
+    reachable_nodes,
     simulate_encoder_distribution,
     simulate_hybrid_aggregation,
+    simulate_masked_hybrid_aggregation,
     simulate_raw_aggregation,
 )
 
@@ -229,3 +232,103 @@ class TestEncoderDistribution:
         tree = build_aggregation_tree(net)
         simulate_encoder_distribution(net, tree, latent_dim=4)
         assert net.ledger.total_wire_bytes("encoder_distribution") > 0
+
+
+class TestMaskedHybridEncode:
+    def _setup(self, net, latent_dim, seed=0):
+        tree = build_aggregation_tree(net)
+        rng = np.random.default_rng(seed)
+        ids = net.device_ids
+        readings = {nid: float(rng.standard_normal()) for nid in ids}
+        index = {nid: i for i, nid in enumerate(ids)}
+        weight = rng.standard_normal((latent_dim, len(ids)))
+        return tree, readings, index, weight
+
+    def test_no_failures_matches_full_encode(self):
+        net = line_network()
+        tree, readings, index, weight = self._setup(net, latent_dim=3)
+        full, _ = hybrid_encode(tree, readings, weight, index)
+        partial, sent, contributors = hybrid_encode_partial(
+            tree, readings, weight, index)
+        assert np.allclose(partial, full, atol=1e-12)
+        assert contributors == frozenset(tree.nodes)
+
+    def test_dead_leaf_masks_its_column(self):
+        net = grid_network()
+        tree, readings, index, weight = self._setup(net, latent_dim=5)
+        leaves = [n for n in tree.nodes if not tree.children[n]]
+        dead = leaves[0]
+        partial, _, contributors = hybrid_encode_partial(
+            tree, readings, weight, index, failed={dead})
+        assert dead not in contributors
+        stacked = np.array([readings[n] if n in contributors else 0.0
+                            for n in net.device_ids])
+        assert np.allclose(partial, weight @ stacked, atol=1e-10)
+
+    def test_dead_relay_drops_its_subtree(self):
+        net = line_network()   # chain 0-1-2-...-6, root 0
+        tree, readings, index, weight = self._setup(net, latent_dim=3)
+        partial, sent, contributors = hybrid_encode_partial(
+            tree, readings, weight, index, failed={3})
+        # Nodes 3..6 are all severed: 3 is dead, 4-6 route through it.
+        assert contributors == frozenset({0, 1, 2})
+        stacked = np.array([readings[n] if n <= 2 else 0.0
+                            for n in net.device_ids])
+        assert np.allclose(partial, weight @ stacked, atol=1e-10)
+        assert all(n not in sent for n in (3, 4, 5, 6))
+
+    def test_masked_equals_centralized_masked_product(self):
+        net = grid_network()
+        tree, readings, index, weight = self._setup(net, latent_dim=4, seed=3)
+        failed = {7, 12}
+        partial, _, contributors = hybrid_encode_partial(
+            tree, readings, weight, index, failed=failed)
+        alive_cols = sorted(index[n] for n in contributors)
+        stacked = np.array([readings[n] for n in sorted(contributors)])
+        reference = weight[:, alive_cols] @ stacked
+        assert np.allclose(partial, reference, atol=1e-10)
+
+    def test_failed_root_requires_failover(self):
+        net = line_network()
+        tree, readings, index, weight = self._setup(net, latent_dim=3)
+        with pytest.raises(ValueError):
+            hybrid_encode_partial(tree, readings, weight, index, failed={0})
+
+    def test_reachable_nodes_helper(self):
+        tree = AggregationTree({0: None, 1: 0, 2: 1, 3: 1, 4: 0})
+        assert reachable_nodes(tree, set()) == frozenset({0, 1, 2, 3, 4})
+        assert reachable_nodes(tree, {1}) == frozenset({0, 4})
+
+
+class TestMaskedHybridAggregationCost:
+    def test_masked_cost_cheaper_than_full(self):
+        full_net = line_network()
+        full_tree = build_aggregation_tree(full_net)
+        full = simulate_hybrid_aggregation(full_net, full_tree, latent_dim=3)
+
+        masked_net = line_network()
+        masked_tree = build_aggregation_tree(masked_net)
+        masked = simulate_masked_hybrid_aggregation(
+            masked_net, masked_tree, latent_dim=3, failed={4})
+        assert masked.values_transmitted < full.values_transmitted
+        assert masked.wire_bytes < full.wire_bytes
+
+    def test_masked_with_no_failures_matches_full(self):
+        net_a, net_b = line_network(), line_network()
+        tree_a = build_aggregation_tree(net_a)
+        tree_b = build_aggregation_tree(net_b)
+        full = simulate_hybrid_aggregation(net_a, tree_a, latent_dim=3)
+        masked = simulate_masked_hybrid_aggregation(net_b, tree_b,
+                                                    latent_dim=3)
+        assert masked.values_transmitted == full.values_transmitted
+        assert masked.wire_bytes == full.wire_bytes
+
+    def test_surviving_counts_shrink_with_dead_descendants(self):
+        net = line_network()
+        tree = build_aggregation_tree(net)
+        report = simulate_masked_hybrid_aggregation(net, tree, latent_dim=5,
+                                                    failed={5})
+        # Node 4's surviving subtree is itself only (5 and 6 are gone).
+        assert report.per_node_values[4] == 1
+        assert 5 not in report.per_node_values
+        assert 6 not in report.per_node_values

@@ -54,3 +54,62 @@ class TestFactories:
     def test_same_payload_cheaper_on_downlink(self):
         payload = 100_000
         assert downlink().transfer_time(payload) < uplink().transfer_time(payload)
+
+
+class TestFragmentationEdgeCases:
+    """Satellite coverage: zero-byte, exact-fit and near-boundary payloads."""
+
+    def test_zero_byte_payload_has_no_frames(self):
+        link = LinkModel(max_payload_bytes=100, header_bytes=10)
+        assert link.frames_for(0) == 0
+        assert link.frame_sizes(0) == []
+        assert link.wire_bytes(0) == 0
+        assert link.transfer_time(0) == 0.0
+
+    def test_payload_exactly_max_payload_is_one_frame(self):
+        link = LinkModel(max_payload_bytes=96, header_bytes=17)
+        assert link.frames_for(96) == 1
+        assert link.frame_sizes(96) == [96]
+        assert link.wire_bytes(96) == 96 + 17
+
+    def test_payload_one_over_max_spills_a_tiny_frame(self):
+        link = LinkModel(max_payload_bytes=96, header_bytes=17)
+        assert link.frame_sizes(97) == [96, 1]
+        assert link.wire_bytes(97) == 97 + 2 * 17
+
+    def test_exact_multiple_has_no_partial_frame(self):
+        link = LinkModel(max_payload_bytes=100, header_bytes=5)
+        sizes = link.frame_sizes(300)
+        assert sizes == [100, 100, 100]
+
+    def test_no_header_only_frames_ever(self):
+        link = LinkModel(max_payload_bytes=50, header_bytes=9)
+        for n in (0, 1, 49, 50, 51, 99, 100, 101, 1000):
+            assert all(size > 0 for size in link.frame_sizes(n))
+            assert sum(link.frame_sizes(n)) == n
+
+    def test_frame_sizes_consistent_with_wire_bytes(self):
+        link = sensor_link()
+        for n in (0, 1, 95, 96, 97, 4321):
+            sizes = link.frame_sizes(n)
+            assert len(sizes) == link.frames_for(n)
+            rebuilt = sum(sizes) + len(sizes) * link.header_bytes
+            assert rebuilt == link.wire_bytes(n)
+
+    def test_frame_time_matches_transfer_time_decomposition(self):
+        link = sensor_link()
+        n = 1000
+        per_frame = sum(link.frame_time(size) for size in link.frame_sizes(n))
+        assert link.transfer_time(n) == pytest.approx(
+            link.latency_s + per_frame, rel=1e-12)
+
+    def test_frame_time_validation(self):
+        with pytest.raises(ValueError):
+            sensor_link().frame_time(-1)
+
+    def test_header_only_link_configuration(self):
+        """A link whose header dwarfs its payload still fragments sanely."""
+        link = LinkModel(max_payload_bytes=1, header_bytes=40)
+        assert link.frames_for(3) == 3
+        assert link.frame_sizes(3) == [1, 1, 1]
+        assert link.wire_bytes(3) == 3 + 3 * 40

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.wsn import (
+    DeadNodeError,
     NodeRole,
     TransmissionLedger,
     WSNetwork,
@@ -152,3 +153,114 @@ class TestReports:
                             comm_range_m=60.0)
         assert net.aggregator_id is not None
         assert net.nodes[net.aggregator_id].role is NodeRole.AGGREGATOR
+
+
+class TestLiveness:
+    def test_kill_and_revive(self):
+        net = small_network()
+        net.kill_node(2)
+        assert not net.is_alive(2)
+        assert 2 not in net.alive_device_ids
+        assert net.alive_fraction() == pytest.approx(5 / 6)
+        net.revive_node(2)
+        assert net.is_alive(2)
+
+    def test_kill_unknown_node(self):
+        with pytest.raises(KeyError):
+            small_network().kill_node(99)
+        with pytest.raises(KeyError):
+            small_network().revive_node(99)
+
+    def test_dead_node_cannot_transmit_or_receive(self):
+        net = small_network()
+        net.kill_node(1)
+        with pytest.raises(DeadNodeError):
+            net.unicast(1, 2, 10)
+        with pytest.raises(DeadNodeError):
+            net.unicast(2, 1, 10)
+        with pytest.raises(DeadNodeError):
+            net.broadcast(1, 10)
+
+    def test_dead_aggregator_blocks_backhaul(self):
+        net = small_network()
+        net.kill_node(net.aggregator_id)
+        with pytest.raises(DeadNodeError):
+            net.uplink_to_edge(100)
+        with pytest.raises(DeadNodeError):
+            net.downlink_from_edge(100)
+
+    def test_broadcast_skips_dead_neighbors(self):
+        net = small_network(range_m=15.0)
+        net.kill_node(3)
+        consumed_before = net.nodes[3].battery.consumed_j
+        net.broadcast(2, 10)
+        assert net.nodes[3].battery.consumed_j == consumed_before
+
+
+class TestUnreliableTransmit:
+    def _lossy_network(self, loss=0.4, seed=0, **spec_kwargs):
+        from repro.sim import ChannelSpec
+        net = small_network()
+        net.attach_unreliable(sensor=ChannelSpec(loss=loss, **spec_kwargs),
+                              up=ChannelSpec(loss=loss, **spec_kwargs),
+                              down=ChannelSpec(loss=loss, **spec_kwargs),
+                              rng=np.random.default_rng(seed))
+        return net
+
+    def test_retransmissions_charged_to_ledger_and_battery(self):
+        from repro.sim import ARQConfig
+        ideal = small_network()
+        # Deep retry budget: every message is eventually delivered, so
+        # loss shows up purely as extra radiated bytes.
+        lossy = self._lossy_network(arq=ARQConfig(max_retries=25))
+        payload = 5000
+        for _ in range(10):
+            ideal.unicast(1, 2, payload)
+            lossy.unicast(1, 2, payload)
+        assert lossy.ledger.total_wire_bytes() > ideal.ledger.total_wire_bytes()
+        assert lossy.ledger.total_attempts() > ideal.ledger.total_attempts()
+        assert lossy.nodes[1].battery.consumed_j \
+            > ideal.nodes[1].battery.consumed_j
+
+    def test_records_carry_attempts_and_delivery(self):
+        lossy = self._lossy_network(loss=0.6, seed=2)
+        for _ in range(20):
+            lossy.unicast(1, 2, 2000)
+        attempts = [r.attempts for r in lossy.ledger.records]
+        assert max(attempts) > min(attempts)
+        fraction = lossy.ledger.delivered_fraction()
+        assert 0.0 <= fraction <= 1.0
+
+    def test_delivery_failure_recorded_not_raised(self):
+        from repro.sim import ARQConfig, ChannelSpec
+        net = small_network()
+        net.attach_unreliable(
+            sensor=ChannelSpec(loss=0.9, arq=ARQConfig(max_retries=0)),
+            rng=np.random.default_rng(0))
+        for _ in range(20):
+            net.unicast(1, 2, 2000)
+        assert net.ledger.delivered_fraction() < 1.0
+
+    def test_unattached_links_stay_ideal(self):
+        from repro.sim import ChannelSpec
+        net = small_network()
+        net.attach_unreliable(up=ChannelSpec(loss=0.5),
+                              rng=np.random.default_rng(0))
+        elapsed = net.unicast(1, 2, 1000)
+        assert elapsed == net.sensor_link.transfer_time(1000)
+        record = net.ledger.records[-1]
+        assert record.delivered and record.wire_bytes == \
+            net.sensor_link.wire_bytes(1000)
+
+    def test_lossless_channel_matches_ideal_accounting(self):
+        from repro.sim import ChannelSpec
+        ideal = small_network()
+        clean = small_network()
+        clean.attach_unreliable(sensor=ChannelSpec(loss=0.0),
+                                rng=np.random.default_rng(0))
+        t_ideal = ideal.unicast(1, 2, 3000)
+        t_clean = clean.unicast(1, 2, 3000)
+        assert t_ideal == t_clean
+        assert ideal.ledger.total_wire_bytes() == clean.ledger.total_wire_bytes()
+        assert ideal.nodes[1].battery.consumed_j \
+            == clean.nodes[1].battery.consumed_j
