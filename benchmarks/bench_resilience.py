@@ -7,10 +7,15 @@ Acceptance criteria measured directly:
   dispatch must not dominate the autograd work it schedules);
 * a degraded run (20% frame loss + fault schedule) completes and stays
   within a sane overhead envelope — resilience machinery must not blow
-  up the simulation cost.
+  up the simulation cost;
+* **segment batching**: on a 16-cluster fault-only scenario the fused
+  event engine (fault-free spans pre-executed as fleet waves) is at
+  least **3x** faster than the unfused per-round loop, while its
+  modeled clock and ledger stay bit-identical.
 
-Workload geometry mirrors ``benchmarks/bench_multicluster.py``: 8
-clusters of 40 devices, latent 6, minibatches of 8.
+Workload geometry mirrors ``benchmarks/bench_multicluster.py``: 8 (16
+for the fusion acceptance) clusters of 40 devices, latent 6,
+minibatches of 8.
 """
 
 import statistics
@@ -27,6 +32,8 @@ from repro.core import (
 from repro.sim import ChannelSpec, FaultEvent, FaultSchedule
 
 CLUSTERS = 8
+FUSED_CLUSTERS = 16
+FUSED_ROUNDS = 40
 ROUNDS = 25
 DEVICES = 40
 LATENT = 6
@@ -34,11 +41,11 @@ BATCH = 8
 DATA_ROWS = 96
 
 
-def build_scheduler(engine, **kwargs):
+def build_scheduler(engine, clusters=CLUSTERS, **kwargs):
     scheduler = EdgeTrainingScheduler("round_robin",
                                       rng=np.random.default_rng(0),
                                       engine=engine, **kwargs)
-    for index in range(CLUSTERS):
+    for index in range(clusters):
         config = OrcoDCSConfig(input_dim=DEVICES, latent_dim=LATENT,
                                seed=index, noise_sigma=0.05,
                                batch_size=BATCH)
@@ -51,6 +58,25 @@ def build_scheduler(engine, **kwargs):
 def run_engine(engine, **kwargs):
     scheduler = build_scheduler(engine, **kwargs)
     report = scheduler.run(rounds_per_cluster=ROUNDS)
+    return scheduler, report
+
+
+def fault_only_kwargs():
+    """Mid-training faults, lossless channels: the fused engine's home
+    turf (times sized for the 16-cluster x 40-round geometry)."""
+    faults = FaultSchedule([
+        FaultEvent(0.05, "node_death", "cluster-0", device=7),
+        FaultEvent(0.15, "straggler", "cluster-1", magnitude=3.0),
+        FaultEvent(0.35, "recover", "cluster-1"),
+    ])
+    return dict(fault_schedule=faults)
+
+
+def run_fused(segment_batching):
+    scheduler = build_scheduler("event", clusters=FUSED_CLUSTERS,
+                                segment_batching=segment_batching,
+                                **fault_only_kwargs())
+    report = scheduler.run(rounds_per_cluster=FUSED_ROUNDS)
     return scheduler, report
 
 
@@ -76,6 +102,14 @@ class TestEventEngineBenchmarks:
         assert report.engine == "event"
         assert report.faults_applied == 3
         assert report.makespan_s > 0
+
+    def test_event_fused_fault_only_16_clusters(self, run_once):
+        _, report = run_once(run_fused, True)
+        assert report.fused_rounds > 0 and report.segments > 0
+
+    def test_event_unfused_fault_only_16_clusters(self, run_once):
+        _, report = run_once(run_fused, False)
+        assert report.fused_rounds == 0
 
 
 class TestEventEngineAcceptance:
@@ -113,6 +147,53 @@ class TestEventEngineAcceptance:
               f"sequential wall-clock")
         assert degraded_s < 4.0 * sequential_s
         assert all(n > 0 for n in report.rounds_per_cluster.values())
+
+    def test_fused_engine_3x_over_unfused_fault_only(self):
+        """Satellite criterion: segment batching >= 3x at 16 clusters.
+
+        Fault-only scenario (no channel loss): the fused engine
+        pre-executes the fault-free spans as fleet waves; typically
+        lands near 4x on this geometry.
+        """
+        ratios = []
+        for _ in range(3):
+            start = time.perf_counter()
+            run_fused(segment_batching=False)
+            unfused_s = time.perf_counter() - start
+            start = time.perf_counter()
+            _, report = run_fused(segment_batching=True)
+            fused_s = time.perf_counter() - start
+            ratios.append(unfused_s / fused_s)
+        speedup = statistics.median(ratios)
+        print(f"\nsegment-batching speedup at {FUSED_CLUSTERS} clusters "
+              f"(fault-only): {speedup:.2f}x unfused "
+              f"(trials: {', '.join(f'{r:.2f}' for r in ratios)}; "
+              f"{report.fused_rounds} fused rounds in "
+              f"{report.segments} segments)")
+        assert report.fused_rounds > 0
+        assert speedup >= 3.0, \
+            f"segment-batching speedup {speedup:.2f}x < 3x"
+
+    def test_fused_fault_only_run_is_bit_identical(self):
+        """Fused vs unfused on the fault-only scenario: clock, ledger
+        and report bit-identical, losses within GEMM reduction noise."""
+        fused, fused_report = run_fused(segment_batching=True)
+        unfused, unfused_report = run_fused(segment_batching=False)
+        worst = 0.0
+        for c_f, c_u in zip(fused.clusters, unfused.clusters):
+            worst = max(worst, float(np.abs(c_f.history.losses
+                                            - c_u.history.losses).max()))
+            assert np.array_equal(c_f.history.times, c_u.history.times)
+            assert c_f.trainer.ledger.total_wire_bytes() \
+                == c_u.trainer.ledger.total_wire_bytes()
+            assert len(c_f.trainer.ledger) == len(c_u.trainer.ledger)
+        print(f"\nfused-vs-unfused max loss divergence: {worst:.3e}")
+        assert worst <= 1e-9
+        assert fused_report.makespan_s == unfused_report.makespan_s
+        assert fused_report.completion_times \
+            == unfused_report.completion_times
+        assert fused_report.energy_j == unfused_report.energy_j
+        assert fused_report.faults_applied == unfused_report.faults_applied
 
     def test_zero_fault_event_run_matches_sequential(self):
         """The equivalence anchor, asserted at benchmark geometry."""

@@ -1,0 +1,92 @@
+"""Speedup regression gate against the committed benchmark baseline.
+
+Compares the fleet engine's 16-cluster sequential/batched speedup (the
+workload of ``bench_multicluster.py``) against the ratio recorded in
+the committed ``BENCH_multicluster.json`` and fails — exit code 1 —
+when it drops below **80%** of the baseline.  Comparing *ratios* rather
+than absolute times keeps the gate meaningful across machines: CI
+hardware differs from the baseline box, but the engines run on the same
+core, so their relative cost is stable.
+
+The measured side defaults to a fresh interleaved median-of-3 run —
+single-sample timings (like the smoke JSON's one pedantic round per
+engine) are too noisy for a hard gate.  Pass ``--from-json <path>`` to
+reuse an existing pytest-benchmark JSON instead of re-running, e.g. to
+inspect an artifact offline.
+
+Usage (from the repo root, CI's bench-smoke job)::
+
+    PYTHONPATH=src python benchmarks/check_regression.py \
+        [baseline.json] [--from-json measured.json]
+"""
+
+import argparse
+import json
+import pathlib
+import statistics
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from bench_multicluster import CLUSTERS, run_engine  # noqa: E402
+
+REGRESSION_FLOOR = 0.8
+TRIALS = 3
+
+
+def speedup_from_json(path: pathlib.Path) -> float:
+    """Sequential-over-batched mean-time ratio from a benchmark JSON."""
+    with open(path) as handle:
+        data = json.load(handle)
+    means = {bench["name"]: bench["stats"]["mean"]
+             for bench in data["benchmarks"]}
+    return (means["test_sequential_16_clusters"]
+            / means["test_batched_16_clusters"])
+
+
+def measured_speedup(trials: int = TRIALS) -> float:
+    """Interleaved best-of-N timing, as the benchmark itself does."""
+    ratios = []
+    for _ in range(trials):
+        start = time.perf_counter()
+        run_engine("sequential")
+        sequential_s = time.perf_counter() - start
+        start = time.perf_counter()
+        run_engine("batched")
+        batched_s = time.perf_counter() - start
+        ratios.append(sequential_s / batched_s)
+    return statistics.median(ratios)
+
+
+def main() -> int:
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", nargs="?",
+                        default=repo_root / "BENCH_multicluster.json",
+                        type=pathlib.Path,
+                        help="committed baseline JSON (default: repo root)")
+    parser.add_argument("--from-json", type=pathlib.Path, default=None,
+                        help="read the measured speedup from an existing "
+                             "benchmark JSON instead of re-running")
+    args = parser.parse_args()
+
+    baseline = speedup_from_json(args.baseline)
+    floor = REGRESSION_FLOOR * baseline
+    measured = speedup_from_json(args.from_json) if args.from_json \
+        else measured_speedup()
+    verdict = "OK" if measured >= floor else "REGRESSION"
+    print(f"fleet speedup at {CLUSTERS} clusters: measured {measured:.2f}x "
+          f"vs baseline {baseline:.2f}x "
+          f"(floor {REGRESSION_FLOOR:.0%} -> {floor:.2f}x): {verdict}")
+    if measured < floor:
+        print(f"error: measured speedup {measured:.2f}x fell below "
+              f"{floor:.2f}x — the batched engine regressed (or the "
+              f"baseline needs re-committing after a deliberate change)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,8 +15,20 @@ from .finetune import (
     FineTuningMonitor,
     OnlineAdaptationLoop,
 )
-from .fleet import FleetIncompatibilityError, FleetTrainer, fleet_compatible
+from .fleet import (
+    FleetIncompatibilityError,
+    FleetSubset,
+    FleetTrainer,
+    fleet_compatible,
+)
 from .noise import GaussianNoiseInjector
+from .rounds import (
+    IdealRoundLoop,
+    InlineRoundExecutor,
+    SegmentedFleetExecutor,
+    contributor_batch,
+    epoch_of,
+)
 from .scheduler import (
     EdgeTrainingScheduler,
     ResilientOrchestrationPolicy,
@@ -52,8 +64,11 @@ __all__ = [
     "CompressedRound", "EncoderDeployment",
     "AdaptationEvent", "AdaptationLog", "FineTuningMonitor",
     "OnlineAdaptationLoop",
-    "FleetIncompatibilityError", "FleetTrainer", "fleet_compatible",
+    "FleetIncompatibilityError", "FleetSubset", "FleetTrainer",
+    "fleet_compatible",
     "GaussianNoiseInjector",
+    "IdealRoundLoop", "InlineRoundExecutor", "SegmentedFleetExecutor",
+    "contributor_batch", "epoch_of",
     "EdgeTrainingScheduler", "ResilientOrchestrationPolicy",
     "ScheduledCluster", "ScheduleReport", "compare_policies",
     "EpochRecord", "OrchestratedTrainer", "OrcoDCSFramework", "RoundRecord",

@@ -55,7 +55,8 @@ from ..nn.tensor import Tensor
 from ..wsn.network import TransmissionRecord
 from .orchestrator import OrchestratedTrainer, RoundRecord
 
-__all__ = ["FleetTrainer", "FleetIncompatibilityError", "fleet_compatible"]
+__all__ = ["FleetTrainer", "FleetSubset", "FleetIncompatibilityError",
+           "fleet_compatible"]
 
 
 def _check_homogeneous(trainers: Sequence[OrchestratedTrainer]) -> None:
@@ -257,6 +258,37 @@ class FleetTrainer:
         return self.loss.per_cluster(reconstruction, rows).data.copy()
 
     # ------------------------------------------------------------------
+    def subset(self, indices) -> "FleetSubset":
+        """A stacked program over an arbitrary subset of the clusters.
+
+        Returns a lightweight :class:`FleetSubset` view bound to
+        ``indices`` (a sequence of cluster positions or a boolean mask
+        over the fleet).  Nothing is copied: the view executes through
+        this fleet's stacked parameters and optimiser state via the
+        ``active``-slice machinery, so it can be created mid-training at
+        every membership change (the event engine re-slices the
+        surviving clusters at each fault boundary) for the cost of an
+        index array.
+        """
+        index = np.asarray(indices)
+        if index.dtype == bool:
+            if index.shape != (self.num_clusters,):
+                raise ValueError(
+                    f"boolean subset mask must have shape "
+                    f"({self.num_clusters},), got {index.shape}")
+            index = np.flatnonzero(index)
+        index = index.astype(np.intp)
+        if index.size == 0:
+            raise ValueError("fleet subset needs at least one cluster")
+        if index.size != np.unique(index).size:
+            raise ValueError(f"duplicate cluster indices in subset: "
+                             f"{index.tolist()}")
+        if index.min() < 0 or index.max() >= self.num_clusters:
+            raise IndexError(f"subset indices {index.tolist()} out of range "
+                             f"for a {self.num_clusters}-cluster fleet")
+        return FleetSubset(self, index)
+
+    # ------------------------------------------------------------------
     def sync_to_trainers(self) -> None:
         """Write trained weights and optimiser state back to the trainers.
 
@@ -271,6 +303,53 @@ class FleetTrainer:
                            [t.encoder_optimizer for t in self.trainers])
         fleet_optimizer_to(self.decoder_optimizer,
                            [t.decoder_optimizer for t in self.trainers])
+
+
+class FleetSubset:
+    """A partial fleet: K' of the fleet's K clusters as one program.
+
+    Built by :meth:`FleetTrainer.subset`; holds only the parent fleet
+    and an index array.  ``step``/``forward``/``evaluate`` run the
+    stacked tensor program gathered over exactly these clusters —
+    untouched clusters keep their weights *and* optimiser state (the
+    per-slice masked updates of :mod:`repro.nn.batched`) — so the
+    trajectory of each member matches training it in any other
+    grouping, or alone.
+    """
+
+    def __init__(self, fleet: FleetTrainer, index: np.ndarray):
+        self.fleet = fleet
+        self.index = index
+
+    @property
+    def num_clusters(self) -> int:
+        return int(self.index.size)
+
+    @property
+    def trainers(self) -> List[OrchestratedTrainer]:
+        return [self.fleet.trainers[int(k)] for k in self.index]
+
+    def forward(self, batches: np.ndarray, training: bool = True) -> Tensor:
+        return self.fleet.forward(batches, training=training,
+                                  active=self.index)
+
+    def step(self, batches: np.ndarray,
+             epochs: Optional[Sequence[int]] = None) -> List[RoundRecord]:
+        """One training round for every member cluster, in one pass.
+
+        ``batches`` is ``(K', B, N)`` in subset order; returns one
+        :class:`RoundRecord` per member, exactly as
+        :meth:`FleetTrainer.step` would with ``active=self.index``.
+        """
+        return self.fleet.step(batches, epochs=epochs, active=self.index)
+
+    def evaluate(self, rows: np.ndarray) -> np.ndarray:
+        """Per-member reconstruction loss (no noise, no updates)."""
+        rows = np.asarray(rows, dtype=float)
+        if rows.ndim == 2:
+            rows = np.broadcast_to(rows, (self.num_clusters,) + rows.shape)
+        reconstruction = self.forward(rows, training=False)
+        return self.fleet.loss.per_cluster(reconstruction, rows).data.copy()
 
 
 def _layer_params(layers: Sequence[Module]):

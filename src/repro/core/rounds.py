@@ -1,0 +1,588 @@
+"""The unified round-execution pipeline behind every scheduler engine.
+
+Every execution engine of :class:`~repro.core.scheduler.
+EdgeTrainingScheduler` ultimately runs the same per-round lifecycle:
+
+1. **select contributors** — draw the cluster's next minibatch from its
+   own stream RNG and mask out dead devices (partial-sum semantics of
+   the hybrid encode);
+2. **run the training step** — one orchestrated round of tensor math,
+   alone (:meth:`~repro.core.orchestrator.OrchestratedTrainer.step`) or
+   stacked across clusters (:meth:`~repro.core.fleet.FleetTrainer.step`);
+3. **account** — charge the modeled clock, transmission ledger and (in
+   the unreliable world) the aggregator battery;
+4. **apply policy** — settle the shared edge clock, spend the round
+   budget and check the deadline.
+
+Before this module those four steps were written three times — in the
+sequential loop, in the batched replay and inside the event engine's
+kernel process.  They now live here once:
+
+* :class:`IdealRoundLoop` is the ideal-world clock arithmetic (edge
+  compute serialises, aggregator pipelines overlap) that both the
+  sequential engine and the batched replay drive, differing only in
+  where each round's :class:`~repro.core.orchestrator.RoundRecord`
+  comes from (a live ``trainer.step`` vs a pre-executed fleet wave);
+* :func:`contributor_batch` / :func:`epoch_of` / :func:`stretch_record`
+  / :func:`spend_round` are the lifecycle pieces the event engine's
+  kernel process shares with the ideal loop;
+* :class:`InlineRoundExecutor` and :class:`SegmentedFleetExecutor` are
+  the event engine's two ways of producing step 2: per-cluster autograd
+  passes, or **segment batching** — between consecutive scheduled fault
+  times (and whenever every attached channel is lossless) the surviving
+  clusters' rounds are pre-executed as one
+  :class:`~repro.core.fleet.FleetTrainer` stacked program and replayed
+  into the kernel's clock, ledger and per-cluster RNG streams.
+
+Segment batching correctness
+----------------------------
+The fused executor may pre-execute a round only if *nothing that feeds
+its math can still change* before the kernel reaches it.  A round's math
+inputs are its cluster's weights (previous round), minibatch stream,
+noise RNG and alive-device mask; the first three evolve per cluster in
+round order regardless of scheduling, so the only hazard is the mask —
+which changes exactly at fault times.  The kernel fires a fault armed at
+``t`` before resuming the edge process at any time ``>= t`` (FIFO
+tie-breaking, faults armed first), so a round whose edge compute
+finishes at ``f`` sees exactly the faults with ``time_s <= f``.  Hence
+the planning rule: pre-execute a round iff ``f`` lies *strictly before*
+the next unfired fault (:meth:`~repro.sim.faults.FaultInjector.
+horizon`).  :meth:`SegmentedFleetExecutor._plan_segment` replays the
+edge process's arithmetic — same picks, same floats — up to that
+boundary, stopping early on battery retirement and quorum halts, which
+are the only in-segment state changes.  Rounds at or past the boundary
+fall back to per-cluster execution (a one-cluster wave) at their true
+kernel time, after the fault has been applied.
+
+For a fault-only scenario (no channel loss) the fused engine therefore
+reproduces the unfused engine's modeled clock, transmission ledger,
+report and fault audit trail bit-for-bit, and its per-cluster losses to
+stacked-vs-solo GEMM reduction noise (<= 1e-9 observed; the repo-wide
+equivalence budget is 1e-6) — asserted in ``tests/test_core_rounds.py``
+and ``benchmarks/bench_resilience.py``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .fleet import FleetTrainer
+from .orchestrator import RoundRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards (typing only)
+    from ..sim.faults import FaultInjector
+    from .scheduler import ScheduledCluster
+
+__all__ = [
+    "ScheduleReport", "IdealRoundLoop", "InlineRoundExecutor",
+    "SegmentedFleetExecutor", "contributor_batch", "deadline_key",
+    "epoch_of", "policy_pick", "spend_round", "stretch_record",
+]
+
+
+# ----------------------------------------------------------------------
+# Policy pick rules — the single definition every engine and the
+# segment planner share.  The fused engine's exactness contract depends
+# on identical picks (including min/max tie-breaking over the pending
+# list's order), so there must be exactly one copy of these keys.
+# ----------------------------------------------------------------------
+def deadline_key(cluster: "ScheduledCluster"):
+    """Earliest-deadline-first sort key; deadline-less clusters last."""
+    return (cluster.deadline_s is None, cluster.deadline_s or 0.0)
+
+
+def policy_pick(policy: str, pending: List["ScheduledCluster"],
+                rounds_completed_of: Callable[["ScheduledCluster"], int],
+                current_loss_of: Optional[Callable] = None
+                ) -> "ScheduledCluster":
+    """Pick the next cluster the shared edge serves.
+
+    ``rounds_completed_of`` abstracts where the round counts live (the
+    clusters themselves, or the segment planner's shadow copies);
+    ``current_loss_of`` is only consulted by ``loss_priority``.
+    """
+    if policy == "fifo":
+        return pending[0]
+    if policy == "round_robin":
+        return min(pending, key=rounds_completed_of)
+    if policy == "loss_priority":
+        return max(pending, key=current_loss_of)
+    return min(pending, key=deadline_key)
+
+
+# ----------------------------------------------------------------------
+# Lifecycle pieces shared by every engine
+# ----------------------------------------------------------------------
+def contributor_batch(cluster: "ScheduledCluster",
+                      alive_mask: Optional[np.ndarray] = None) -> np.ndarray:
+    """Step 1: draw the next minibatch and mask dead contributors.
+
+    Dead devices contribute nothing: the aggregator's stacked vector X
+    is masked (partial-sum semantics of the hybrid encode with missing
+    contributors).  Draws from the cluster's own ``stream_rng``, so the
+    stream is independent of which engine executes the round and when.
+    """
+    batch = cluster.next_batch()
+    if alive_mask is not None and not alive_mask.all():
+        batch = batch * alive_mask
+    return batch
+
+
+def epoch_of(cluster: "ScheduledCluster", round_index: int) -> int:
+    """Epoch label of a cluster's 0-based ``round_index``."""
+    return round_index // cluster.rounds_per_epoch + 1
+
+
+def stretch_record(trainer, record: RoundRecord,
+                   extra_s: float) -> RoundRecord:
+    """Stretch a round beyond the ideal accounting ``step()`` charged.
+
+    Stragglers and retransmissions lengthen the modeled round; the ideal
+    engines always pass ``extra_s == 0.0``.
+    """
+    if extra_s != 0.0:
+        trainer.clock_s += extra_s
+        record.time_s += extra_s
+    return record
+
+
+def spend_round(budget: Dict[str, int], misses: List[str],
+                cluster: "ScheduledCluster", finish_s: float) -> None:
+    """Step 4 tail: consume one budget slot and settle the deadline.
+
+    The verdict fires on whichever path exhausts the budget — under the
+    event engine failed rounds burn budget too, so this must run on the
+    failure paths as well (the ideal engines have no failure paths, so
+    their single call site is equivalent).
+    """
+    budget[cluster.name] -= 1
+    if cluster.deadline_s is not None and budget[cluster.name] == 0 \
+            and finish_s > cluster.deadline_s \
+            and cluster.name not in misses:
+        misses.append(cluster.name)
+
+
+# ----------------------------------------------------------------------
+# Run outcome
+# ----------------------------------------------------------------------
+@dataclass
+class ScheduleReport:
+    """Outcome of one scheduling run.
+
+    ``completion_times`` maps each cluster to the *scheduled* (edge-
+    contended) clock at which each of its rounds finished — the fairness
+    signal policies differ on, since per-cluster trajectories themselves
+    are schedule-independent.
+
+    The event engine additionally fills the resilience fields:
+    ``failed_rounds`` (rounds whose transfers exhausted their ARQ
+    budget), ``dead_clusters`` (name -> reason it left the fleet),
+    ``energy_j`` (aggregator backhaul radio energy actually drained)
+    and ``halted`` (the quorum rule stopped the run early).
+    ``fused_rounds``/``segments`` report how much of the run executed as
+    stacked fleet segments (zero under the unfused executor).
+    """
+
+    policy: str
+    total_edge_time_s: float
+    makespan_s: float
+    rounds_per_cluster: Dict[str, int]
+    final_loss_per_cluster: Dict[str, float]
+    deadline_misses: List[str] = field(default_factory=list)
+    engine: str = "sequential"
+    completion_times: Dict[str, List[float]] = field(default_factory=dict)
+    failed_rounds: Dict[str, int] = field(default_factory=dict)
+    dead_clusters: Dict[str, str] = field(default_factory=dict)
+    energy_j: Dict[str, float] = field(default_factory=dict)
+    halted: bool = False
+    faults_applied: int = 0
+    fused_rounds: int = 0
+    segments: int = 0
+
+    @property
+    def mean_final_loss(self) -> float:
+        return float(np.mean(list(self.final_loss_per_cluster.values())))
+
+    def scheduled_time_to_loss(self, cluster_name: str,
+                               losses: Sequence[float],
+                               threshold: float) -> Optional[float]:
+        """Scheduled seconds until ``losses`` first dips to ``threshold``.
+
+        ``losses`` is the cluster's per-round loss trajectory (e.g.
+        ``history.losses``); returns None if the threshold is never hit.
+        """
+        times = self.completion_times.get(cluster_name, [])
+        for loss, when in zip(losses, times):
+            if loss <= threshold:
+                return when
+        return None
+
+
+# ----------------------------------------------------------------------
+# Ideal-world loop (sequential engine + batched replay)
+# ----------------------------------------------------------------------
+class IdealRoundLoop:
+    """The ideal synchronous world's clock arithmetic, engine-agnostic.
+
+    The makespan model: the edge serialises its decode work, while each
+    cluster's aggregator-side compute + transfers overlap with other
+    clusters' work.  One instance runs one scheduling session; the
+    engine supplies ``next_record`` — where each round's
+    :class:`RoundRecord` comes from (a live ``trainer.step`` for the
+    sequential engine, a pre-executed fleet wave for the batched
+    replay).  Identical pick sequences + identical arithmetic is what
+    makes the engines' reports interchangeable.
+    """
+
+    def __init__(self, clusters: Sequence["ScheduledCluster"],
+                 rounds_per_cluster: int,
+                 pick: Callable,
+                 pick_order: Optional[List["ScheduledCluster"]] = None):
+        self.clusters = list(clusters)
+        self.pick = pick
+        self.pick_order = pick_order
+        self._cursor = 0
+        self.budget = {c.name: rounds_per_cluster for c in self.clusters}
+        self.cluster_clock = {c.name: 0.0 for c in self.clusters}
+        self.completion: Dict[str, List[float]] = {c.name: []
+                                                   for c in self.clusters}
+        self.edge_clock = 0.0
+        self.edge_busy_s = 0.0
+        self.misses: List[str] = []
+        self._timings = {c.name: c.trainer.round_costs(c.batch_size).timing
+                         for c in self.clusters}
+
+    def _next_cluster(self) -> Optional["ScheduledCluster"]:
+        if self.pick_order is not None:
+            if self._cursor >= len(self.pick_order):
+                return None
+            cluster = self.pick_order[self._cursor]
+            self._cursor += 1
+            return cluster
+        pending = [c for c in self.clusters if self.budget[c.name] > 0]
+        if not pending:
+            return None
+        return self.pick(pending, self.budget, self.edge_clock)
+
+    def settle(self, cluster: "ScheduledCluster",
+               record: RoundRecord) -> None:
+        """Steps 3-4 for one executed round (ideal world)."""
+        timing = self._timings[cluster.name]
+        # Edge is the shared resource: its compute serialises.
+        self.edge_clock = max(self.edge_clock,
+                              self.cluster_clock[cluster.name]) \
+            + timing.edge_compute_s
+        self.edge_busy_s += timing.edge_compute_s
+        # The cluster's own pipeline (aggregator compute + links)
+        # proceeds in parallel with other clusters.
+        self.cluster_clock[cluster.name] = self.edge_clock \
+            + timing.aggregator_compute_s + timing.uplink_s \
+            + timing.downlink_s
+        self.completion[cluster.name].append(
+            self.cluster_clock[cluster.name])
+        cluster.history.rounds.append(record)
+        cluster.rounds_completed += 1
+        spend_round(self.budget, self.misses, cluster,
+                    self.cluster_clock[cluster.name])
+
+    def run(self, next_record: Callable[["ScheduledCluster"], RoundRecord]
+            ) -> None:
+        while True:
+            cluster = self._next_cluster()
+            if cluster is None:
+                break
+            self.settle(cluster, next_record(cluster))
+
+    def report(self, policy: str, engine: str) -> ScheduleReport:
+        return ScheduleReport(
+            policy=policy,
+            total_edge_time_s=self.edge_busy_s,
+            makespan_s=max(self.cluster_clock.values()),
+            rounds_per_cluster={c.name: c.rounds_completed
+                                for c in self.clusters},
+            final_loss_per_cluster={c.name: c.current_loss
+                                    for c in self.clusters},
+            deadline_misses=self.misses,
+            engine=engine,
+            completion_times=self.completion,
+        )
+
+
+# ----------------------------------------------------------------------
+# Event-engine round executors
+# ----------------------------------------------------------------------
+class InlineRoundExecutor:
+    """Per-cluster round execution: one autograd pass at its kernel time.
+
+    The fallback for unreliable channels (loss/jitter draws make round
+    outcomes channel-state-dependent, so nothing may run early) and for
+    fleets the stacked program cannot express.
+    """
+
+    fused_rounds = 0
+    segments = 0
+
+    def execute(self, cluster: "ScheduledCluster", state,
+                agg_s: float, extra_s: float) -> RoundRecord:
+        batch = contributor_batch(cluster, state.alive_mask)
+        record = cluster.trainer.step(
+            batch, epoch=epoch_of(cluster, cluster.rounds_completed))
+        return stretch_record(cluster.trainer, record, extra_s)
+
+    def finalize(self) -> None:
+        """Nothing pre-executed, nothing to write back."""
+
+
+class SegmentedFleetExecutor:
+    """Segment batching: fault-free spans run as stacked fleet waves.
+
+    Owns one :class:`~repro.core.fleet.FleetTrainer` over the whole
+    fleet and, per segment, a plan of how many rounds each surviving
+    cluster completes before the next fault horizon.  Planned rounds are
+    executed immediately as fleet waves over the survivors
+    (:meth:`~repro.core.fleet.FleetTrainer.subset` — no parameter
+    copies) and queued; the kernel's edge process then consumes them at
+    the exact simulated times the unfused engine would have produced
+    them.  At a fault boundary the plan ends, so the straddling round of
+    each affected cluster degenerates to a one-cluster wave at its true
+    kernel time — per-cluster event execution for exactly the affected
+    clusters/rounds.
+
+    Construction requirements (checked by the scheduler): every channel
+    lossless, clusters fleet-compatible with one batch geometry, and a
+    policy whose picks don't depend on losses — except that
+    ``loss_priority`` *is* fusable when no faults are scheduled and the
+    quorum rule is off, because then every cluster simply runs until its
+    budget or battery ends, independent of pick order.
+    """
+
+    def __init__(self, clusters: Sequence["ScheduledCluster"],
+                 states: Dict[str, object],
+                 injector: "FaultInjector",
+                 budget: Dict[str, int],
+                 edge_clock_ref: List[float],
+                 policy: str,
+                 resilience) -> None:
+        self.clusters = list(clusters)
+        self.states = states
+        self.injector = injector
+        self.budget = budget
+        self.edge_clock_ref = edge_clock_ref
+        self.policy = policy
+        self.resilience = resilience
+        self.fleet = FleetTrainer([c.trainer for c in self.clusters])
+        self.queues: Dict[str, deque] = {c.name: deque()
+                                         for c in self.clusters}
+        self.executed = {c.name: 0 for c in self.clusters}
+        self.fused_rounds = 0
+        self.segments = 0
+        # Per-cluster per-round constants of the lossless world: round
+        # timing, exact transfer times (the ideal channel's transmit is
+        # pure — no RNG draws) and the backhaul radio energy one round
+        # drains, mirroring _EventClusterState.charge_backhaul.
+        self._costs = {}
+        for cluster in self.clusters:
+            state = states[cluster.name]
+            costs = cluster.trainer.round_costs(cluster.batch_size)
+            up = state.transmit_up(costs.up_bytes)
+            down = state.transmit_down(costs.down_bytes)
+            joules = (state.radio.tx_energy(up.wire_bytes * 8,
+                                            state.backhaul_m)
+                      + state.radio.rx_energy(down.received_wire_bytes * 8))
+            self._costs[cluster.name] = (costs.timing, up.elapsed_s,
+                                         down.elapsed_s, joules)
+
+    # ------------------------------------------------------------------
+    def execute(self, cluster: "ScheduledCluster", state,
+                agg_s: float, extra_s: float) -> RoundRecord:
+        queue = self.queues[cluster.name]
+        if not queue:
+            self._fill(cluster, agg_s, extra_s)
+        return queue.popleft()
+
+    def finalize(self) -> None:
+        """Write fleet-trained weights/optimiser state back (run end)."""
+        leftovers = {name: len(q) for name, q in self.queues.items() if q}
+        if leftovers:
+            raise RuntimeError(
+                f"segment plan over-executed rounds never consumed by the "
+                f"kernel: {leftovers} — planner/loop divergence")
+        self.fleet.sync_to_trainers()
+
+    # ------------------------------------------------------------------
+    def _fill(self, current: "ScheduledCluster", agg_s: float,
+              extra_s: float) -> None:
+        """Plan the segment starting at ``current``'s math point, then
+        pre-execute it as fleet waves."""
+        stale = [name for name, q in self.queues.items() if q]
+        if stale:
+            raise RuntimeError(
+                f"replanning with non-empty queues {stale} — planner/loop "
+                "divergence")
+        horizon = self.injector.horizon()
+        if self.policy == "loss_priority":
+            # Only reachable with no faults and no quorum (see class
+            # docstring): each cluster's round count is pick-independent.
+            counts = self._battery_limited_counts(current)
+        else:
+            counts = self._plan_segment(current, agg_s, horizon)
+        self.segments += 1
+        self._run_waves(counts, {current.name: extra_s})
+
+    def _battery_limited_counts(self, current: "ScheduledCluster"
+                                ) -> Dict[str, int]:
+        """Rounds each cluster completes when nothing couples the fleet.
+
+        With no fault horizon and no quorum rule, a cluster trains until
+        its budget ends or its battery's per-round backhaul drain fails
+        (that round still completes — retirement lands after
+        ``charge_backhaul``), independent of every other cluster.
+        """
+        counts = {}
+        for cluster in self.clusters:
+            state = self.states[cluster.name]
+            if state.dead or self.budget[cluster.name] <= 0:
+                counts[cluster.name] = 0
+                continue
+            joules = self._costs[cluster.name][3]
+            remaining = state.battery.remaining_j
+            rounds = 0
+            while rounds < self.budget[cluster.name]:
+                rounds += 1
+                if joules > remaining + 1e-18:  # Battery.drain's verdict
+                    break
+                remaining -= joules
+            counts[cluster.name] = rounds
+        return counts
+
+    def _plan_segment(self, current: "ScheduledCluster", agg_s: float,
+                      horizon: float) -> Dict[str, int]:
+        """Dry-run the edge process's arithmetic up to the fault horizon.
+
+        Mirrors the kernel loop float-for-float over shadow copies of
+        the mutable scalars (edge clock, ready times, budgets, battery
+        levels, death flags) so the planned rounds are exactly the ones
+        the kernel will commit.  No fault fires inside the window by
+        construction; the only in-segment state changes are battery
+        retirements and the quorum halt, both replicated here.
+        """
+        states = self.states
+        edge_clock = self.edge_clock_ref[0]
+        ready = {c.name: states[c.name].ready_at for c in self.clusters}
+        dead = {c.name: states[c.name].dead for c in self.clusters}
+        battery = {c.name: states[c.name].battery.remaining_j
+                   for c in self.clusters}
+        budget = dict(self.budget)
+        rounds_completed = {c.name: c.rounds_completed
+                            for c in self.clusters}
+        counts = {c.name: 0 for c in self.clusters}
+        quorum = self.resilience.quorum
+        total = len(self.clusters)
+
+        def charge(name: str) -> None:
+            joules = self._costs[name][3]
+            if joules > battery[name] + 1e-18:   # Battery.drain's verdict
+                battery[name] = 0.0
+                dead[name] = True
+            else:
+                battery[name] -= joules
+
+        # The requesting cluster sits at its math point: its edge
+        # compute is already on the clock (edge_clock_ref reflects it),
+        # faults up to now have fired, and its round is unconditionally
+        # safe.  Finish its bookkeeping with the caller's pick-time
+        # agg_s, then walk the loop.
+        name = current.name
+        up_s, down_s = self._costs[name][1], self._costs[name][2]
+        ready[name] = edge_clock + agg_s + up_s + down_s
+        counts[name] = 1
+        budget[name] -= 1
+        rounds_completed[name] += 1
+        charge(name)
+
+        while True:
+            alive = [c for c in self.clusters if not dead[c.name]]
+            if quorum > 0.0 and total and len(alive) / total < quorum:
+                break
+            pending = [c for c in alive if budget[c.name] > 0]
+            if not pending:
+                break
+            cluster = policy_pick(self.policy, pending,
+                                  lambda c: rounds_completed[c.name])
+            name = cluster.name
+            timing, up_s, down_s, _ = self._costs[name]
+            start = max(edge_clock, ready[name])
+            finish = start + timing.edge_compute_s
+            if not finish < horizon:
+                # A fault armed at exactly `finish` fires before the
+                # kernel resumes the edge process there, so this round's
+                # mask may change: it (and everything after — the edge
+                # clock is monotone) must run per-cluster at its true
+                # kernel time.
+                break
+            edge_clock = finish
+            agg = timing.aggregator_compute_s * states[name].slow_factor
+            ready[name] = edge_clock + agg + up_s + down_s
+            counts[name] += 1
+            budget[name] -= 1
+            rounds_completed[name] += 1
+            charge(name)
+        return counts
+
+    def _run_waves(self, counts: Dict[str, int],
+                   first_extra: Dict[str, float]) -> None:
+        """Pre-execute the planned rounds as stacked fleet waves.
+
+        Wave ``w`` trains every cluster with more than ``w`` planned
+        rounds, through a parameter-sharing
+        :meth:`~repro.core.fleet.FleetTrainer.subset` of the survivors;
+        per-cluster draw order (minibatch stream, noise RNG) and clock/
+        ledger arithmetic match a per-round execution exactly.
+        """
+        states = self.states
+        remaining = dict(counts)
+        while True:
+            active = [k for k, c in enumerate(self.clusters)
+                      if remaining[c.name] > 0]
+            if not active:
+                break
+            batch_size = self.clusters[active[0]].batch_size
+            stack = np.empty((len(active), batch_size, self.fleet.input_dim))
+            epochs = []
+            for row, k in enumerate(active):
+                cluster = self.clusters[k]
+                stack[row] = contributor_batch(
+                    cluster, states[cluster.name].alive_mask)
+                epochs.append(epoch_of(cluster,
+                                       self.executed[cluster.name]))
+            if len(active) == len(self.clusters):
+                # Full-fleet wave: the unsliced program (allocation-free
+                # optimiser fast path); value-identical to the gathered
+                # subset, the common case between faults.
+                records = self.fleet.step(stack, epochs=epochs)
+            else:
+                records = self.fleet.subset(active).step(stack, epochs=epochs)
+            for row, k in enumerate(active):
+                cluster = self.clusters[k]
+                name = cluster.name
+                if name in first_extra:
+                    extra = first_extra.pop(name)
+                else:
+                    timing, up_s, down_s, _ = self._costs[name]
+                    agg = timing.aggregator_compute_s \
+                        * states[name].slow_factor
+                    # Same expression as the kernel loop computes at the
+                    # round's pick time; the transfer terms are exact
+                    # zeros on the lossless path.
+                    extra = ((agg - timing.aggregator_compute_s)
+                             + (up_s - timing.uplink_s)
+                             + (down_s - timing.downlink_s))
+                self.queues[name].append(
+                    stretch_record(cluster.trainer, records[row], extra))
+                self.executed[name] += 1
+                remaining[name] -= 1
+                self.fused_rounds += 1

@@ -23,17 +23,20 @@ Execution engines
 The *modeled* clock above is independent of how fast this Python process
 can simulate the rounds, and a cluster's weight/loss trajectory depends
 only on its own data stream, weights and noise draws — never on when the
-edge got around to serving it.  The scheduler exploits that split with
-two engines:
+edge got around to serving it.  Every engine drives the one shared
+per-round lifecycle in :mod:`repro.core.rounds` (select contributors ->
+run training step -> account clock/ledger/energy -> apply policy); they
+differ only in which world they assume and where the training math runs:
 
-* ``sequential`` — the literal discrete-event loop: pick a cluster, run
-  one :meth:`~repro.core.orchestrator.OrchestratedTrainer.step`, advance
+* ``sequential`` — the literal loop: pick a cluster, run one
+  :meth:`~repro.core.orchestrator.OrchestratedTrainer.step`, advance
   the clocks.  O(K) Python-level autograd passes per cycle.
 * ``batched`` — execute every cluster's rounds up front through a
   :class:`~repro.core.fleet.FleetTrainer` (one stacked tensor program
   per cycle for all K clusters), then **replay** the scheduling policy
   over the recorded per-round losses and the per-cluster round timings
-  to produce the identical modeled clock, ledger and deadline
+  through the same :class:`~repro.core.rounds.IdealRoundLoop` the
+  sequential engine uses — identical modeled clock, ledger and deadline
   accounting.  Wall-clock cost drops by roughly the cluster count; the
   per-cluster loss trajectories match the sequential engine to <= 1e-6
   (observed ~1e-12) for identical seeds.
@@ -54,10 +57,24 @@ exotic losses, data shorter than one batch).
   devices/aggregators, brown out batteries and straggle clusters
   mid-run, and a :class:`ResilientOrchestrationPolicy` decides how
   training proceeds with degraded clusters (failover vs. retire,
-  straggler tolerance, fleet-wide quorum).  With zero faults and zero
-  loss this engine reproduces the sequential engine's per-cluster
-  trajectories, transmission ledger and modeled clock exactly — the
-  correctness anchor mirroring the batched engine's contract.
+  straggler tolerance, fleet-wide quorum, per-cluster ARQ budgets).
+  With zero faults and zero loss this engine reproduces the sequential
+  engine's per-cluster trajectories, transmission ledger and modeled
+  clock exactly — the correctness anchor mirroring the batched engine's
+  contract.
+
+  The event engine **fuses with the fleet engine** whenever every
+  attached channel is lossless (``channels=None`` or an ideal spec) and
+  the clusters stack: between consecutive scheduled fault times the
+  surviving clusters' rounds are pre-executed as
+  :class:`~repro.core.fleet.FleetTrainer` waves and replayed into the
+  kernel's clock, ledger and RNG streams
+  (:class:`~repro.core.rounds.SegmentedFleetExecutor`); rounds
+  straddling a fault boundary fall back to per-cluster execution at
+  their true kernel times.  A fault-only run is bit-identical in clock,
+  ledger and report to the unfused loop (losses match to stacked-GEMM
+  reduction noise) at roughly the fleet engine's speed; pass
+  ``segment_batching=False`` to force the unfused loop.
 
 Determinism note: each cluster draws its minibatches from its own
 ``stream_rng`` (seeded from the scheduler RNG at registration), so the
@@ -68,18 +85,34 @@ comparisons measure *scheduling*, not data-order luck.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..sim.channel import ChannelSpec
+from ..sim.channel import ARQConfig, ChannelSpec
 from ..sim.events import EventScheduler
 from ..sim.faults import FaultInjector, FaultSchedule
 from ..wsn.clustering import select_aggregator
 from ..wsn.energy import Battery, BatteryDepletedError, RadioEnergyModel
 from .fleet import FleetIncompatibilityError, FleetTrainer, fleet_compatible
 from .orchestrator import OrchestratedTrainer, RoundRecord, TrainingHistory
+from .rounds import (
+    IdealRoundLoop,
+    InlineRoundExecutor,
+    ScheduleReport,
+    SegmentedFleetExecutor,
+    contributor_batch,
+    deadline_key,
+    epoch_of,
+    policy_pick,
+    spend_round,
+)
+
+__all__ = [
+    "EdgeTrainingScheduler", "ResilientOrchestrationPolicy",
+    "ScheduledCluster", "ScheduleReport", "compare_policies",
+]
 
 _POLICIES = ("fifo", "round_robin", "loss_priority", "deadline")
 _ENGINES = ("auto", "sequential", "batched", "event")
@@ -176,6 +209,23 @@ class ResilientOrchestrationPolicy:
     failover_downtime_s:
         Simulated seconds a cluster is unavailable while a replacement
         aggregator is elected and re-provisioned.
+    adaptive_arq:
+        Override the fleet-uniform retransmission budget per cluster
+        from its deadline slack and battery headroom (see
+        :meth:`arq_retries_for`).  Off by default: every cluster keeps
+        the :class:`~repro.sim.channel.ChannelSpec`'s budget.
+    arq_min_retries / arq_max_retries:
+        The budget clamp adaptive ARQ moves between: deadline-tight or
+        battery-poor clusters drop to ``arq_min_retries`` (each retry
+        costs airtime they cannot afford), slack-rich healthy clusters
+        rise to ``arq_max_retries`` (a retried frame is cheaper than a
+        lost round).
+    arq_slack_rich:
+        Deadline-over-ideal-completion ratio above which a cluster
+        counts as slack-rich (no deadline is infinitely rich).
+    arq_battery_margin:
+        Battery-over-ideal-radio-spend ratio below which a cluster
+        conserves energy.
     """
 
     on_aggregator_death: str = "replace"
@@ -185,6 +235,11 @@ class ResilientOrchestrationPolicy:
     quorum: float = 0.0
     max_consecutive_failures: int = 8
     failover_downtime_s: float = 5.0
+    adaptive_arq: bool = False
+    arq_min_retries: int = 0
+    arq_max_retries: int = 6
+    arq_slack_rich: float = 2.0
+    arq_battery_margin: float = 2.0
 
     def __post_init__(self):
         if self.on_aggregator_death not in ("replace", "skip"):
@@ -200,55 +255,37 @@ class ResilientOrchestrationPolicy:
         if self.failover_downtime_s < 0 or self.straggler_cutoff < 1.0:
             raise ValueError("failover_downtime_s must be >= 0 and "
                              "straggler_cutoff >= 1")
+        if not 0 <= self.arq_min_retries <= self.arq_max_retries:
+            raise ValueError("need 0 <= arq_min_retries <= arq_max_retries")
+        if self.arq_slack_rich < 1.0 or self.arq_battery_margin < 0.0:
+            raise ValueError("arq_slack_rich must be >= 1 and "
+                             "arq_battery_margin >= 0")
 
+    def arq_retries_for(self, base_retries: int, deadline_slack: float,
+                        battery_headroom: float) -> int:
+        """Per-cluster retransmission budget from slack and battery.
 
-@dataclass
-class ScheduleReport:
-    """Outcome of one scheduling run.
-
-    ``completion_times`` maps each cluster to the *scheduled* (edge-
-    contended) clock at which each of its rounds finished — the fairness
-    signal policies differ on, since per-cluster trajectories themselves
-    are schedule-independent.
-
-    The event engine additionally fills the resilience fields:
-    ``failed_rounds`` (rounds whose transfers exhausted their ARQ
-    budget), ``dead_clusters`` (name -> reason it left the fleet),
-    ``energy_j`` (aggregator backhaul radio energy actually drained)
-    and ``halted`` (the quorum rule stopped the run early).
-    """
-
-    policy: str
-    total_edge_time_s: float
-    makespan_s: float
-    rounds_per_cluster: Dict[str, int]
-    final_loss_per_cluster: Dict[str, float]
-    deadline_misses: List[str] = field(default_factory=list)
-    engine: str = "sequential"
-    completion_times: Dict[str, List[float]] = field(default_factory=dict)
-    failed_rounds: Dict[str, int] = field(default_factory=dict)
-    dead_clusters: Dict[str, str] = field(default_factory=dict)
-    energy_j: Dict[str, float] = field(default_factory=dict)
-    halted: bool = False
-    faults_applied: int = 0
-
-    @property
-    def mean_final_loss(self) -> float:
-        return float(np.mean(list(self.final_loss_per_cluster.values())))
-
-    def scheduled_time_to_loss(self, cluster_name: str,
-                               losses: Sequence[float],
-                               threshold: float) -> Optional[float]:
-        """Scheduled seconds until ``losses`` first dips to ``threshold``.
-
-        ``losses`` is the cluster's per-round loss trajectory (e.g.
-        ``history.losses``); returns None if the threshold is never hit.
+        Parameters
+        ----------
+        base_retries:
+            The fleet-uniform budget from the channel spec.
+        deadline_slack:
+            Cluster deadline over its ideal (uncontended, lossless)
+            completion time; ``inf`` when it has no deadline.  Below 1
+            the deadline is missed even without retries, so spending
+            airtime on them only makes the miss worse.
+        battery_headroom:
+            Aggregator battery over the whole run's ideal backhaul
+            radio energy; below ``arq_battery_margin`` the cluster
+            cannot afford retransmission airtime.
         """
-        times = self.completion_times.get(cluster_name, [])
-        for loss, when in zip(losses, times):
-            if loss <= threshold:
-                return when
-        return None
+        if not self.adaptive_arq:
+            return base_retries
+        if battery_headroom < self.arq_battery_margin or deadline_slack < 1.0:
+            return min(base_retries, self.arq_min_retries)
+        if deadline_slack >= self.arq_slack_rich:
+            return max(base_retries, self.arq_max_retries)
+        return base_retries
 
 
 class _EventClusterState:
@@ -419,10 +456,17 @@ class EdgeTrainingScheduler:
     channels:
         :class:`~repro.sim.channel.ChannelSpec` wrapping every cluster's
         uplink and downlink in unreliable channels (event engine only;
-        ``None`` keeps links ideal).
+        ``None`` keeps links ideal).  With ``resilience.adaptive_arq``
+        the spec's retransmission budget becomes per-cluster.
     backhaul_distance_m:
         Modeled aggregator <-> edge distance used to price backhaul
         radio energy under the event engine.
+    segment_batching:
+        Event engine only: fuse fault-free segments into
+        :class:`~repro.core.fleet.FleetTrainer` waves whenever the
+        channels are lossless and the clusters stack (see the module
+        docstring).  ``False`` forces the per-round unfused loop — the
+        reference the fused path is validated against.
     """
 
     def __init__(self, policy: str = "round_robin",
@@ -431,7 +475,8 @@ class EdgeTrainingScheduler:
                  fault_schedule: Optional[FaultSchedule] = None,
                  resilience: Optional[ResilientOrchestrationPolicy] = None,
                  channels: Optional[ChannelSpec] = None,
-                 backhaul_distance_m: float = 100.0):
+                 backhaul_distance_m: float = 100.0,
+                 segment_batching: bool = True):
         if policy not in _POLICIES:
             raise ValueError(f"unknown policy {policy!r}; choose from {_POLICIES}")
         if engine not in _ENGINES:
@@ -451,6 +496,7 @@ class EdgeTrainingScheduler:
         self.resilience = resilience or ResilientOrchestrationPolicy()
         self.channels = channels
         self.backhaul_distance_m = backhaul_distance_m
+        self.segment_batching = segment_batching
 
     def add_cluster(self, name: str, trainer: OrchestratedTrainer,
                     data: np.ndarray, batch_size: int = 32,
@@ -470,15 +516,11 @@ class EdgeTrainingScheduler:
     # ------------------------------------------------------------------
     def _pick(self, pending: List[ScheduledCluster], rounds_budget: Dict[str, int],
               clock_s: float) -> ScheduledCluster:
-        if self.policy == "fifo":
-            return pending[0]
-        if self.policy == "round_robin":
-            return min(pending, key=lambda c: c.rounds_completed)
-        if self.policy == "loss_priority":
-            return max(pending, key=lambda c: c.current_loss)
-        # deadline: earliest deadline first; clusters without deadlines last.
-        return min(pending, key=lambda c: (c.deadline_s is None,
-                                           c.deadline_s or 0.0))
+        # One shared pick-rule definition (rounds.policy_pick): the
+        # segment planner must mirror these picks exactly.
+        return policy_pick(self.policy, pending,
+                           lambda c: c.rounds_completed,
+                           lambda c: c.current_loss)
 
     def _check_batch_geometry(self) -> None:
         """Raise a specific error when forced batching cannot stack waves."""
@@ -530,59 +572,78 @@ class EdgeTrainingScheduler:
         return self._run_sequential(rounds_per_cluster)
 
     # ------------------------------------------------------------------
-    # Sequential engine: the literal discrete-event loop
+    # Sequential engine: the shared ideal loop, rounds stepped inline
     # ------------------------------------------------------------------
     def _run_sequential(self, rounds_per_cluster: int) -> ScheduleReport:
-        budget = {c.name: rounds_per_cluster for c in self.clusters}
-        edge_busy_s = 0.0
-        cluster_clock: Dict[str, float] = {c.name: 0.0 for c in self.clusters}
-        completion: Dict[str, List[float]] = {c.name: [] for c in self.clusters}
-        edge_clock = 0.0
-        misses: List[str] = []
+        loop = IdealRoundLoop(self.clusters, rounds_per_cluster, self._pick,
+                              self._static_pick_order(rounds_per_cluster))
 
-        while True:
-            pending = [c for c in self.clusters if budget[c.name] > 0]
-            if not pending:
-                break
-            cluster = self._pick(pending, budget, edge_clock)
-            trainer = cluster.trainer
-            epoch = cluster.rounds_completed // cluster.rounds_per_epoch + 1
-            record = trainer.step(cluster.next_batch(), epoch=epoch)
-            timing = trainer.round_costs(cluster.batch_size).timing
-            # Edge is the shared resource: its compute serialises.
-            edge_clock = max(edge_clock, cluster_clock[cluster.name]) \
-                + timing.edge_compute_s
-            edge_busy_s += timing.edge_compute_s
-            # The cluster's own pipeline (aggregator compute + links)
-            # proceeds in parallel with other clusters.
-            cluster_clock[cluster.name] = edge_clock \
-                + timing.aggregator_compute_s + timing.uplink_s \
-                + timing.downlink_s
-            completion[cluster.name].append(cluster_clock[cluster.name])
-            cluster.history.rounds.append(record)
-            cluster.rounds_completed += 1
-            budget[cluster.name] -= 1
-            if cluster.deadline_s is not None and budget[cluster.name] == 0 \
-                    and cluster_clock[cluster.name] > cluster.deadline_s \
-                    and cluster.name not in misses:
-                misses.append(cluster.name)
+        def live_round(cluster: ScheduledCluster) -> RoundRecord:
+            batch = contributor_batch(cluster)
+            return cluster.trainer.step(
+                batch, epoch=epoch_of(cluster, cluster.rounds_completed))
 
-        return ScheduleReport(
-            policy=self.policy,
-            total_edge_time_s=edge_busy_s,
-            makespan_s=max(cluster_clock.values()),
-            rounds_per_cluster={c.name: c.rounds_completed
-                                for c in self.clusters},
-            final_loss_per_cluster={c.name: c.current_loss
-                                    for c in self.clusters},
-            deadline_misses=misses,
-            engine="sequential",
-            completion_times=completion,
-        )
+        loop.run(live_round)
+        return loop.report(self.policy, "sequential")
 
     # ------------------------------------------------------------------
     # Event engine: asynchronous rounds on the discrete-event kernel
     # ------------------------------------------------------------------
+    def _channel_spec_for(self, cluster: ScheduledCluster,
+                          rounds_per_cluster: int) -> Optional[ChannelSpec]:
+        """The cluster's channel recipe, with its adaptive ARQ budget.
+
+        With ``resilience.adaptive_arq`` the fleet-uniform spec's retry
+        budget is overridden per cluster from its deadline slack
+        (deadline over ideal uncontended completion) and battery
+        headroom (battery over the run's ideal backhaul radio energy).
+        """
+        spec = self.channels
+        if spec is None or not self.resilience.adaptive_arq:
+            return spec
+        costs = cluster.trainer.round_costs(cluster.batch_size)
+        ideal_total_s = costs.timing.total_s * rounds_per_cluster
+        slack = (float("inf") if cluster.deadline_s is None
+                 else cluster.deadline_s / ideal_total_s)
+        radio = RadioEnergyModel()
+        round_j = (radio.tx_energy(costs.up_wire_bytes * 8,
+                                   self.backhaul_distance_m)
+                   + radio.rx_energy(costs.down_wire_bytes * 8))
+        headroom = cluster.aggregator_battery_j \
+            / (round_j * rounds_per_cluster)
+        retries = self.resilience.arq_retries_for(spec.arq.max_retries,
+                                                  slack, headroom)
+        if retries == spec.arq.max_retries:
+            return spec
+        return spec.with_arq(ARQConfig(max_retries=retries,
+                                       ack_timeout_s=spec.arq.ack_timeout_s))
+
+    def _build_round_executor(self, states: Dict[str, "_EventClusterState"],
+                              injector: FaultInjector,
+                              budget: Dict[str, int],
+                              edge_clock: List[float]):
+        """Pick the event engine's training-math executor.
+
+        Segment batching needs every transfer's outcome to be the
+        closed-form lossless one (channel draws make rounds state-
+        dependent) and the clusters to admit one stacked program.
+        ``loss_priority`` picks depend on losses the planner cannot
+        foresee, so it fuses only in the fully uncoupled case — no
+        scheduled faults and no quorum rule — where each cluster's round
+        count is pick-independent.
+        """
+        lossless = self.channels is None or self.channels.ideal
+        fusable = self.segment_batching and lossless and self._can_batch()
+        if fusable and self.policy == "loss_priority" \
+                and (bool(self.fault_schedule)
+                     or self.resilience.quorum > 0.0):
+            fusable = False
+        if not fusable:
+            return InlineRoundExecutor()
+        return SegmentedFleetExecutor(self.clusters, states, injector,
+                                      budget, edge_clock, self.policy,
+                                      self.resilience)
+
     def _run_event(self, rounds_per_cluster: int) -> ScheduleReport:
         """Drive training on the :mod:`repro.sim.events` kernel.
 
@@ -592,12 +653,16 @@ class EdgeTrainingScheduler:
         arithmetic exactly (an exact ``edge_clock`` mirror is kept
         alongside the kernel clock, so the zero-fault run is bit-equal,
         not merely close) while degraded rounds stretch, fail or retire
-        clusters per the resilience policy.
+        clusters per the resilience policy.  The training math itself is
+        produced by a :mod:`repro.core.rounds` executor — per-cluster
+        steps, or segment-batched fleet waves when the world allows.
         """
         sim = EventScheduler()
         states: Dict[str, _EventClusterState] = {
-            c.name: _EventClusterState(c, self.resilience, sim, self.channels,
-                                       self.rng, self.backhaul_distance_m)
+            c.name: _EventClusterState(
+                c, self.resilience, sim,
+                self._channel_spec_for(c, rounds_per_cluster),
+                self.rng, self.backhaul_distance_m)
             for c in self.clusters}
         injector = FaultInjector(self.fault_schedule, states)
         injector.arm(sim)
@@ -608,22 +673,8 @@ class EdgeTrainingScheduler:
         edge_busy = [0.0]
         edge_clock = [0.0]       # exact mirror of the sequential arithmetic
         halted = [False]
-
-        def spend_round(cluster: ScheduledCluster,
-                        state: _EventClusterState) -> None:
-            """Consume one budget slot and settle the deadline check.
-
-            Failed rounds burn budget too, so the deadline verdict must
-            fire on whichever path exhausts the budget — not only the
-            success path (the sequential engine has no failure paths,
-            so its single check is equivalent).
-            """
-            budget[cluster.name] -= 1
-            if cluster.deadline_s is not None \
-                    and budget[cluster.name] == 0 \
-                    and state.ready_at > cluster.deadline_s \
-                    and cluster.name not in misses:
-                misses.append(cluster.name)
+        executor = self._build_round_executor(states, injector, budget,
+                                              edge_clock)
 
         def edge_process():
             while True:
@@ -662,7 +713,7 @@ class EdgeTrainingScheduler:
                     state.charge_backhaul(up.wire_bytes, 0)
                     state.round_failed()
                     state.ready_at = start + agg_s + up.elapsed_s
-                    spend_round(cluster, state)
+                    spend_round(budget, misses, cluster, state.ready_at)
                     continue
 
                 down = state.transmit_down(costs.down_bytes)
@@ -685,26 +736,16 @@ class EdgeTrainingScheduler:
                     state.round_failed()
                     state.ready_at = edge_clock[0] + agg_s + up.elapsed_s \
                         + down.elapsed_s
-                    spend_round(cluster, state)
+                    spend_round(budget, misses, cluster, state.ready_at)
                     continue
 
-                batch = cluster.next_batch()
-                if not state.alive_mask.all():
-                    # Dead devices contribute nothing: the aggregator's
-                    # stacked vector X is masked (partial-sum semantics
-                    # of the hybrid encode with missing contributors).
-                    batch = batch * state.alive_mask
-                epoch = (cluster.rounds_completed
-                         // cluster.rounds_per_epoch + 1)
-                record = trainer.step(batch, epoch=epoch)
+                # Stragglers and retransmissions stretch the modeled
+                # round beyond the ideal accounting step() charges; the
+                # executor folds the stretch into the round it produces.
                 extra = ((agg_s - timing.aggregator_compute_s)
                          + (up.elapsed_s - timing.uplink_s)
                          + (down.elapsed_s - timing.downlink_s))
-                if extra != 0.0:
-                    # Stragglers and retransmissions stretch the modeled
-                    # round beyond the ideal accounting step() charged.
-                    trainer.clock_s += extra
-                    record.time_s += extra
+                record = executor.execute(cluster, state, agg_s, extra)
                 retx_up = up.wire_bytes - costs.up_wire_bytes
                 if retx_up > 0:
                     trainer.ledger.record(0, -1, 0, retx_up,
@@ -724,10 +765,11 @@ class EdgeTrainingScheduler:
                 completion[cluster.name].append(state.ready_at)
                 cluster.history.rounds.append(record)
                 cluster.rounds_completed += 1
-                spend_round(cluster, state)
+                spend_round(budget, misses, cluster, state.ready_at)
 
         sim.process(edge_process())
         sim.run()
+        executor.finalize()
 
         return ScheduleReport(
             policy=self.policy,
@@ -748,6 +790,8 @@ class EdgeTrainingScheduler:
                       for name, st in states.items()},
             halted=halted[0],
             faults_applied=len(injector.applied),
+            fused_rounds=executor.fused_rounds,
+            segments=executor.segments,
         )
 
     # ------------------------------------------------------------------
@@ -791,9 +835,7 @@ class EdgeTrainingScheduler:
         if self.policy == "fifo":
             drain_order = list(self.clusters)
         elif self.policy == "deadline":
-            drain_order = sorted(self.clusters,
-                                 key=lambda c: (c.deadline_s is None,
-                                                c.deadline_s or 0.0))
+            drain_order = sorted(self.clusters, key=deadline_key)
         elif self.policy == "round_robin":
             return list(self.clusters) * rounds_per_cluster
         else:
@@ -808,60 +850,14 @@ class EdgeTrainingScheduler:
         The policy still decides the order in which the shared edge
         serves clusters — identical picks to the sequential loop, since
         ``current_loss`` evolves from the same trajectories — but each
-        "round" is now just clock-and-ledger bookkeeping.
+        "round" is now just the shared loop's clock-and-ledger
+        bookkeeping over a pre-executed record.
         """
         index_of = {c.name: k for k, c in enumerate(self.clusters)}
-        timings = [c.trainer.round_costs(c.batch_size).timing
-                   for c in self.clusters]
-        budget = {c.name: rounds_per_cluster for c in self.clusters}
-        edge_busy_s = 0.0
-        cluster_clock: Dict[str, float] = {c.name: 0.0 for c in self.clusters}
-        completion: Dict[str, List[float]] = {c.name: [] for c in self.clusters}
-        edge_clock = 0.0
-        misses: List[str] = []
-
-        pick_order = self._static_pick_order(rounds_per_cluster)
-        pick_cursor = 0
-        while True:
-            if pick_order is not None:
-                if pick_cursor >= len(pick_order):
-                    break
-                cluster = pick_order[pick_cursor]
-                pick_cursor += 1
-            else:
-                pending = [c for c in self.clusters if budget[c.name] > 0]
-                if not pending:
-                    break
-                cluster = self._pick(pending, budget, edge_clock)
-            record = records[index_of[cluster.name]][cluster.rounds_completed]
-            timing = timings[index_of[cluster.name]]
-            edge_clock = max(edge_clock, cluster_clock[cluster.name]) \
-                + timing.edge_compute_s
-            edge_busy_s += timing.edge_compute_s
-            cluster_clock[cluster.name] = edge_clock \
-                + timing.aggregator_compute_s + timing.uplink_s \
-                + timing.downlink_s
-            completion[cluster.name].append(cluster_clock[cluster.name])
-            cluster.history.rounds.append(record)
-            cluster.rounds_completed += 1
-            budget[cluster.name] -= 1
-            if cluster.deadline_s is not None and budget[cluster.name] == 0 \
-                    and cluster_clock[cluster.name] > cluster.deadline_s \
-                    and cluster.name not in misses:
-                misses.append(cluster.name)
-
-        return ScheduleReport(
-            policy=self.policy,
-            total_edge_time_s=edge_busy_s,
-            makespan_s=max(cluster_clock.values()),
-            rounds_per_cluster={c.name: c.rounds_completed
-                                for c in self.clusters},
-            final_loss_per_cluster={c.name: c.current_loss
-                                    for c in self.clusters},
-            deadline_misses=misses,
-            engine=engine,
-            completion_times=completion,
-        )
+        loop = IdealRoundLoop(self.clusters, rounds_per_cluster, self._pick,
+                              self._static_pick_order(rounds_per_cluster))
+        loop.run(lambda c: records[index_of[c.name]][c.rounds_completed])
+        return loop.report(self.policy, engine)
 
 
 def compare_policies(make_clusters, rounds_per_cluster: int = 30,

@@ -18,16 +18,22 @@ the modeled clock — the engine that makes the 16-cluster sweep cheap:
   which each cluster reaches a loss threshold;
 * that the batched engine reproduces the sequential engine's per-cluster
   loss trajectories (the equivalence contract, asserted to 1e-6 here
-  and benchmarked in ``benchmarks/bench_multicluster.py``).
+  and benchmarked in ``benchmarks/bench_multicluster.py``);
+* how much of the fleet speedup **segment batching** recovers for the
+  *unreliable* world: a fault-only sweep (scheduled node death +
+  straggler window, lossless channels) under ``engine="event"`` with
+  and without fusion, at each cluster count.
 
 Expected shape: edge compute grows linearly in clusters while makespan
 grows sub-linearly (aggregator-side work overlaps); round-robin and
 loss-priority reach per-cluster loss thresholds sooner on average than
-FIFO, which starves late-arriving clusters.
+FIFO, which starves late-arriving clusters; the fused event engine's
+advantage over the unfused one grows with the cluster count.
 """
 
 from __future__ import annotations
 
+import time
 from typing import List
 
 import numpy as np
@@ -36,6 +42,7 @@ from ..core import OrcoDCSConfig, OrcoDCSFramework
 from ..core.scheduler import EdgeTrainingScheduler
 from ..datasets import FieldRegime, SensorField
 from ..datasets.sensing import normalized_rounds
+from ..sim import FaultEvent, FaultSchedule
 from ..wsn import place_uniform
 from .common import ExperimentResult, scaled
 
@@ -68,10 +75,10 @@ def _make_cluster_factory(num_clusters: int, devices: int, rounds: int,
 
 
 def _build_scheduler(factory, policy: str, seed: int,
-                     engine: str) -> EdgeTrainingScheduler:
+                     engine: str, **kwargs) -> EdgeTrainingScheduler:
     scheduler = EdgeTrainingScheduler(policy,
                                       rng=np.random.default_rng(seed),
-                                      engine=engine)
+                                      engine=engine, **kwargs)
     for name, trainer, data in factory():
         scheduler.add_cluster(name, trainer, data, batch_size=16)
     return scheduler
@@ -128,6 +135,48 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     result.check("makespan grows sub-linearly (pipelining)",
                  makespans[-1] < makespans[0] * (cluster_counts[-1]
                                                  / cluster_counts[0]) * 1.05)
+
+    # --- fault-only scaling sweep (segment-batched event engine) -------
+    # Faults placed relative to each count's ideal makespan (measured
+    # above on the identical workload) so they land mid-training.
+    fused_speedups, fused_loss_divs = [], []
+    for count, makespan in zip(cluster_counts, makespans):
+        faults = FaultSchedule([
+            FaultEvent(0.3 * makespan, "node_death", "cluster-0",
+                       device=devices // 3),
+            FaultEvent(0.45 * makespan, "straggler", "cluster-1",
+                       magnitude=3.0),
+            FaultEvent(0.7 * makespan, "recover", "cluster-1"),
+        ])
+        factory = _make_cluster_factory(count, devices, rounds_data, seed)
+        fused = _build_scheduler(factory, "round_robin", seed, "event",
+                                 fault_schedule=faults)
+        start = time.perf_counter()
+        fused_report = fused.run(rounds_per_cluster=train_rounds)
+        fused_s = time.perf_counter() - start
+        unfused = _build_scheduler(factory, "round_robin", seed, "event",
+                                   fault_schedule=faults,
+                                   segment_batching=False)
+        start = time.perf_counter()
+        unfused.run(rounds_per_cluster=train_rounds)
+        unfused_s = time.perf_counter() - start
+        speedup = unfused_s / fused_s if fused_s > 0 else float("inf")
+        fused_speedups.append(speedup)
+        fused_loss_divs.append(max(
+            float(np.abs(cf.history.losses - cu.history.losses).max())
+            for cf, cu in zip(fused.clusters, unfused.clusters)))
+        result.add_row(clusters=count, engine="event(fused)",
+                       fused_rounds=fused_report.fused_rounds,
+                       segments=fused_report.segments,
+                       fused_speedup_x=round(speedup, 2))
+    result.add_series("fused_event_speedup", cluster_counts, fused_speedups,
+                      "clusters", "x_unfused_wall_clock")
+    result.summary["fused_event_speedup_at_max_clusters"] = round(
+        fused_speedups[-1], 2)
+    result.check("fused event engine matches unfused losses (<= 1e-6)",
+                 max(fused_loss_divs) <= 1e-6)
+    result.check("segment batching speeds up the fault-only event run",
+                 fused_speedups[-1] > 1.3)
 
     # --- engine equivalence -------------------------------------------
     factory = _make_cluster_factory(2, devices, rounds_data, seed)

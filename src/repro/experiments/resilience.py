@@ -16,7 +16,12 @@ the deployment story raises:
 * **Fault schedule** — first-node-death mid-training, an aggregator
   death (resolved by proximity-rule failover) and a straggler window:
   training completes, the dead device's column is masked out of the
-  partial sums, and the fleet's remaining clusters still converge.
+  partial sums, and the fleet's remaining clusters still converge;
+* **Segment batching** — the same fault schedule with lossless channels
+  runs under the fused event engine (fault-free spans pre-executed as
+  :class:`~repro.core.fleet.FleetTrainer` waves) and must reproduce the
+  unfused engine's modeled clock and ledger exactly, at lower
+  wall-clock cost.
 
 Reported per condition: mean reconstruction NMSE on held-out rounds,
 mean rounds-to-threshold (threshold = halfway between the ideal run's
@@ -26,6 +31,7 @@ relative to the ideal channel.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -75,11 +81,13 @@ def _make_fleet(num_clusters: int, devices: int, rounds_data: int, seed: int):
 def _build(factory, seed: int, engine: str,
            channels: Optional[ChannelSpec] = None,
            faults: Optional[FaultSchedule] = None,
-           resilience: Optional[ResilientOrchestrationPolicy] = None
+           resilience: Optional[ResilientOrchestrationPolicy] = None,
+           segment_batching: bool = True
            ) -> Tuple[EdgeTrainingScheduler, List[np.ndarray]]:
     scheduler = EdgeTrainingScheduler(
         "round_robin", rng=np.random.default_rng(seed), engine=engine,
-        channels=channels, fault_schedule=faults, resilience=resilience)
+        channels=channels, fault_schedule=faults, resilience=resilience,
+        segment_batching=segment_batching)
     held_out = []
     for name, trainer, data, held, positions in factory():
         scheduler.add_cluster(name, trainer, data, batch_size=16,
@@ -227,6 +235,25 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     result.summary["wire_overhead_at_20pct_loss"] = round(byte_overheads[-1], 4)
     result.summary["nmse_at_20pct_loss"] = nmses[-1]
 
+    # --- 2b. Gilbert-Elliott preset (802.15.4-calibrated burst loss) --
+    preset_spec = ChannelSpec.preset("802154_indoor",
+                                     arq=ARQConfig(max_retries=1))
+    preset_sched, preset_held = _build(factory, seed, "event",
+                                       channels=preset_spec)
+    preset_report = preset_sched.run(rounds_per_cluster=train_rounds)
+    preset_nmse = _fleet_nmse(preset_sched, preset_held)
+    preset_wire = _fleet_wire_bytes(preset_sched)
+    result.add_row(loss_rate="GE:802154_indoor",
+                   nmse=round(preset_nmse, 5),
+                   mean_rounds_to_threshold=round(
+                       _mean_rounds_to_threshold(preset_sched, thresholds,
+                                                 train_rounds), 1),
+                   failed_rounds=sum(preset_report.failed_rounds.values()),
+                   wire_overhead=round(preset_wire / ideal_wire, 4))
+    result.summary["preset_802154_indoor_nmse"] = preset_nmse
+    result.check("802.15.4 indoor preset sweeps without blow-up",
+                 np.isfinite(preset_nmse) and preset_wire >= ideal_wire)
+
     # --- 3. fault schedule: death, failover, straggler ----------------
     # Fault times are placed relative to the ideal makespan so the
     # deaths land mid-training at every scale.
@@ -272,6 +299,56 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     result.check("every cluster still trains to its round budget",
                  all(n == train_rounds
                      for n in faulty_report.rounds_per_cluster.values()))
+
+    # --- 4. segment batching: fault-only fused vs unfused -------------
+    # Same fault schedule, lossless channels: the fused engine must
+    # reproduce the unfused event engine's clock and ledger exactly
+    # while pre-executing the fault-free spans as fleet waves.
+    fused, _ = _build(factory, seed, "event", faults=faults,
+                      resilience=resilience)
+    start = time.perf_counter()
+    fused_report = fused.run(rounds_per_cluster=train_rounds)
+    fused_s = time.perf_counter() - start
+    unfused, _ = _build(factory, seed, "event", faults=faults,
+                        resilience=resilience, segment_batching=False)
+    start = time.perf_counter()
+    unfused_report = unfused.run(rounds_per_cluster=train_rounds)
+    unfused_s = time.perf_counter() - start
+
+    fused_loss_div = max(
+        float(np.abs(cf.history.losses - cu.history.losses).max())
+        for cf, cu in zip(fused.clusters, unfused.clusters))
+    clock_exact = all(
+        np.array_equal(cf.history.times, cu.history.times)
+        for cf, cu in zip(fused.clusters, unfused.clusters))
+    ledger_exact = all(
+        len(cf.trainer.ledger) == len(cu.trainer.ledger)
+        and cf.trainer.ledger.total_wire_bytes()
+        == cu.trainer.ledger.total_wire_bytes()
+        for cf, cu in zip(fused.clusters, unfused.clusters))
+    speedup = unfused_s / fused_s if fused_s > 0 else float("inf")
+    result.add_row(loss_rate=0.0, scenario="fault-only segment batching",
+                   fused_rounds=fused_report.fused_rounds,
+                   segments=fused_report.segments,
+                   fused_speedup_x=round(speedup, 2))
+    result.summary["fault_only_fused_rounds"] = fused_report.fused_rounds
+    result.summary["fault_only_segments"] = fused_report.segments
+    result.summary["fault_only_fused_speedup_x"] = round(speedup, 2)
+    result.summary["fault_only_fused_loss_divergence"] = fused_loss_div
+    result.check("fused engine pre-executes rounds as fleet waves",
+                 fused_report.fused_rounds > 0)
+    result.check("fused fault-only clock and makespan are bit-exact",
+                 clock_exact
+                 and fused_report.makespan_s == unfused_report.makespan_s)
+    result.check("fused fault-only ledger is bit-exact", ledger_exact)
+    result.check("fused fault-only losses within reduction noise (1e-9)",
+                 fused_loss_div <= 1e-9)
+    result.check("fused fault-only reports agree (rounds, deaths, energy)",
+                 fused_report.rounds_per_cluster
+                 == unfused_report.rounds_per_cluster
+                 and fused_report.dead_clusters
+                 == unfused_report.dead_clusters
+                 and fused_report.energy_j == unfused_report.energy_j)
     return result
 
 

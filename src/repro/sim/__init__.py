@@ -20,6 +20,7 @@ from .channel import (
     ARQConfig,
     BernoulliLoss,
     ChannelSpec,
+    GILBERT_ELLIOTT_PRESETS,
     GilbertElliottLoss,
     TransmitResult,
     UnreliableChannel,
@@ -37,7 +38,8 @@ from .faults import (
 )
 
 __all__ = [
-    "ARQConfig", "BernoulliLoss", "ChannelSpec", "GilbertElliottLoss",
+    "ARQConfig", "BernoulliLoss", "ChannelSpec", "GILBERT_ELLIOTT_PRESETS",
+    "GilbertElliottLoss",
     "TransmitResult", "UnreliableChannel", "as_loss_model",
     "Event", "EventScheduler", "SimulationError",
     "FAULT_KINDS", "FaultEvent", "FaultInjector", "FaultSchedule",

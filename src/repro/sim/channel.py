@@ -22,8 +22,8 @@ the property the event engine's zero-fault equivalence anchor rests on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Optional, Union
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Optional, Union
 
 import numpy as np
 
@@ -264,9 +264,67 @@ class ChannelSpec:
         return UnreliableChannel(link, loss=loss, arq=self.arq,
                                  jitter_s=self.jitter_s, rng=rng)
 
+    def with_arq(self, arq: ARQConfig) -> "ChannelSpec":
+        """This spec with a different retransmission budget.
+
+        The hook per-cluster ARQ adaptation uses: the scheduler's
+        resilience policy derives one budget per cluster (deadline
+        slack, battery state) and stamps per-cluster channels from the
+        shared loss/jitter recipe.
+        """
+        return replace(self, arq=arq)
+
     @property
     def ideal(self) -> bool:
         """True when this spec degrades nothing (lossless, no jitter)."""
         if callable(self.loss):
             return False
         return (self.loss is None or self.loss == 0.0) and self.jitter_s == 0.0
+
+    @classmethod
+    def preset(cls, name: str, arq: Optional[ARQConfig] = None,
+               jitter_s: float = 0.0) -> "ChannelSpec":
+        """Named Gilbert-Elliott channel calibrated to 802.15.4 traces.
+
+        Parameters per preset live in :data:`GILBERT_ELLIOTT_PRESETS`;
+        ``loss`` is a factory, so every built channel gets its own burst
+        state (bursts on one cluster's uplink must not synchronise with
+        another's).
+        """
+        if name not in GILBERT_ELLIOTT_PRESETS:
+            raise ValueError(f"unknown channel preset {name!r}; choose from "
+                             f"{sorted(GILBERT_ELLIOTT_PRESETS)}")
+        params = GILBERT_ELLIOTT_PRESETS[name]
+        return cls(loss=lambda: GilbertElliottLoss(**params),
+                   arq=arq or ARQConfig(), jitter_s=jitter_s)
+
+
+#: Gilbert-Elliott parameter sets distilled from published IEEE 802.15.4
+#: burst-loss measurements (Petrova et al., "Performance study of IEEE
+#: 802.15.4 using measurements and simulations", WCNC 2006; Srinivasan
+#: et al., "An empirical study of low-power wireless", ACM TOSN 2010;
+#: Boano et al., "JamLab: augmenting sensornet testbeds with realistic
+#: and controlled interference generation", IPSN 2011).  Transition
+#: probabilities are per *frame*; mean burst length is
+#: ``1 / p_bad_to_good`` frames, and the steady-state frame-loss rate is
+#: reported next to each preset.
+GILBERT_ELLIOTT_PRESETS: Dict[str, Dict[str, float]] = {
+    # Indoor office link at moderate range: long good runs with ~1%
+    # residual loss, occasional multipath fades of ~3 frames losing
+    # about half the frames inside the burst.  Steady-state loss ~3.8%
+    # — the "intermediate link" band TOSN 2010 measures indoors.
+    "802154_indoor": dict(p_good_to_bad=0.02, p_bad_to_good=0.35,
+                          loss_good=0.01, loss_bad=0.50),
+    # Outdoor deployment near the sensitivity threshold: higher floor
+    # loss (~3%) from low SNR, fades rarer but deeper and longer
+    # (~4 frames at 60% loss), steady-state loss ~5.2% — matching the
+    # longer-range outdoor PER curves in WCNC 2006.
+    "802154_outdoor": dict(p_good_to_bad=0.01, p_bad_to_good=0.25,
+                           loss_good=0.03, loss_bad=0.60),
+    # 2.4 GHz office under Wi-Fi/microwave interference (the JamLab
+    # regime): bursts are frequent (one every ~17 frames) and severe
+    # (70% loss while jammed), steady-state loss ~15% — the hostile end
+    # of the coexistence measurements.
+    "noisy_office": dict(p_good_to_bad=0.06, p_bad_to_good=0.25,
+                         loss_good=0.02, loss_bad=0.70),
+}

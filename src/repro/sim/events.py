@@ -36,18 +36,23 @@ class Event:
 
     Returned by :meth:`EventScheduler.schedule` /
     :meth:`~EventScheduler.schedule_at`; supports :meth:`cancel` (the
-    callback is skipped when its time comes, O(1) lazily).
+    callback is skipped when its time comes, O(1) lazily).  ``tag`` is
+    an optional caller-chosen label (e.g. ``"fault"``) that
+    :meth:`EventScheduler.next_time` can query — the hook the segment-
+    batched engine uses to size fusion horizons.
     """
 
-    __slots__ = ("time_s", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time_s", "seq", "fn", "args", "cancelled", "tag")
 
     def __init__(self, time_s: float, seq: int,
-                 fn: Callable[..., Any], args: tuple):
+                 fn: Callable[..., Any], args: tuple,
+                 tag: Optional[str] = None):
         self.time_s = time_s
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.tag = tag
 
     def cancel(self) -> None:
         self.cancelled = True
@@ -79,21 +84,21 @@ class EventScheduler:
     # Scheduling
     # ------------------------------------------------------------------
     def schedule_at(self, time_s: float, fn: Callable[..., Any],
-                    *args) -> Event:
+                    *args, tag: Optional[str] = None) -> Event:
         """Schedule ``fn(*args)`` at absolute simulated time ``time_s``."""
         if time_s < self.now - 1e-12:
             raise SimulationError(
                 f"cannot schedule into the past (t={time_s} < now={self.now})")
-        event = Event(max(time_s, self.now), next(self._seq), fn, args)
+        event = Event(max(time_s, self.now), next(self._seq), fn, args, tag)
         heapq.heappush(self._heap, event)
         return event
 
     def schedule(self, delay_s: float, fn: Callable[..., Any],
-                 *args) -> Event:
+                 *args, tag: Optional[str] = None) -> Event:
         """Schedule ``fn(*args)`` after ``delay_s`` simulated seconds."""
         if delay_s < 0:
             raise SimulationError(f"negative delay {delay_s}")
-        return self.schedule_at(self.now + delay_s, fn, *args)
+        return self.schedule_at(self.now + delay_s, fn, *args, tag=tag)
 
     # ------------------------------------------------------------------
     # Processes
@@ -135,6 +140,19 @@ class EventScheduler:
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
         return self._heap[0].time_s if self._heap else None
+
+    def next_time(self, tag: str) -> float:
+        """Earliest pending time among events scheduled with ``tag``.
+
+        Returns ``inf`` when no such event is pending — the "horizon"
+        query: the scheduler's segment-batched engine asks for the next
+        ``"fault"`` event to know how far ahead of the clock it may
+        safely pre-execute training rounds.  O(queue), which stays tiny
+        (one process resume + the unfired faults).
+        """
+        times = [e.time_s for e in self._heap
+                 if e.tag == tag and not e.cancelled]
+        return min(times) if times else float("inf")
 
     def step(self) -> bool:
         """Fire the next pending event; returns False when none remain."""

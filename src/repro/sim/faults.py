@@ -94,6 +94,18 @@ class FaultSchedule:
         """Events with ``t0 < time_s <= t1`` (the advance-window query)."""
         return [e for e in self.events if t0 < e.time_s <= t1]
 
+    def next_after(self, t: float) -> float:
+        """Time of the first event strictly after ``t`` (inf when none).
+
+        The static companion to :meth:`FaultInjector.horizon`: lets
+        callers size fault-free execution segments before any kernel is
+        armed (e.g. to pre-budget a fused sweep).
+        """
+        for event in self.events:
+            if event.time_s > t:
+                return event.time_s
+        return float("inf")
+
     def clusters(self) -> List[str]:
         seen: List[str] = []
         for event in self.events:
@@ -185,6 +197,10 @@ class FaultInjector:
     schedule: FaultSchedule
     targets: dict
     applied: List[FaultEvent] = field(default_factory=list)
+    _sim: Optional[EventScheduler] = field(default=None, repr=False)
+
+    #: Event tag the injector arms with; :meth:`horizon` queries it.
+    TAG = "fault"
 
     def arm(self, sim: EventScheduler) -> None:
         unknown = [e.cluster for e in self.schedule
@@ -192,8 +208,21 @@ class FaultInjector:
         if unknown:
             raise KeyError(f"fault schedule names unknown clusters {unknown}; "
                            f"known: {sorted(self.targets)}")
+        self._sim = sim
         for event in self.schedule:
-            sim.schedule_at(event.time_s, self._fire, event)
+            sim.schedule_at(event.time_s, self._fire, event, tag=self.TAG)
+
+    def horizon(self) -> float:
+        """Simulated time of the next *unfired* fault (inf when none).
+
+        This is the segment boundary the scheduler's fused event engine
+        batches up to: every round whose edge work completes strictly
+        before the horizon sees exactly the current fault state, so its
+        training math can be pre-executed as part of a fleet wave.
+        """
+        if self._sim is None:
+            return self.schedule.next_after(float("-inf"))
+        return self._sim.next_time(self.TAG)
 
     def _fire(self, event: FaultEvent) -> None:
         apply_fault(event, self.targets[event.cluster])

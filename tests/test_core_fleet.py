@@ -154,3 +154,60 @@ class TestStepInterface:
         assert losses.shape == (3,)
         for k, trainer in enumerate(fleet.trainers):
             assert losses[k] == pytest.approx(trainer.evaluate(rows))
+
+
+class TestFleetSubset:
+    def test_subset_validation(self):
+        fleet = FleetTrainer(make_trainers(3))
+        with pytest.raises(ValueError):
+            fleet.subset([])
+        with pytest.raises(ValueError):
+            fleet.subset([0, 0])
+        with pytest.raises(IndexError):
+            fleet.subset([0, 3])
+        with pytest.raises(ValueError):
+            fleet.subset(np.array([True, False]))   # wrong mask length
+
+    def test_boolean_mask_selects_members(self):
+        fleet = FleetTrainer(make_trainers(3))
+        subset = fleet.subset(np.array([True, False, True]))
+        assert subset.num_clusters == 2
+        assert subset.trainers == [fleet.trainers[0], fleet.trainers[2]]
+
+    def test_subset_shares_parameters_with_fleet(self):
+        """Mid-training slicing copies nothing: a subset step mutates
+        the fleet's stacked parameters in place."""
+        fleet = FleetTrainer(make_trainers(3))
+        subset = fleet.subset([1])
+        before = fleet.encoder_layers[0].weight.data.copy()
+        subset.step(batch_stack(K=1))
+        after = fleet.encoder_layers[0].weight.data
+        assert not np.allclose(before[1], after[1])      # member trained
+        np.testing.assert_array_equal(before[0], after[0])   # others frozen
+        np.testing.assert_array_equal(before[2], after[2])
+
+    def test_subset_trajectory_matches_standalone(self):
+        """A cluster trained through shifting subsets matches training
+        it alone — the per-slice equivalence contract."""
+        fleet = FleetTrainer(make_trainers(3))
+        solo = make_trainers(3)[1]      # same seed -> same init weights
+        batches = [np.random.default_rng(10 + r).random((8, 20))
+                   for r in range(6)]
+        memberships = [[0, 1], [1, 2], [0, 1, 2], [1], [1, 2], [0, 1]]
+        fleet_losses = []
+        for batch, members in zip(batches, memberships):
+            row = members.index(1)
+            stack = np.random.default_rng(99).random(
+                (len(members), 8, 20))
+            stack[row] = batch
+            records = fleet.subset(members).step(stack)
+            fleet_losses.append(records[row].train_loss)
+        solo_losses = [solo.step(batch).train_loss for batch in batches]
+        np.testing.assert_allclose(fleet_losses, solo_losses, atol=1e-9)
+
+    def test_subset_evaluate_matches_fleet(self):
+        fleet = FleetTrainer(make_trainers(3))
+        rows = np.random.default_rng(5).random((12, 20))
+        full = fleet.evaluate(rows)
+        part = fleet.subset([0, 2]).evaluate(rows)
+        np.testing.assert_allclose(part, full[[0, 2]], rtol=1e-12)

@@ -1,0 +1,265 @@
+"""Unified round pipeline + segment-batched event engine tests.
+
+The fused engine's contract (ISSUE 3): a fault-schedule-only run (no
+channel loss) reproduces the unfused event engine's modeled clock,
+transmission ledger, completion times and report *bit-for-bit*, and its
+per-cluster losses to stacked-GEMM reduction noise; the zero-fault
+anchor still matches the sequential engine to <= 1e-6.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EdgeTrainingScheduler,
+    OrcoDCSConfig,
+    OrcoDCSFramework,
+    ResilientOrchestrationPolicy,
+)
+from repro.sim import ChannelSpec, FaultEvent, FaultSchedule
+
+DIM = 24
+LATENT = 4
+BATCH = 8
+ROWS = 48
+ROUNDS = 10
+
+
+def build_scheduler(fused=True, clusters=4, policy="round_robin", seed=0,
+                    faults=None, batteries=None, engine="event",
+                    latents=None, **kwargs):
+    scheduler = EdgeTrainingScheduler(policy, rng=np.random.default_rng(seed),
+                                      engine=engine, fault_schedule=faults,
+                                      segment_batching=fused, **kwargs)
+    for index in range(clusters):
+        latent = latents[index] if latents else LATENT
+        config = OrcoDCSConfig(input_dim=DIM, latent_dim=latent, seed=index,
+                               noise_sigma=0.05, batch_size=BATCH)
+        data = np.random.default_rng(100 + index).random((ROWS, DIM))
+        scheduler.add_cluster(
+            f"c{index}", OrcoDCSFramework(config), data, batch_size=BATCH,
+            aggregator_battery_j=batteries[index] if batteries else 1e9)
+    return scheduler
+
+
+def run_pair(rounds=ROUNDS, **kwargs):
+    """The same scenario under the fused and the unfused event engine."""
+    fused = build_scheduler(fused=True, **kwargs)
+    fused_report = fused.run(rounds_per_cluster=rounds)
+    unfused = build_scheduler(fused=False, **kwargs)
+    unfused_report = unfused.run(rounds_per_cluster=rounds)
+    return fused, fused_report, unfused, unfused_report
+
+
+def assert_fused_matches_unfused(fused, fused_report, unfused,
+                                 unfused_report):
+    """The bit-identity contract (losses to GEMM reduction noise)."""
+    for c_f, c_u in zip(fused.clusters, unfused.clusters):
+        assert len(c_f.history.rounds) == len(c_u.history.rounds)
+        if len(c_f.history.losses):
+            assert np.abs(c_f.history.losses
+                          - c_u.history.losses).max() <= 1e-9
+        # Modeled clock and ledger are exact, not merely close.
+        assert np.array_equal(c_f.history.times, c_u.history.times)
+        assert c_f.trainer.clock_s == c_u.trainer.clock_s
+        ledger_f, ledger_u = c_f.trainer.ledger, c_u.trainer.ledger
+        assert len(ledger_f) == len(ledger_u)
+        assert ledger_f.total_wire_bytes() == ledger_u.total_wire_bytes()
+        assert ledger_f.by_kind() == ledger_u.by_kind()
+    assert fused_report.makespan_s == unfused_report.makespan_s
+    assert fused_report.total_edge_time_s == unfused_report.total_edge_time_s
+    assert fused_report.completion_times == unfused_report.completion_times
+    assert fused_report.rounds_per_cluster == unfused_report.rounds_per_cluster
+    assert fused_report.deadline_misses == unfused_report.deadline_misses
+    assert fused_report.dead_clusters == unfused_report.dead_clusters
+    assert fused_report.energy_j == unfused_report.energy_j
+    assert fused_report.halted == unfused_report.halted
+    assert fused_report.faults_applied == unfused_report.faults_applied
+
+
+def mid_training_faults(fraction_times):
+    """Faults placed at fractions of a zero-fault probe run's makespan."""
+    probe = build_scheduler(fused=False)
+    makespan = probe.run(rounds_per_cluster=ROUNDS).makespan_s
+    return FaultSchedule([
+        FaultEvent(f * makespan, kind, cluster, device=device,
+                   magnitude=magnitude)
+        for f, kind, cluster, device, magnitude in fraction_times])
+
+
+class TestFusedEquivalence:
+    @pytest.mark.parametrize("policy", ["fifo", "round_robin", "deadline"])
+    def test_fault_only_run_matches_unfused(self, policy):
+        faults = mid_training_faults([
+            (0.25, "node_death", "c0", 5, 1.0),
+            (0.4, "straggler", "c1", None, 3.0),
+            (0.7, "recover", "c1", None, 1.0),
+        ])
+        pair = run_pair(policy=policy, faults=faults)
+        assert_fused_matches_unfused(*pair)
+        assert pair[1].fused_rounds > 0
+        assert pair[1].segments >= 2          # the faults split the run
+        assert pair[3].fused_rounds == 0      # the reference stayed unfused
+
+    def test_zero_fault_fused_matches_sequential_anchor(self):
+        fused = build_scheduler(fused=True)
+        fused_report = fused.run(rounds_per_cluster=ROUNDS)
+        sequential = build_scheduler(engine="sequential")
+        seq_report = sequential.run(rounds_per_cluster=ROUNDS)
+        assert fused_report.fused_rounds == 4 * ROUNDS
+        for c_f, c_s in zip(fused.clusters, sequential.clusters):
+            assert np.abs(c_f.history.losses
+                          - c_s.history.losses).max() <= 1e-6
+            assert np.abs(c_f.history.times
+                          - c_s.history.times).max() <= 1e-9
+            assert c_f.trainer.ledger.total_wire_bytes() \
+                == c_s.trainer.ledger.total_wire_bytes()
+        assert fused_report.makespan_s == pytest.approx(
+            seq_report.makespan_s, abs=1e-9)
+
+    def test_loss_priority_fuses_only_when_uncoupled(self):
+        report = build_scheduler(policy="loss_priority").run(
+            rounds_per_cluster=ROUNDS)
+        assert report.fused_rounds == 4 * ROUNDS
+        faults = FaultSchedule([FaultEvent(1e-3, "node_death", "c0",
+                                           device=2)])
+        report = build_scheduler(policy="loss_priority", faults=faults).run(
+            rounds_per_cluster=ROUNDS)
+        assert report.fused_rounds == 0
+        assert report.rounds_per_cluster == {f"c{i}": ROUNDS
+                                             for i in range(4)}
+
+    def test_loss_priority_fault_free_matches_unfused(self):
+        pair = run_pair(policy="loss_priority")
+        assert_fused_matches_unfused(*pair)
+
+
+class TestSegmentEdgeCases:
+    def test_fault_at_round_zero(self):
+        """A t=0 fault fires before the first pick in both engines."""
+        faults = FaultSchedule([FaultEvent(0.0, "node_death", "c0",
+                                           device=3)])
+        fused, fused_report, unfused, unfused_report = run_pair(faults=faults)
+        assert_fused_matches_unfused(fused, fused_report, unfused,
+                                     unfused_report)
+        # The dead device was masked from round one onward.
+        assert fused_report.faults_applied == 1
+        assert fused_report.segments == 1     # nothing left to split on
+
+    def test_fault_in_final_round_tail(self):
+        """A fault after the last round's edge math but before its links
+        finish fires during the run's tail: one segment, still exact."""
+        probe = build_scheduler(fused=False)
+        makespan = probe.run(rounds_per_cluster=ROUNDS).makespan_s
+        faults = FaultSchedule([FaultEvent(0.98 * makespan, "node_death",
+                                           "c1", device=7)])
+        pair = run_pair(faults=faults)
+        assert_fused_matches_unfused(*pair)
+        assert pair[1].faults_applied == 1
+
+    def test_fault_on_the_final_round(self):
+        """A fault landing between the final wave's edge-math points
+        splits the plan: the straddling rounds replay per cluster."""
+        probe = build_scheduler(fused=False)
+        probe_report = probe.run(rounds_per_cluster=ROUNDS)
+        timing = probe.clusters[0].trainer.round_costs(BATCH).timing
+        tail = (timing.aggregator_compute_s + timing.uplink_s
+                + timing.downlink_s)
+        # completion = edge-math finish + link tail, so subtracting the
+        # tail recovers each cluster's final-round math time exactly.
+        math_times = sorted(times[-1] - tail for times
+                            in probe_report.completion_times.values())
+        faults = FaultSchedule([FaultEvent(
+            0.5 * (math_times[0] + math_times[-1]), "node_death", "c1",
+            device=7)])
+        pair = run_pair(faults=faults)
+        assert_fused_matches_unfused(*pair)
+        assert pair[1].faults_applied == 1
+        assert pair[1].segments >= 2
+
+    def test_all_clusters_dead_mid_segment(self):
+        """Battery retirement is the one in-segment death: every cluster
+        drains mid-plan and the run ends early, identically."""
+        pair = run_pair(batteries=[0.015] * 4, rounds=60)
+        fused_report = pair[1]
+        assert_fused_matches_unfused(*pair)
+        assert len(fused_report.dead_clusters) == 4
+        assert all("battery" in reason
+                   for reason in fused_report.dead_clusters.values())
+        assert all(n < 60 for n in fused_report.rounds_per_cluster.values())
+        assert fused_report.fused_rounds > 0
+
+    def test_no_two_homogeneous_survivors(self):
+        """Faults that leave one survivor degenerate the waves to
+        per-cluster event execution — still exact."""
+        probe = build_scheduler(fused=False)
+        makespan = probe.run(rounds_per_cluster=ROUNDS).makespan_s
+        faults = FaultSchedule([
+            FaultEvent(0.3 * makespan, "cluster_death", "c0"),
+            FaultEvent(0.3 * makespan, "cluster_death", "c1"),
+            FaultEvent(0.3 * makespan, "cluster_death", "c2"),
+        ])
+        pair = run_pair(faults=faults)
+        assert_fused_matches_unfused(*pair)
+        report = pair[1]
+        assert set(report.dead_clusters) == {"c0", "c1", "c2"}
+        assert report.rounds_per_cluster["c3"] == ROUNDS
+        assert report.fused_rounds > 0
+
+    def test_heterogeneous_fleet_runs_unfused(self):
+        """Clusters that cannot stack fall back to per-round execution."""
+        report = build_scheduler(latents=[4, 4, 6, 6]).run(
+            rounds_per_cluster=5)
+        assert report.fused_rounds == 0 and report.segments == 0
+        assert report.rounds_per_cluster == {f"c{i}": 5 for i in range(4)}
+
+    def test_lossy_channels_run_unfused(self):
+        report = build_scheduler(channels=ChannelSpec(loss=0.1)).run(
+            rounds_per_cluster=5)
+        assert report.fused_rounds == 0
+
+    def test_segment_batching_flag_forces_unfused(self):
+        report = build_scheduler(fused=False).run(rounds_per_cluster=5)
+        assert report.fused_rounds == 0 and report.segments == 0
+
+    def test_quorum_halt_matches_unfused(self):
+        probe = build_scheduler(fused=False)
+        makespan = probe.run(rounds_per_cluster=ROUNDS).makespan_s
+        faults = FaultSchedule([
+            FaultEvent(0.2 * makespan, "cluster_death", "c0"),
+            FaultEvent(0.4 * makespan, "cluster_death", "c1"),
+        ])
+        resilience = ResilientOrchestrationPolicy(quorum=0.7)
+        pair = run_pair(faults=faults, resilience=resilience)
+        assert_fused_matches_unfused(*pair)
+        assert pair[1].halted
+
+
+class TestIdealLoopSharing:
+    """The sequential engine and batched replay drive one loop."""
+
+    def test_sequential_still_matches_batched(self):
+        sequential = build_scheduler(engine="sequential")
+        seq_report = sequential.run(rounds_per_cluster=ROUNDS)
+        batched = build_scheduler(engine="batched")
+        bat_report = batched.run(rounds_per_cluster=ROUNDS)
+        for c_s, c_b in zip(sequential.clusters, batched.clusters):
+            assert np.abs(c_s.history.losses
+                          - c_b.history.losses).max() <= 1e-6
+            assert np.array_equal(c_s.history.times, c_b.history.times)
+        assert seq_report.makespan_s == bat_report.makespan_s
+        assert seq_report.completion_times == bat_report.completion_times
+
+    def test_deadline_miss_shared_across_engines(self):
+        def run(engine):
+            scheduler = EdgeTrainingScheduler(
+                "deadline", rng=np.random.default_rng(0), engine=engine)
+            config = OrcoDCSConfig(input_dim=DIM, latent_dim=LATENT, seed=0,
+                                   batch_size=BATCH)
+            data = np.random.default_rng(0).random((ROWS, DIM))
+            scheduler.add_cluster("tight", OrcoDCSFramework(config), data,
+                                  batch_size=BATCH, deadline_s=1e-9)
+            return scheduler.run(rounds_per_cluster=3)
+
+        assert run("sequential").deadline_misses \
+            == run("event").deadline_misses == ["tight"]

@@ -309,3 +309,57 @@ class TestReviewRegressions:
         # Attempts = one first try per frame reached + the retransmissions.
         frames_tried = result.attempts - result.retransmissions
         assert 1 <= frames_tried <= result.frames
+
+
+class TestAdaptiveARQBudgets:
+    def test_budget_rule_from_slack_and_battery(self):
+        policy = ResilientOrchestrationPolicy(
+            adaptive_arq=True, arq_min_retries=0, arq_max_retries=6)
+        base = 2
+        # Slack-rich and battery-healthy: raise to the max budget.
+        assert policy.arq_retries_for(base, float("inf"), 100.0) == 6
+        assert policy.arq_retries_for(base, 3.0, 100.0) == 6
+        # Moderate slack: keep the fleet-uniform budget.
+        assert policy.arq_retries_for(base, 1.5, 100.0) == 2
+        # Deadline tighter than the ideal run: retries only hurt.
+        assert policy.arq_retries_for(base, 0.5, 100.0) == 0
+        # Battery-poor: conserve airtime whatever the slack.
+        assert policy.arq_retries_for(base, float("inf"), 0.5) == 0
+        # Disabled: always the base budget.
+        off = ResilientOrchestrationPolicy()
+        assert off.arq_retries_for(base, 0.5, 0.5) == base
+
+    def test_adaptive_arq_validation(self):
+        with pytest.raises(ValueError):
+            ResilientOrchestrationPolicy(arq_min_retries=4, arq_max_retries=2)
+        with pytest.raises(ValueError):
+            ResilientOrchestrationPolicy(arq_slack_rich=0.5)
+
+    def test_slack_rich_cluster_retries_more_than_tight(self):
+        """The satellite contract: under the same lossy channel, the
+        cluster with deadline slack retransmits (and delivers); the
+        deadline-tight one conserves airtime and loses rounds instead."""
+        scheduler = EdgeTrainingScheduler(
+            "round_robin", rng=np.random.default_rng(0), engine="event",
+            channels=ChannelSpec(loss=0.35, arq=ARQConfig(max_retries=2)),
+            resilience=ResilientOrchestrationPolicy(
+                adaptive_arq=True, arq_min_retries=0, arq_max_retries=6,
+                max_consecutive_failures=1000))
+        for name, deadline in (("rich", None), ("tight", 1e-9)):
+            config = OrcoDCSConfig(input_dim=DIM, latent_dim=LATENT,
+                                   seed=0, noise_sigma=0.05,
+                                   batch_size=BATCH)
+            data = np.random.default_rng(0).random((ROWS, DIM))
+            scheduler.add_cluster(name, OrcoDCSFramework(config), data,
+                                  batch_size=BATCH, deadline_s=deadline)
+        report = scheduler.run(rounds_per_cluster=15)
+
+        def retx_bytes(cluster):
+            ledger = cluster.trainer.ledger
+            return (ledger.total_wire_bytes("latent_uplink_retx")
+                    + ledger.total_wire_bytes("recon_downlink_retx"))
+
+        rich, tight = scheduler.clusters
+        assert retx_bytes(rich) > retx_bytes(tight) == 0
+        assert report.failed_rounds.get("tight", 0) \
+            > report.failed_rounds.get("rich", 0)

@@ -7,6 +7,7 @@ from repro.sim import (
     ARQConfig,
     BernoulliLoss,
     ChannelSpec,
+    GILBERT_ELLIOTT_PRESETS,
     GilbertElliottLoss,
     UnreliableChannel,
     as_loss_model,
@@ -200,3 +201,67 @@ class TestChannelSpec:
         channel.transmit(960)
         channel.reset()
         assert not channel.loss.bad
+
+
+class TestGilbertElliottPresets:
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError, match="unknown channel preset"):
+            ChannelSpec.preset("802154_marsbase")
+
+    @pytest.mark.parametrize("name,max_mean_loss", [
+        ("802154_indoor", 0.08), ("802154_outdoor", 0.10),
+        ("noisy_office", 0.25)])
+    def test_preset_steady_state_in_measured_band(self, name, max_mean_loss):
+        channel = ChannelSpec.preset(name).build(sensor_link(), rng(0))
+        assert 0.0 < channel.loss.mean_loss_rate < max_mean_loss
+        params = GILBERT_ELLIOTT_PRESETS[name]
+        assert channel.loss.p_good_to_bad == params["p_good_to_bad"]
+        # Bursty by construction: BAD state much lossier than GOOD.
+        assert channel.loss.loss_bad > 10 * channel.loss.loss_good
+
+    def test_presets_do_not_share_burst_state(self):
+        spec = ChannelSpec.preset("noisy_office")
+        a = spec.build(sensor_link(), rng(0))
+        b = spec.build(sensor_link(), rng(1))
+        assert a.loss is not b.loss
+        a.loss.bad = True
+        assert not b.loss.bad
+
+    def test_preset_severity_ordering(self):
+        rates = {name: ChannelSpec.preset(name).build(
+                     sensor_link(), rng(0)).loss.mean_loss_rate
+                 for name in GILBERT_ELLIOTT_PRESETS}
+        assert rates["802154_indoor"] < rates["802154_outdoor"] \
+            < rates["noisy_office"]
+
+    def test_preset_round_trips_through_channel_sweep(self):
+        """A preset drives the event engine's loss sweep end to end:
+        retransmissions land in the ledger, the run completes."""
+        import numpy as np
+
+        from repro.core import (
+            EdgeTrainingScheduler,
+            OrcoDCSConfig,
+            OrcoDCSFramework,
+        )
+
+        totals = {}
+        for spec, label in [(None, "ideal"),
+                            (ChannelSpec.preset("noisy_office"), "noisy")]:
+            scheduler = EdgeTrainingScheduler(
+                "round_robin", rng=np.random.default_rng(0), engine="event",
+                channels=spec)
+            for index in range(2):
+                config = OrcoDCSConfig(input_dim=24, latent_dim=4, seed=index,
+                                       noise_sigma=0.05, batch_size=8)
+                data = np.random.default_rng(index).random((48, 24))
+                scheduler.add_cluster(f"c{index}", OrcoDCSFramework(config),
+                                      data, batch_size=8)
+            report = scheduler.run(rounds_per_cluster=8)
+            totals[label] = sum(
+                c.trainer.ledger.total_wire_bytes()
+                for c in scheduler.clusters)
+            assert sum(report.rounds_per_cluster.values()) \
+                + sum(report.failed_rounds.values()) == 16
+        # Burst loss radiates retransmission bytes over the ideal run.
+        assert totals["noisy"] > totals["ideal"]

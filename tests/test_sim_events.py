@@ -162,3 +162,24 @@ class TestProcesses:
         sim.run()
         assert trace == [("fast", 1.0), ("slow", 1.5), ("fast", 2.0),
                          ("slow", 3.0)]
+
+
+class TestTaggedEvents:
+    def test_next_time_finds_earliest_pending_tag(self):
+        sim = EventScheduler()
+        sim.schedule(5.0, lambda: None, tag="fault")
+        sim.schedule(2.0, lambda: None, tag="fault")
+        sim.schedule(1.0, lambda: None)          # untagged
+        assert sim.next_time("fault") == 2.0
+
+    def test_next_time_ignores_cancelled_and_fired(self):
+        sim = EventScheduler()
+        early = sim.schedule(1.0, lambda: None, tag="fault")
+        sim.schedule(3.0, lambda: None, tag="fault")
+        early.cancel()
+        assert sim.next_time("fault") == 3.0
+        sim.run()
+        assert sim.next_time("fault") == float("inf")
+
+    def test_next_time_empty_is_inf(self):
+        assert EventScheduler().next_time("fault") == float("inf")

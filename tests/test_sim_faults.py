@@ -201,3 +201,30 @@ class TestNetworkTarget:
             FaultEvent(0.0, "cluster_death", "c"), network)
         assert network.alive_device_ids == []
         assert network.alive_fraction() == 0.0
+
+
+class TestFaultHorizon:
+    def schedule(self):
+        return FaultSchedule([
+            FaultEvent(1.0, "straggler", "c", magnitude=2.0),
+            FaultEvent(4.0, "recover", "c"),
+        ])
+
+    def test_next_after_walks_the_schedule(self):
+        schedule = self.schedule()
+        assert schedule.next_after(-1.0) == 1.0
+        assert schedule.next_after(1.0) == 4.0   # strictly after
+        assert schedule.next_after(4.0) == float("inf")
+
+    def test_horizon_tracks_unfired_faults(self):
+        sim = EventScheduler()
+        target = RecordingTarget()
+        injector = FaultInjector(self.schedule(), {"c": target})
+        assert injector.horizon() == 1.0          # pre-arm: schedule order
+        injector.arm(sim)
+        assert injector.horizon() == 1.0
+        sim.run(until=2.0)
+        assert injector.horizon() == 4.0
+        sim.run()
+        assert injector.horizon() == float("inf")
+        assert len(injector.applied) == 2
