@@ -11,10 +11,15 @@ Acceptance criteria measured directly:
 * **segment batching**: on a 16-cluster fault-only scenario the fused
   event engine (fault-free spans pre-executed as fleet waves) is at
   least **3x** faster than the unfused per-round loop, while its
-  modeled clock and ledger stay bit-identical.
+  modeled clock and ledger stay bit-identical;
+* **lossy fusion** (ISSUE 4): on a 16-cluster lossy fault-free sweep —
+  the resilience experiment's dominant cost — pre-sampled channel
+  traces let the fused engine run at least **2.5x** faster than the
+  unfused live loop, bit-identical in delivered/attempt ledger, failed
+  rounds, modeled clock and completion times.
 
 Workload geometry mirrors ``benchmarks/bench_multicluster.py``: 8 (16
-for the fusion acceptance) clusters of 40 devices, latent 6,
+for the fusion acceptances) clusters of 40 devices, latent 6,
 minibatches of 8.
 """
 
@@ -29,7 +34,7 @@ from repro.core import (
     OrcoDCSFramework,
     ResilientOrchestrationPolicy,
 )
-from repro.sim import ChannelSpec, FaultEvent, FaultSchedule
+from repro.sim import ARQConfig, ChannelSpec, FaultEvent, FaultSchedule
 
 CLUSTERS = 8
 FUSED_CLUSTERS = 16
@@ -80,6 +85,20 @@ def run_fused(segment_batching):
     return scheduler, report
 
 
+def lossy_kwargs():
+    """Bernoulli frame loss with a tight ARQ budget, no faults: the
+    resilience experiment's dominant sweep regime (ISSUE 4)."""
+    return dict(channels=ChannelSpec(loss=0.1, arq=ARQConfig(max_retries=1)))
+
+
+def run_lossy(segment_batching):
+    scheduler = build_scheduler("event", clusters=FUSED_CLUSTERS,
+                                segment_batching=segment_batching,
+                                **lossy_kwargs())
+    report = scheduler.run(rounds_per_cluster=FUSED_ROUNDS)
+    return scheduler, report
+
+
 def degraded_kwargs():
     faults = FaultSchedule([
         FaultEvent(0.01, "node_death", "cluster-0", device=7),
@@ -109,6 +128,16 @@ class TestEventEngineBenchmarks:
 
     def test_event_unfused_fault_only_16_clusters(self, run_once):
         _, report = run_once(run_fused, False)
+        assert report.fused_rounds == 0
+
+    def test_event_lossy_fused_16_clusters(self, run_once):
+        """Baseline for the lossy-fused regression gate
+        (``benchmarks/check_regression.py``)."""
+        _, report = run_once(run_lossy, True)
+        assert report.fused_rounds > 0
+
+    def test_event_lossy_unfused_16_clusters(self, run_once):
+        _, report = run_once(run_lossy, False)
         assert report.fused_rounds == 0
 
 
@@ -194,6 +223,57 @@ class TestEventEngineAcceptance:
             == unfused_report.completion_times
         assert fused_report.energy_j == unfused_report.energy_j
         assert fused_report.faults_applied == unfused_report.faults_applied
+
+    def test_lossy_fused_engine_2_5x_over_unfused(self):
+        """Acceptance (ISSUE 4): lossy fault-free fusion >= 2.5x @ 16
+        clusters.
+
+        The loss-rate sweep is the resilience experiment's dominant
+        cost; pre-sampled channel traces let its rounds pre-execute as
+        fleet waves.
+        """
+        ratios = []
+        for _ in range(3):
+            start = time.perf_counter()
+            run_lossy(segment_batching=False)
+            unfused_s = time.perf_counter() - start
+            start = time.perf_counter()
+            _, report = run_lossy(segment_batching=True)
+            fused_s = time.perf_counter() - start
+            ratios.append(unfused_s / fused_s)
+        speedup = statistics.median(ratios)
+        print(f"\nlossy-fused speedup at {FUSED_CLUSTERS} clusters "
+              f"(10% frame loss, fault-free): {speedup:.2f}x unfused "
+              f"(trials: {', '.join(f'{r:.2f}' for r in ratios)}; "
+              f"{report.fused_rounds} fused rounds, "
+              f"{sum(report.failed_rounds.values())} failed rounds)")
+        assert report.fused_rounds > 0
+        assert speedup >= 2.5, \
+            f"lossy-fused speedup {speedup:.2f}x < 2.5x"
+
+    def test_lossy_fused_run_is_bit_identical(self):
+        """Fused (trace-replayed) vs unfused (live draws) on the lossy
+        fault-free sweep: delivered/attempts, ledger, failed rounds,
+        modeled clock and completion times bit-identical."""
+        fused, fused_report = run_lossy(segment_batching=True)
+        unfused, unfused_report = run_lossy(segment_batching=False)
+        worst = 0.0
+        for c_f, c_u in zip(fused.clusters, unfused.clusters):
+            if len(c_f.history.losses):
+                worst = max(worst, float(np.abs(c_f.history.losses
+                                                - c_u.history.losses).max()))
+            assert np.array_equal(c_f.history.times, c_u.history.times)
+            assert c_f.trainer.clock_s == c_u.trainer.clock_s
+            assert c_f.trainer.ledger.by_kind() \
+                == c_u.trainer.ledger.by_kind()
+            assert len(c_f.trainer.ledger) == len(c_u.trainer.ledger)
+        print(f"\nlossy fused-vs-unfused max loss divergence: {worst:.3e}")
+        assert worst <= 1e-9
+        assert fused_report.makespan_s == unfused_report.makespan_s
+        assert fused_report.completion_times \
+            == unfused_report.completion_times
+        assert fused_report.failed_rounds == unfused_report.failed_rounds
+        assert fused_report.energy_j == unfused_report.energy_j
 
     def test_zero_fault_event_run_matches_sequential(self):
         """The equivalence anchor, asserted at benchmark geometry."""

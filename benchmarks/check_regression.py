@@ -1,23 +1,31 @@
-"""Speedup regression gate against the committed benchmark baseline.
+"""Speedup regression gates against the committed benchmark baselines.
 
-Compares the fleet engine's 16-cluster sequential/batched speedup (the
-workload of ``bench_multicluster.py``) against the ratio recorded in
-the committed ``BENCH_multicluster.json`` and fails — exit code 1 —
-when it drops below **80%** of the baseline.  Comparing *ratios* rather
-than absolute times keeps the gate meaningful across machines: CI
-hardware differs from the baseline box, but the engines run on the same
-core, so their relative cost is stable.
+Two engine-speedup ratios are gated at **80%** of their committed
+baselines (exit code 1 below the floor):
+
+* the fleet engine's 16-cluster sequential/batched speedup (the
+  workload of ``bench_multicluster.py``) against
+  ``BENCH_multicluster.json``;
+* the event engine's 16-cluster lossy-fused speedup — unfused live
+  loop over trace-replayed fused run, the workload of
+  ``bench_resilience.py``'s lossy benchmarks — against
+  ``BENCH_resilience.json``.
+
+Comparing *ratios* rather than absolute times keeps the gates
+meaningful across machines: CI hardware differs from the baseline box,
+but the engines run on the same core, so their relative cost is stable.
 
 The measured side defaults to a fresh interleaved median-of-3 run —
 single-sample timings (like the smoke JSON's one pedantic round per
 engine) are too noisy for a hard gate.  Pass ``--from-json <path>`` to
 reuse an existing pytest-benchmark JSON instead of re-running, e.g. to
-inspect an artifact offline.
+inspect an artifact offline (it must contain the benchmarks of the
+gate(s) being checked).
 
 Usage (from the repo root, CI's bench-smoke job)::
 
     PYTHONPATH=src python benchmarks/check_regression.py \
-        [baseline.json] [--from-json measured.json]
+        [--gate fleet|lossy-fused|all] [--from-json measured.json]
 """
 
 import argparse
@@ -30,22 +38,30 @@ import time
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
 from bench_multicluster import CLUSTERS, run_engine  # noqa: E402
+from bench_resilience import FUSED_CLUSTERS, run_lossy  # noqa: E402
 
 REGRESSION_FLOOR = 0.8
 TRIALS = 3
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 
-def speedup_from_json(path: pathlib.Path) -> float:
-    """Sequential-over-batched mean-time ratio from a benchmark JSON."""
+def ratio_from_json(path: pathlib.Path, slow_name: str,
+                    fast_name: str) -> float:
+    """Mean-time ratio of two named benchmarks in a benchmark JSON.
+
+    Returns ``None`` when the JSON lacks either benchmark (e.g. a
+    partial smoke artifact passed via ``--from-json``).
+    """
     with open(path) as handle:
         data = json.load(handle)
     means = {bench["name"]: bench["stats"]["mean"]
              for bench in data["benchmarks"]}
-    return (means["test_sequential_16_clusters"]
-            / means["test_batched_16_clusters"])
+    if slow_name not in means or fast_name not in means:
+        return None
+    return means[slow_name] / means[fast_name]
 
 
-def measured_speedup(trials: int = TRIALS) -> float:
+def measured_fleet_speedup(trials: int = TRIALS) -> float:
     """Interleaved best-of-N timing, as the benchmark itself does."""
     ratios = []
     for _ in range(trials):
@@ -59,33 +75,76 @@ def measured_speedup(trials: int = TRIALS) -> float:
     return statistics.median(ratios)
 
 
+def measured_lossy_fused_speedup(trials: int = TRIALS) -> float:
+    ratios = []
+    for _ in range(trials):
+        start = time.perf_counter()
+        run_lossy(segment_batching=False)
+        unfused_s = time.perf_counter() - start
+        start = time.perf_counter()
+        run_lossy(segment_batching=True)
+        fused_s = time.perf_counter() - start
+        ratios.append(unfused_s / fused_s)
+    return statistics.median(ratios)
+
+
+#: gate name -> (baseline JSON, (slow, fast) benchmark names, measurer,
+#: human label)
+GATES = {
+    "fleet": (REPO_ROOT / "BENCH_multicluster.json",
+              ("test_sequential_16_clusters", "test_batched_16_clusters"),
+              measured_fleet_speedup,
+              f"fleet speedup at {CLUSTERS} clusters"),
+    "lossy-fused": (REPO_ROOT / "BENCH_resilience.json",
+                    ("test_event_lossy_unfused_16_clusters",
+                     "test_event_lossy_fused_16_clusters"),
+                    measured_lossy_fused_speedup,
+                    f"lossy-fused speedup at {FUSED_CLUSTERS} clusters"),
+}
+
+
+def check_gate(name: str, from_json: pathlib.Path = None) -> bool:
+    baseline_path, (slow, fast), measure, label = GATES[name]
+    baseline = ratio_from_json(baseline_path, slow, fast)
+    if baseline is None:
+        print(f"error: committed baseline {baseline_path.name} lacks "
+              f"{slow!r}/{fast!r} — re-commit it from a full "
+              "benchmark run", file=sys.stderr)
+        return False
+    floor = REGRESSION_FLOOR * baseline
+    if from_json:
+        measured = ratio_from_json(from_json, slow, fast)
+        if measured is None:
+            print(f"{label}: SKIPPED — {from_json.name} has no "
+                  f"{slow!r}/{fast!r} entries (partial artifact); "
+                  f"re-run without --from-json to measure live")
+            return True
+    else:
+        measured = measure()
+    ok = measured >= floor
+    verdict = "OK" if ok else "REGRESSION"
+    print(f"{label}: measured {measured:.2f}x vs baseline {baseline:.2f}x "
+          f"(floor {REGRESSION_FLOOR:.0%} -> {floor:.2f}x): {verdict}")
+    if not ok:
+        print(f"error: measured {label} {measured:.2f}x fell below "
+              f"{floor:.2f}x — the engine regressed (or the baseline "
+              f"needs re-committing after a deliberate change)",
+              file=sys.stderr)
+    return ok
+
+
 def main() -> int:
-    repo_root = pathlib.Path(__file__).resolve().parent.parent
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline", nargs="?",
-                        default=repo_root / "BENCH_multicluster.json",
-                        type=pathlib.Path,
-                        help="committed baseline JSON (default: repo root)")
+    parser.add_argument("--gate", choices=[*GATES, "all"], default="all",
+                        help="which speedup gate to check (default: all)")
     parser.add_argument("--from-json", type=pathlib.Path, default=None,
-                        help="read the measured speedup from an existing "
+                        help="read the measured speedups from an existing "
                              "benchmark JSON instead of re-running")
     args = parser.parse_args()
 
-    baseline = speedup_from_json(args.baseline)
-    floor = REGRESSION_FLOOR * baseline
-    measured = speedup_from_json(args.from_json) if args.from_json \
-        else measured_speedup()
-    verdict = "OK" if measured >= floor else "REGRESSION"
-    print(f"fleet speedup at {CLUSTERS} clusters: measured {measured:.2f}x "
-          f"vs baseline {baseline:.2f}x "
-          f"(floor {REGRESSION_FLOOR:.0%} -> {floor:.2f}x): {verdict}")
-    if measured < floor:
-        print(f"error: measured speedup {measured:.2f}x fell below "
-              f"{floor:.2f}x — the batched engine regressed (or the "
-              f"baseline needs re-committing after a deliberate change)",
-              file=sys.stderr)
-        return 1
-    return 0
+    names = list(GATES) if args.gate == "all" else [args.gate]
+    ok = all([check_gate(name, args.from_json) for name in names])
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

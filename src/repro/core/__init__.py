@@ -20,6 +20,7 @@ from .fleet import (
     FleetSubset,
     FleetTrainer,
     fleet_compatible,
+    stacking_key,
 )
 from .noise import GaussianNoiseInjector
 from .rounds import (
@@ -31,6 +32,7 @@ from .rounds import (
 )
 from .scheduler import (
     EdgeTrainingScheduler,
+    ExecutionPlan,
     ResilientOrchestrationPolicy,
     ScheduledCluster,
     ScheduleReport,
@@ -65,11 +67,12 @@ __all__ = [
     "AdaptationEvent", "AdaptationLog", "FineTuningMonitor",
     "OnlineAdaptationLoop",
     "FleetIncompatibilityError", "FleetSubset", "FleetTrainer",
-    "fleet_compatible",
+    "fleet_compatible", "stacking_key",
     "GaussianNoiseInjector",
     "IdealRoundLoop", "InlineRoundExecutor", "SegmentedFleetExecutor",
     "contributor_batch", "epoch_of",
-    "EdgeTrainingScheduler", "ResilientOrchestrationPolicy",
+    "EdgeTrainingScheduler", "ExecutionPlan",
+    "ResilientOrchestrationPolicy",
     "ScheduledCluster", "ScheduleReport", "compare_policies",
     "EpochRecord", "OrchestratedTrainer", "OrcoDCSFramework", "RoundRecord",
     "TrainingHistory",

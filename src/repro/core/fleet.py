@@ -41,6 +41,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..nn.batched import (
+    _OPTIMIZER_HYPERPARAMS,
     ActiveSlices,
     FleetIncompatibilityError,
     check_fleet_optimizers,
@@ -56,7 +57,7 @@ from ..wsn.network import TransmissionRecord
 from .orchestrator import OrchestratedTrainer, RoundRecord
 
 __all__ = ["FleetTrainer", "FleetSubset", "FleetIncompatibilityError",
-           "fleet_compatible"]
+           "fleet_compatible", "stacking_key"]
 
 
 def _check_homogeneous(trainers: Sequence[OrchestratedTrainer]) -> None:
@@ -95,6 +96,53 @@ def fleet_compatible(trainers: Sequence[OrchestratedTrainer]) -> bool:
     except (FleetIncompatibilityError, NotImplementedError):
         return False
     return True
+
+
+def stacking_key(trainer: OrchestratedTrainer) -> Optional[tuple]:
+    """Hashable architecture signature for homogeneous-group stacking.
+
+    Trainers with equal keys are candidates for the same stacked
+    program (same dimensions, layer stack, loss and optimiser recipe);
+    mixed-architecture fleets partition into groups by this key, each
+    group batching on its own.  ``None`` marks a trainer with no
+    stacked form at all (non-``Sequential`` models).  The key is a
+    cheap *pre-filter*: candidate groups are still validated with
+    :func:`fleet_compatible` before a fleet is built, so a key
+    collision can cost a fallback but never correctness.
+    """
+    encoder, decoder = trainer.encoder, trainer.decoder
+    if not isinstance(encoder, Sequential) or not isinstance(decoder,
+                                                             Sequential):
+        return None
+
+    def model_signature(model: Sequential) -> tuple:
+        signature = []
+        for layer in model.layers:
+            entry = [type(layer).__name__]
+            for attr in ("in_features", "out_features", "negative_slope",
+                         "axis"):
+                if hasattr(layer, attr):
+                    entry.append((attr, getattr(layer, attr)))
+            entry.append(getattr(layer, "bias", None) is not None)
+            signature.append(tuple(entry))
+        return tuple(signature)
+
+    def optimizer_signature(optimizer) -> tuple:
+        # Same fields check_fleet_optimizers compares: a hyperparameter
+        # mismatch must land in a *different* group, not shatter a
+        # candidate group at validation time.
+        hyperparams = _OPTIMIZER_HYPERPARAMS.get(type(optimizer), ())
+        return (type(optimizer).__name__, optimizer.lr,
+                tuple((name, getattr(optimizer, name))
+                      for name in hyperparams))
+
+    loss = trainer.loss
+    return (trainer.input_dim, trainer.latent_dim,
+            type(loss).__name__,
+            tuple(sorted((k, repr(v)) for k, v in vars(loss).items())),
+            model_signature(encoder), model_signature(decoder),
+            optimizer_signature(trainer.encoder_optimizer),
+            optimizer_signature(trainer.decoder_optimizer))
 
 
 class FleetTrainer:

@@ -29,10 +29,10 @@ kernel process.  They now live here once:
 * :class:`InlineRoundExecutor` and :class:`SegmentedFleetExecutor` are
   the event engine's two ways of producing step 2: per-cluster autograd
   passes, or **segment batching** — between consecutive scheduled fault
-  times (and whenever every attached channel is lossless) the surviving
-  clusters' rounds are pre-executed as one
-  :class:`~repro.core.fleet.FleetTrainer` stacked program and replayed
-  into the kernel's clock, ledger and per-cluster RNG streams.
+  times the surviving clusters' rounds are pre-executed as
+  :class:`~repro.core.fleet.FleetTrainer` stacked programs (one per
+  homogeneous cluster group) and replayed into the kernel's clock,
+  ledger and per-cluster RNG streams.
 
 Segment batching correctness
 ----------------------------
@@ -49,14 +49,33 @@ the planning rule: pre-execute a round iff ``f`` lies *strictly before*
 the next unfired fault (:meth:`~repro.sim.faults.FaultInjector.
 horizon`).  :meth:`SegmentedFleetExecutor._plan_segment` replays the
 edge process's arithmetic — same picks, same floats — up to that
-boundary, stopping early on battery retirement and quorum halts, which
-are the only in-segment state changes.  Rounds at or past the boundary
-fall back to per-cluster execution (a one-cluster wave) at their true
-kernel time, after the fault has been applied.
+boundary, stopping early on battery retirement and quorum halts.
+Rounds at or past the boundary fall back to per-cluster execution (a
+one-cluster wave) at their true kernel time, after the fault has been
+applied.
 
-For a fault-only scenario (no channel loss) the fused engine therefore
-reproduces the unfused engine's modeled clock, transmission ledger,
-report and fault audit trail bit-for-bit, and its per-cluster losses to
+Channel randomness is folded into the same rule by making it a
+*replayable input*: the scheduler pre-samples each unreliable channel's
+whole horizon of transmit outcomes into
+:class:`~repro.sim.channel.ChannelTrace`\\ s (bit-identical to the live
+draws under the same seed, because a channel's draw sequence depends
+only on its own RNG, never on the simulated clock) and the planner
+reads delivered verdicts, attempts, retransmission wire bytes and
+elapsed stretches straight from the traces.  A lossy round is therefore
+plan-time computable: failed rounds are walked through exactly as the
+kernel will process them inline (budget burned, battery charged,
+failure streaks advanced, no training update), and successful rounds
+carry their planner-priced clock stretch into the wave.  For the
+loss-coupled ``loss_priority`` policy the planner cannot mirror picks,
+so it plans **wave-by-wave** (:meth:`SegmentedFleetExecutor._plan_wave`)
+— fusing per-cluster futures only when a sound bound proves every
+outstanding round is consumed strictly before the horizon, and
+otherwise executing one round and re-planning at the next request.
+
+A fused run — fault-only, lossy-but-faultless, or lossy-with-faults
+under an uncoupled policy — therefore reproduces the unfused engine's
+modeled clock, transmission ledger, delivered/attempt counts, report
+and fault audit trail bit-for-bit, and its per-cluster losses to
 stacked-vs-solo GEMM reduction noise (<= 1e-9 observed; the repo-wide
 equivalence budget is 1e-6) — asserted in ``tests/test_core_rounds.py``
 and ``benchmarks/bench_resilience.py``.
@@ -70,6 +89,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..sim.channel import TransmitResult
 from .fleet import FleetTrainer
 from .orchestrator import RoundRecord
 
@@ -184,7 +204,10 @@ class ScheduleReport:
     ``energy_j`` (aggregator backhaul radio energy actually drained)
     and ``halted`` (the quorum rule stopped the run early).
     ``fused_rounds``/``segments`` report how much of the run executed as
-    stacked fleet segments (zero under the unfused executor).
+    stacked fleet segments (zero under the unfused executor);
+    ``arq_budgets`` records each cluster's final per-frame
+    retransmission budget (meaningful under adaptive ARQ, where fault
+    applications re-derive it mid-run).
     """
 
     policy: str
@@ -202,6 +225,7 @@ class ScheduleReport:
     faults_applied: int = 0
     fused_rounds: int = 0
     segments: int = 0
+    arq_budgets: Dict[str, int] = field(default_factory=dict)
 
     @property
     def mean_final_loss(self) -> float:
@@ -318,9 +342,9 @@ class IdealRoundLoop:
 class InlineRoundExecutor:
     """Per-cluster round execution: one autograd pass at its kernel time.
 
-    The fallback for unreliable channels (loss/jitter draws make round
-    outcomes channel-state-dependent, so nothing may run early) and for
-    fleets the stacked program cannot express.
+    The fallback whenever nothing may run early: segment batching
+    disabled, no stackable cluster group, or channel behaviour that can
+    change mid-run (adaptive ARQ re-derivation under faults).
     """
 
     fused_rounds = 0
@@ -333,31 +357,167 @@ class InlineRoundExecutor:
             batch, epoch=epoch_of(cluster, cluster.rounds_completed))
         return stretch_record(cluster.trainer, record, extra_s)
 
+    def charge_failure(self, cluster: "ScheduledCluster",
+                       charge_s: float) -> None:
+        """A failed round's modeled time lands on the cluster clock."""
+        cluster.trainer.clock_s += charge_s
+
     def finalize(self) -> None:
         """Nothing pre-executed, nothing to write back."""
 
 
+class _PlanCursor:
+    """The planner's forward view of one cluster's remaining rounds.
+
+    Snapshots the cluster's live world state (budget, battery, failure
+    streak, trace positions) at plan time and advances it round by
+    round, reading each round's transmit outcomes from the recorded
+    channel traces (or the ideal closed-form results on lossless
+    links).  Every transition mirrors the kernel loop's arithmetic
+    float for float — :meth:`charge` is ``charge_backhaul``,
+    :meth:`apply` is the budget/streak/retirement bookkeeping — so the
+    rounds the planner prices are exactly the rounds the kernel will
+    commit.
+    """
+
+    __slots__ = ("executor", "name", "timing", "agg_s", "budget", "battery",
+                 "dead", "consec", "ready", "rounds_completed", "up_idx",
+                 "down_idx")
+
+    def __init__(self, executor: "SegmentedFleetExecutor",
+                 cluster: "ScheduledCluster", state) -> None:
+        self.executor = executor
+        self.name = cluster.name
+        self.timing = executor._costs[cluster.name]
+        self.agg_s = self.timing.aggregator_compute_s * state.slow_factor
+        self.budget = executor.budget[cluster.name]
+        self.battery = state.battery.remaining_j
+        self.dead = state.dead
+        self.consec = state.consecutive_failures
+        self.ready = state.ready_at
+        self.rounds_completed = cluster.rounds_completed
+        self.up_idx, self.down_idx = executor._cursors(cluster.name)
+
+    @property
+    def pending(self) -> bool:
+        return not self.dead and self.budget > 0
+
+    # -- next-round outcome (peeked from the traces, not yet applied) --
+    def peek(self):
+        """``(kind, up, down)`` of this cluster's next trace round."""
+        up = self.executor._up_entry(self.name, self.up_idx)
+        if not up.delivered:
+            return "fail_up", up, None
+        down = self.executor._down_entry(self.name, self.down_idx)
+        return ("success" if down.delivered else "fail_down"), up, down
+
+    def span(self, kind: str, up, down) -> float:
+        """Upper bound on how much a round can push the fleet's clocks."""
+        if kind == "fail_up":
+            return self.agg_s + up.elapsed_s
+        return (self.timing.edge_compute_s + self.agg_s + up.elapsed_s
+                + down.elapsed_s)
+
+    def extra(self, up, down) -> float:
+        """The round's stretch beyond ideal accounting — the same
+        expression, in the same order, as the kernel loop computes."""
+        return ((self.agg_s - self.timing.aggregator_compute_s)
+                + (up.elapsed_s - self.timing.uplink_s)
+                + (down.elapsed_s - self.timing.downlink_s))
+
+    def fail_charge(self, kind: str, up, down) -> float:
+        """A failed round's cluster-clock charge — the kernel loop's
+        expression, in its order, so replay is float-exact."""
+        if kind == "fail_up":
+            return self.agg_s + up.elapsed_s
+        return (self.agg_s + up.elapsed_s + self.timing.edge_compute_s
+                + down.elapsed_s)
+
+    # -- state transitions (order-independent per cluster) -------------
+    def charge(self, tx_wire_bytes: int, rx_wire_bytes: int) -> None:
+        """Mirror of ``_EventClusterState.charge_backhaul``."""
+        state = self.executor.states[self.name]
+        joules = (state.radio.tx_energy(tx_wire_bytes * 8, state.backhaul_m)
+                  + state.radio.rx_energy(rx_wire_bytes * 8))
+        if joules > self.battery + 1e-18:   # Battery.drain's verdict
+            self.battery = 0.0
+            self.dead = True
+        else:
+            self.battery -= joules
+
+    def apply(self, kind: str, up, down) -> None:
+        """Advance past one peeked round (budget, battery, streaks)."""
+        self.budget -= 1
+        self.up_idx += 1
+        if kind == "fail_up":
+            self.charge(up.wire_bytes, 0)
+            self._fail()
+            return
+        self.down_idx += 1
+        self.charge(up.wire_bytes, down.received_wire_bytes)
+        if kind == "fail_down":
+            self._fail()
+        else:
+            self.consec = 0
+            self.rounds_completed += 1
+
+    def _fail(self) -> None:
+        self.consec += 1
+        if self.consec >= self.executor.resilience.max_consecutive_failures:
+            self.dead = True
+
+    def seed_current(self, edge_clock: float, agg_s: float) -> None:
+        """Account the requesting cluster's already-committed round.
+
+        The kernel has transmitted (trace cursors are past this round's
+        entries) and put its edge compute on the clock; battery charge,
+        budget spend and the ready push land after ``execute`` returns,
+        so the planner mirrors them here with the *actual* consumed
+        outcomes.
+        """
+        up = self.executor._up_entry(self.name, self.up_idx - 1)
+        down = self.executor._down_entry(self.name, self.down_idx - 1)
+        self.ready = edge_clock + agg_s + up.elapsed_s + down.elapsed_s
+        self.budget -= 1
+        self.consec = 0
+        self.rounds_completed += 1
+        self.charge(up.wire_bytes, down.received_wire_bytes)
+
+
 class SegmentedFleetExecutor:
-    """Segment batching: fault-free spans run as stacked fleet waves.
+    """Segment batching: channel-safe spans run as stacked fleet waves.
 
-    Owns one :class:`~repro.core.fleet.FleetTrainer` over the whole
-    fleet and, per segment, a plan of how many rounds each surviving
-    cluster completes before the next fault horizon.  Planned rounds are
-    executed immediately as fleet waves over the survivors
-    (:meth:`~repro.core.fleet.FleetTrainer.subset` — no parameter
-    copies) and queued; the kernel's edge process then consumes them at
-    the exact simulated times the unfused engine would have produced
-    them.  At a fault boundary the plan ends, so the straddling round of
-    each affected cluster degenerates to a one-cluster wave at its true
-    kernel time — per-cluster event execution for exactly the affected
-    clusters/rounds.
+    Owns one :class:`~repro.core.fleet.FleetTrainer` per homogeneous
+    cluster group (heterogeneous fleets stack group by group; a
+    one-cluster group executes its trainer directly) and, per plan, a
+    list of how many rounds each surviving cluster completes before the
+    next fault horizon.  Planned rounds are executed immediately as
+    fleet waves over the survivors (:meth:`~repro.core.fleet.
+    FleetTrainer.subset` — no parameter copies) and queued; the
+    kernel's edge process then consumes them at the exact simulated
+    times the unfused engine would have produced them.
 
-    Construction requirements (checked by the scheduler): every channel
-    lossless, clusters fleet-compatible with one batch geometry, and a
-    policy whose picks don't depend on losses — except that
-    ``loss_priority`` *is* fusable when no faults are scheduled and the
-    quorum rule is off, because then every cluster simply runs until its
-    budget or battery ends, independent of pick order.
+    Channel randomness is not a barrier: lossy channels are pre-sampled
+    into :class:`~repro.sim.channel.ChannelTrace`\\ s by the scheduler,
+    so the planner prices every round's delivered verdict, attempts,
+    retransmission energy and clock stretch at plan time, and failed
+    rounds (budget burned, no update) are walked through exactly as the
+    kernel will process them inline.
+
+    Two planning modes:
+
+    * ``segment`` (``fifo``/``round_robin``/``deadline``): the picks are
+      loss-independent, so :meth:`_plan_segment` dry-runs the kernel
+      loop float-for-float up to the fault horizon and pre-executes that
+      exact prefix; straddling rounds degenerate to one-cluster waves at
+      their true kernel times.
+    * ``wave`` (``loss_priority``): picks depend on losses the planner
+      cannot foresee, but per-cluster round *math* is pick-independent,
+      so :meth:`_plan_wave` pre-executes whole per-cluster futures
+      whenever a sound bound proves every outstanding round is consumed
+      strictly before the next fault — and otherwise executes just the
+      requesting round and re-plans at the next request (execute one
+      wave, re-pick, re-plan).
     """
 
     def __init__(self, clusters: Sequence["ScheduledCluster"],
@@ -366,7 +526,11 @@ class SegmentedFleetExecutor:
                  budget: Dict[str, int],
                  edge_clock_ref: List[float],
                  policy: str,
-                 resilience) -> None:
+                 resilience,
+                 groups: Optional[Sequence[Sequence[int]]] = None,
+                 mode: str = "segment") -> None:
+        if mode not in ("segment", "wave"):
+            raise ValueError(f"unknown planning mode {mode!r}")
         self.clusters = list(clusters)
         self.states = states
         self.injector = injector
@@ -374,27 +538,65 @@ class SegmentedFleetExecutor:
         self.edge_clock_ref = edge_clock_ref
         self.policy = policy
         self.resilience = resilience
-        self.fleet = FleetTrainer([c.trainer for c in self.clusters])
+        self.mode = mode
+        if groups is None:
+            groups = [tuple(range(len(self.clusters)))]
+        self.group_fleets = [
+            (list(members),
+             FleetTrainer([self.clusters[k].trainer for k in members])
+             if len(members) >= 2 else None)
+            for members in groups]
         self.queues: Dict[str, deque] = {c.name: deque()
                                          for c in self.clusters}
+        # Planned failed rounds whose clock charge was pre-applied in
+        # sequence order; the kernel's inline failure handling pops
+        # these instead of charging twice.
+        self.fail_queues: Dict[str, deque] = {c.name: deque()
+                                              for c in self.clusters}
         self.executed = {c.name: 0 for c in self.clusters}
         self.fused_rounds = 0
         self.segments = 0
-        # Per-cluster per-round constants of the lossless world: round
-        # timing, exact transfer times (the ideal channel's transmit is
-        # pure — no RNG draws) and the backhaul radio energy one round
-        # drains, mirroring _EventClusterState.charge_backhaul.
-        self._costs = {}
+        # Per-cluster constants: round timing plus the ideal channel's
+        # closed-form transmit outcomes (`LinkModel.transfer_time` /
+        # `wire_bytes` — exactly what a lossless transmit reports), the
+        # planner's stand-in wherever no trace is attached.
+        self._costs: Dict[str, object] = {}
+        self._ideal_up: Dict[str, TransmitResult] = {}
+        self._ideal_down: Dict[str, TransmitResult] = {}
         for cluster in self.clusters:
-            state = states[cluster.name]
             costs = cluster.trainer.round_costs(cluster.batch_size)
-            up = state.transmit_up(costs.up_bytes)
-            down = state.transmit_down(costs.down_bytes)
-            joules = (state.radio.tx_energy(up.wire_bytes * 8,
-                                            state.backhaul_m)
-                      + state.radio.rx_energy(down.received_wire_bytes * 8))
-            self._costs[cluster.name] = (costs.timing, up.elapsed_s,
-                                         down.elapsed_s, joules)
+            timing = cluster.trainer.timing
+            self._costs[cluster.name] = costs.timing
+            up_frames = timing.up.frames_for(costs.up_bytes)
+            down_frames = timing.down.frames_for(costs.down_bytes)
+            self._ideal_up[cluster.name] = TransmitResult(
+                costs.up_bytes, up_frames, up_frames, 0, True,
+                costs.up_wire_bytes, costs.timing.uplink_s,
+                costs.up_wire_bytes, 0)
+            self._ideal_down[cluster.name] = TransmitResult(
+                costs.down_bytes, down_frames, down_frames, 0, True,
+                costs.down_wire_bytes, costs.timing.downlink_s,
+                costs.down_wire_bytes, 0)
+
+    # -- trace access ---------------------------------------------------
+    def _cursors(self, name: str):
+        channel = self.states[name].up_channel
+        if channel is not None and channel.trace is not None:
+            return (channel.trace.cursor,
+                    self.states[name].down_channel.trace.cursor)
+        return 0, 0
+
+    def _up_entry(self, name: str, index: int) -> TransmitResult:
+        channel = self.states[name].up_channel
+        if channel is not None and channel.trace is not None:
+            return channel.trace.entry(index)
+        return self._ideal_up[name]
+
+    def _down_entry(self, name: str, index: int) -> TransmitResult:
+        channel = self.states[name].down_channel
+        if channel is not None and channel.trace is not None:
+            return channel.trace.entry(index)
+        return self._ideal_down[name]
 
     # ------------------------------------------------------------------
     def execute(self, cluster: "ScheduledCluster", state,
@@ -404,119 +606,116 @@ class SegmentedFleetExecutor:
             self._fill(cluster, agg_s, extra_s)
         return queue.popleft()
 
+    def charge_failure(self, cluster: "ScheduledCluster",
+                       charge_s: float) -> None:
+        """Settle a failed round's cluster-clock charge exactly once.
+
+        A *planned* failure pre-applied its charge in sequence order
+        during :meth:`_run_waves` (so pre-executed successes after it
+        carry the right cumulative clock); the kernel's inline handling
+        pops it here instead of charging again.  Unplanned failures
+        (past the planning horizon) charge inline like the unfused
+        executor.
+        """
+        pending = self.fail_queues[cluster.name]
+        if pending:
+            planned = pending.popleft()
+            if planned != charge_s:
+                raise RuntimeError(
+                    f"planned failure charge {planned!r} != kernel charge "
+                    f"{charge_s!r} for {cluster.name} — planner/loop "
+                    "divergence")
+            return
+        cluster.trainer.clock_s += charge_s
+
     def finalize(self) -> None:
         """Write fleet-trained weights/optimiser state back (run end)."""
-        leftovers = {name: len(q) for name, q in self.queues.items() if q}
+        leftovers = {name: len(q) + len(self.fail_queues[name])
+                     for name, q in self.queues.items()
+                     if q or self.fail_queues[name]}
         if leftovers:
             raise RuntimeError(
                 f"segment plan over-executed rounds never consumed by the "
                 f"kernel: {leftovers} — planner/loop divergence")
-        self.fleet.sync_to_trainers()
+        for _, fleet in self.group_fleets:
+            if fleet is not None:
+                fleet.sync_to_trainers()
 
     # ------------------------------------------------------------------
     def _fill(self, current: "ScheduledCluster", agg_s: float,
               extra_s: float) -> None:
-        """Plan the segment starting at ``current``'s math point, then
-        pre-execute it as fleet waves."""
-        stale = [name for name, q in self.queues.items() if q]
+        """Plan from ``current``'s math point, then pre-execute the plan
+        as fleet waves."""
+        stale = [name for name in self.queues
+                 if self.queues[name] or self.fail_queues[name]]
         if stale:
             raise RuntimeError(
-                f"replanning with non-empty queues {stale} — planner/loop "
-                "divergence")
+                f"replanning with non-empty queues {stale} — "
+                "planner/loop divergence")
         horizon = self.injector.horizon()
-        if self.policy == "loss_priority":
-            # Only reachable with no faults and no quorum (see class
-            # docstring): each cluster's round count is pick-independent.
-            counts = self._battery_limited_counts(current)
+        if self.mode == "wave":
+            plan = self._plan_wave(current, agg_s, extra_s, horizon)
         else:
-            counts = self._plan_segment(current, agg_s, horizon)
+            plan = self._plan_segment(current, agg_s, extra_s, horizon)
         self.segments += 1
-        self._run_waves(counts, {current.name: extra_s})
-
-    def _battery_limited_counts(self, current: "ScheduledCluster"
-                                ) -> Dict[str, int]:
-        """Rounds each cluster completes when nothing couples the fleet.
-
-        With no fault horizon and no quorum rule, a cluster trains until
-        its budget ends or its battery's per-round backhaul drain fails
-        (that round still completes — retirement lands after
-        ``charge_backhaul``), independent of every other cluster.
-        """
-        counts = {}
-        for cluster in self.clusters:
-            state = self.states[cluster.name]
-            if state.dead or self.budget[cluster.name] <= 0:
-                counts[cluster.name] = 0
-                continue
-            joules = self._costs[cluster.name][3]
-            remaining = state.battery.remaining_j
-            rounds = 0
-            while rounds < self.budget[cluster.name]:
-                rounds += 1
-                if joules > remaining + 1e-18:  # Battery.drain's verdict
-                    break
-                remaining -= joules
-            counts[cluster.name] = rounds
-        return counts
+        self._run_waves(plan)
 
     def _plan_segment(self, current: "ScheduledCluster", agg_s: float,
-                      horizon: float) -> Dict[str, int]:
+                      extra_s: float, horizon: float
+                      ) -> Dict[str, List[tuple]]:
         """Dry-run the edge process's arithmetic up to the fault horizon.
 
-        Mirrors the kernel loop float-for-float over shadow copies of
-        the mutable scalars (edge clock, ready times, budgets, battery
-        levels, death flags) so the planned rounds are exactly the ones
-        the kernel will commit.  No fault fires inside the window by
-        construction; the only in-segment state changes are battery
-        retirements and the quorum halt, both replicated here.
+        Mirrors the kernel loop float-for-float over :class:`_PlanCursor`
+        shadows (edge clock, ready times, budgets, battery levels,
+        failure streaks, trace positions) so the planned rounds — and
+        their per-round clock stretches — are exactly the ones the
+        kernel will commit.  No fault fires inside the window by
+        construction; the in-segment state changes (battery and
+        consecutive-failure retirements, failed rounds burning budget,
+        the quorum halt) are all replicated here.  Returns each
+        cluster's planned rounds, in round order, as
+        ``("success", clock stretch)`` / ``("fail", clock charge)``
+        items: successes pre-execute as waves; failures pre-apply their
+        cluster-clock charge between waves (so later successes carry
+        the right cumulative clock) and are otherwise left for the
+        kernel to process inline.
         """
-        states = self.states
         edge_clock = self.edge_clock_ref[0]
-        ready = {c.name: states[c.name].ready_at for c in self.clusters}
-        dead = {c.name: states[c.name].dead for c in self.clusters}
-        battery = {c.name: states[c.name].battery.remaining_j
+        cursors = {c.name: _PlanCursor(self, c, self.states[c.name])
                    for c in self.clusters}
-        budget = dict(self.budget)
-        rounds_completed = {c.name: c.rounds_completed
-                            for c in self.clusters}
-        counts = {c.name: 0 for c in self.clusters}
+        plan: Dict[str, List[tuple]] = {c.name: [] for c in self.clusters}
+
+        # The requesting cluster sits at its math point: its round is
+        # unconditionally safe and already half-committed by the kernel.
+        cursors[current.name].seed_current(edge_clock, agg_s)
+        plan[current.name].append(("success", extra_s))
+
         quorum = self.resilience.quorum
         total = len(self.clusters)
-
-        def charge(name: str) -> None:
-            joules = self._costs[name][3]
-            if joules > battery[name] + 1e-18:   # Battery.drain's verdict
-                battery[name] = 0.0
-                dead[name] = True
-            else:
-                battery[name] -= joules
-
-        # The requesting cluster sits at its math point: its edge
-        # compute is already on the clock (edge_clock_ref reflects it),
-        # faults up to now have fired, and its round is unconditionally
-        # safe.  Finish its bookkeeping with the caller's pick-time
-        # agg_s, then walk the loop.
-        name = current.name
-        up_s, down_s = self._costs[name][1], self._costs[name][2]
-        ready[name] = edge_clock + agg_s + up_s + down_s
-        counts[name] = 1
-        budget[name] -= 1
-        rounds_completed[name] += 1
-        charge(name)
-
         while True:
-            alive = [c for c in self.clusters if not dead[c.name]]
+            alive = [c for c in self.clusters if not cursors[c.name].dead]
             if quorum > 0.0 and total and len(alive) / total < quorum:
                 break
-            pending = [c for c in alive if budget[c.name] > 0]
+            pending = [c for c in alive if cursors[c.name].budget > 0]
             if not pending:
                 break
             cluster = policy_pick(self.policy, pending,
-                                  lambda c: rounds_completed[c.name])
-            name = cluster.name
-            timing, up_s, down_s, _ = self._costs[name]
-            start = max(edge_clock, ready[name])
-            finish = start + timing.edge_compute_s
+                                  lambda c: cursors[c.name].rounds_completed)
+            cursor = cursors[cluster.name]
+            kind, up, down = cursor.peek()
+            start = max(edge_clock, cursor.ready)
+            if kind == "fail_up":
+                # The whole failed round processes at its pick time; a
+                # fault armed at exactly `start` fires before the kernel
+                # resumes there, so the boundary is strict.
+                if not start < horizon:
+                    break
+                cursor.ready = start + cursor.agg_s + up.elapsed_s
+                plan[cluster.name].append(
+                    ("fail", cursor.fail_charge(kind, up, down)))
+                cursor.apply(kind, up, down)
+                continue
+            finish = start + cursor.timing.edge_compute_s
             if not finish < horizon:
                 # A fault armed at exactly `finish` fires before the
                 # kernel resumes the edge process there, so this round's
@@ -525,64 +724,134 @@ class SegmentedFleetExecutor:
                 # kernel time.
                 break
             edge_clock = finish
-            agg = timing.aggregator_compute_s * states[name].slow_factor
-            ready[name] = edge_clock + agg + up_s + down_s
-            counts[name] += 1
-            budget[name] -= 1
-            rounds_completed[name] += 1
-            charge(name)
-        return counts
+            cursor.ready = edge_clock + cursor.agg_s + up.elapsed_s \
+                + down.elapsed_s
+            if kind == "success":
+                plan[cluster.name].append(("success",
+                                           cursor.extra(up, down)))
+            else:
+                plan[cluster.name].append(
+                    ("fail", cursor.fail_charge(kind, up, down)))
+            cursor.apply(kind, up, down)
+        return plan
 
-    def _run_waves(self, counts: Dict[str, int],
-                   first_extra: Dict[str, float]) -> None:
+    def _plan_wave(self, current: "ScheduledCluster", agg_s: float,
+                   extra_s: float, horizon: float) -> Dict[str, List[tuple]]:
+        """Loss-coupled planning: fuse per-cluster futures when provably
+        safe, else just the requesting round.
+
+        ``loss_priority`` picks depend on losses the planner cannot
+        foresee, but each cluster's round math, budget burn, battery
+        drain and failure streak evolve in its own round order whatever
+        the interleaving.  The hazard is timing: a pre-executed round
+        must be *consumed* strictly before the next fault can change its
+        contributor mask (or retire clusters under it).  Sound bound:
+        ``max(edge clock, every ready time)`` grows by at most one
+        round's span per processed round, so if that maximum plus the
+        spans of every remaining round (successes and failures alike)
+        stays below the horizon, every remaining round is safe under
+        *any* pick order — fuse them all.  Otherwise only the
+        requesting round (already at its math point) is safe; the next
+        request re-picks and re-plans, by which time the horizon has
+        usually moved past the fault.
+        """
+        cursors = {c.name: _PlanCursor(self, c, self.states[c.name])
+                   for c in self.clusters}
+        cursors[current.name].seed_current(self.edge_clock_ref[0], agg_s)
+        plan: Dict[str, List[tuple]] = {c.name: [] for c in self.clusters}
+        plan[current.name].append(("success", extra_s))
+
+        bound = max([self.edge_clock_ref[0]]
+                    + [cursor.ready for cursor in cursors.values()])
+        futures: Dict[str, List[tuple]] = {}
+        for cluster in self.clusters:
+            cursor = cursors[cluster.name]
+            items: List[tuple] = []
+            while cursor.pending:
+                kind, up, down = cursor.peek()
+                bound += cursor.span(kind, up, down)
+                if not bound < horizon:
+                    # Already unsafe: the rest of the walk can only
+                    # push the bound further, so stop pricing futures
+                    # and fall back to the requesting round alone.
+                    return plan
+                if kind == "success":
+                    items.append(("success", cursor.extra(up, down)))
+                else:
+                    items.append(("fail",
+                                  cursor.fail_charge(kind, up, down)))
+                cursor.apply(kind, up, down)
+            futures[cluster.name] = items
+        for name, items in futures.items():
+            plan[name].extend(items)
+        return plan
+
+    def _run_waves(self, plan: Dict[str, List[tuple]]) -> None:
         """Pre-execute the planned rounds as stacked fleet waves.
 
         Wave ``w`` trains every cluster with more than ``w`` planned
-        rounds, through a parameter-sharing
-        :meth:`~repro.core.fleet.FleetTrainer.subset` of the survivors;
-        per-cluster draw order (minibatch stream, noise RNG) and clock/
-        ledger arithmetic match a per-round execution exactly.
+        successful rounds, split across the homogeneous groups: a full
+        group runs its unsliced stacked program (allocation-free
+        optimiser fast path), a partial group runs through a
+        parameter-sharing :meth:`~repro.core.fleet.FleetTrainer.subset`,
+        and one-cluster groups step their trainer directly.
+        Per-cluster draw order (minibatch stream, noise RNG) and
+        clock/ledger arithmetic match a per-round execution exactly;
+        each success carries the planner-priced clock stretch, and each
+        planned *failure* applies its cluster-clock charge at its exact
+        position in the cluster's round sequence (the kernel's inline
+        handling then pops it from ``fail_queues`` instead of charging
+        twice).
         """
         states = self.states
-        remaining = dict(counts)
+        remaining = {name: deque(items) for name, items in plan.items()}
+
+        def flush_failures(cluster: "ScheduledCluster") -> None:
+            queue = remaining[cluster.name]
+            while queue and queue[0][0] == "fail":
+                _, charge = queue.popleft()
+                cluster.trainer.clock_s += charge
+                self.fail_queues[cluster.name].append(charge)
+
+        def commit(cluster: "ScheduledCluster", record: RoundRecord) -> None:
+            name = cluster.name
+            _, extra = remaining[name].popleft()
+            self.queues[name].append(
+                stretch_record(cluster.trainer, record, extra))
+            self.executed[name] += 1
+            self.fused_rounds += 1
+
         while True:
-            active = [k for k, c in enumerate(self.clusters)
-                      if remaining[c.name] > 0]
-            if not active:
+            for cluster in self.clusters:
+                flush_failures(cluster)
+            if not any(remaining.values()):
                 break
-            batch_size = self.clusters[active[0]].batch_size
-            stack = np.empty((len(active), batch_size, self.fleet.input_dim))
-            epochs = []
-            for row, k in enumerate(active):
-                cluster = self.clusters[k]
-                stack[row] = contributor_batch(
-                    cluster, states[cluster.name].alive_mask)
-                epochs.append(epoch_of(cluster,
-                                       self.executed[cluster.name]))
-            if len(active) == len(self.clusters):
-                # Full-fleet wave: the unsliced program (allocation-free
-                # optimiser fast path); value-identical to the gathered
-                # subset, the common case between faults.
-                records = self.fleet.step(stack, epochs=epochs)
-            else:
-                records = self.fleet.subset(active).step(stack, epochs=epochs)
-            for row, k in enumerate(active):
-                cluster = self.clusters[k]
-                name = cluster.name
-                if name in first_extra:
-                    extra = first_extra.pop(name)
+            for members, fleet in self.group_fleets:
+                rows = [position for position, k in enumerate(members)
+                        if remaining[self.clusters[k].name]]
+                if not rows:
+                    continue
+                if fleet is None:
+                    cluster = self.clusters[members[rows[0]]]
+                    batch = contributor_batch(
+                        cluster, states[cluster.name].alive_mask)
+                    record = cluster.trainer.step(
+                        batch, epoch=epoch_of(cluster,
+                                              self.executed[cluster.name]))
+                    commit(cluster, record)
+                    continue
+                batch_size = self.clusters[members[rows[0]]].batch_size
+                stack = np.empty((len(rows), batch_size, fleet.input_dim))
+                epochs = []
+                for slot, position in enumerate(rows):
+                    cluster = self.clusters[members[position]]
+                    stack[slot] = contributor_batch(
+                        cluster, states[cluster.name].alive_mask)
+                    epochs.append(epoch_of(cluster,
+                                           self.executed[cluster.name]))
+                if len(rows) == len(members):
+                    records = fleet.step(stack, epochs=epochs)
                 else:
-                    timing, up_s, down_s, _ = self._costs[name]
-                    agg = timing.aggregator_compute_s \
-                        * states[name].slow_factor
-                    # Same expression as the kernel loop computes at the
-                    # round's pick time; the transfer terms are exact
-                    # zeros on the lossless path.
-                    extra = ((agg - timing.aggregator_compute_s)
-                             + (up_s - timing.uplink_s)
-                             + (down_s - timing.downlink_s))
-                self.queues[name].append(
-                    stretch_record(cluster.trainer, records[row], extra))
-                self.executed[name] += 1
-                remaining[name] -= 1
-                self.fused_rounds += 1
+                    records = fleet.subset(rows).step(stack, epochs=epochs)
+                for slot, position in enumerate(rows):
+                    commit(self.clusters[members[position]], records[slot])

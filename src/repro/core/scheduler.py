@@ -63,18 +63,27 @@ exotic losses, data shorter than one batch).
   clock exactly — the correctness anchor mirroring the batched engine's
   contract.
 
-  The event engine **fuses with the fleet engine** whenever every
-  attached channel is lossless (``channels=None`` or an ideal spec) and
-  the clusters stack: between consecutive scheduled fault times the
-  surviving clusters' rounds are pre-executed as
-  :class:`~repro.core.fleet.FleetTrainer` waves and replayed into the
-  kernel's clock, ledger and RNG streams
+  The event engine **fuses with the fleet engine** whenever at least
+  one homogeneous group of clusters stacks (mixed fleets batch group
+  by group; the unstackable rest runs per cluster): between
+  consecutive scheduled fault times the surviving clusters' rounds are
+  pre-executed as :class:`~repro.core.fleet.FleetTrainer` waves and
+  replayed into the kernel's clock, ledger and RNG streams
   (:class:`~repro.core.rounds.SegmentedFleetExecutor`); rounds
   straddling a fault boundary fall back to per-cluster execution at
-  their true kernel times.  A fault-only run is bit-identical in clock,
-  ledger and report to the unfused loop (losses match to stacked-GEMM
-  reduction noise) at roughly the fleet engine's speed; pass
-  ``segment_batching=False`` to force the unfused loop.
+  their true kernel times.  Unreliable channels are no barrier: their
+  whole horizon of loss/jitter draws is pre-sampled into replayable
+  :class:`~repro.sim.channel.ChannelTrace`\\ s, making lossy rounds
+  plan-time computable.  ``loss_priority`` — whose picks the planner
+  cannot foresee — fuses **wave-by-wave** (pre-execute only what is
+  provably consumed before the next fault; re-pick and re-plan
+  otherwise).  A fused run is bit-identical in clock, ledger,
+  delivered/attempt counts and report to the unfused loop (losses
+  match to stacked-GEMM reduction noise); pass
+  ``segment_batching=False`` to force the unfused loop.  The resolved
+  strategy is introspectable via :meth:`EdgeTrainingScheduler.
+  execution_plan`, which routes every engine gate through one
+  :class:`ExecutionPlan` object.
 
 Determinism note: each cluster draws its minibatches from its own
 ``stream_rng`` (seeded from the scheduler RNG at registration), so the
@@ -86,16 +95,21 @@ comparisons measure *scheduling*, not data-order luck.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..sim.channel import ARQConfig, ChannelSpec
 from ..sim.events import EventScheduler
-from ..sim.faults import FaultInjector, FaultSchedule
+from ..sim.faults import FaultEvent, FaultInjector, FaultSchedule
 from ..wsn.clustering import select_aggregator
 from ..wsn.energy import Battery, BatteryDepletedError, RadioEnergyModel
-from .fleet import FleetIncompatibilityError, FleetTrainer, fleet_compatible
+from .fleet import (
+    FleetIncompatibilityError,
+    FleetTrainer,
+    fleet_compatible,
+    stacking_key,
+)
 from .orchestrator import OrchestratedTrainer, RoundRecord, TrainingHistory
 from .rounds import (
     IdealRoundLoop,
@@ -110,7 +124,8 @@ from .rounds import (
 )
 
 __all__ = [
-    "EdgeTrainingScheduler", "ResilientOrchestrationPolicy",
+    "EdgeTrainingScheduler", "ExecutionPlan",
+    "ResilientOrchestrationPolicy",
     "ScheduledCluster", "ScheduleReport", "compare_policies",
 ]
 
@@ -431,6 +446,53 @@ class _EventClusterState:
             + self.resilience.failover_downtime_s
 
 
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """Resolved execution strategy for one scheduling run.
+
+    Every engine choice the scheduler used to make through scattered
+    boolean gates is routed through this one object, computed by
+    :meth:`EdgeTrainingScheduler.execution_plan` before the run and
+    introspectable by tests and experiments.
+
+    Attributes
+    ----------
+    engine:
+        The engine that will actually execute: ``sequential``,
+        ``batched`` or ``event`` (``auto`` is resolved here).
+    groups:
+        Homogeneous stacking groups as tuples of cluster indices
+        (registration order).  Multi-member groups run as stacked
+        fleet programs; singletons execute per cluster.
+    fused:
+        Event engine only: fault-free/channel-safe spans pre-execute as
+        fleet waves (:class:`~repro.core.rounds.SegmentedFleetExecutor`).
+    mode:
+        Fused planning mode — ``segment`` (pick-mirroring dry-run up to
+        the fault horizon) or ``wave`` (loss-coupled policies: fuse
+        per-cluster futures only when provably consumed before the
+        horizon, else one round at a time).
+    traced:
+        Channel randomness is pre-sampled into replayable
+        :class:`~repro.sim.channel.ChannelTrace`\\ s so the planner can
+        price lossy rounds (requires ``fused``).
+    reason:
+        Why fusion (or batching) is off — empty when it is on.
+    """
+
+    engine: str
+    groups: Tuple[Tuple[int, ...], ...] = ()
+    fused: bool = False
+    mode: str = "segment"
+    traced: bool = False
+    reason: str = ""
+
+    @property
+    def stacked_clusters(self) -> int:
+        """Clusters that execute inside a multi-member stacked group."""
+        return sum(len(g) for g in self.groups if len(g) >= 2)
+
+
 class EdgeTrainingScheduler:
     """Time-shares one edge server across many cluster training sessions.
 
@@ -535,16 +597,89 @@ class EdgeTrainingScheduler:
                 "batched engine needs at least one full batch of data per "
                 f"cluster; too short: {short}")
 
-    def _can_batch(self) -> bool:
-        """Uniform batch geometry + stackable models -> fleet-executable."""
-        if len(self.clusters) < 2:
-            return False
-        batch_sizes = {c.batch_size for c in self.clusters}
-        if len(batch_sizes) != 1:
-            return False
-        if any(len(c.data) < c.batch_size for c in self.clusters):
-            return False
-        return fleet_compatible([c.trainer for c in self.clusters])
+    def _stacking_groups(self) -> Tuple[Tuple[int, ...], ...]:
+        """Partition clusters into homogeneous stacking groups.
+
+        Clusters sharing an architecture signature (and a viable batch
+        geometry) group together; each candidate group is validated
+        with :func:`~repro.core.fleet.fleet_compatible` before being
+        trusted with a stacked program, falling apart into singletons
+        otherwise.  A mixed fleet therefore batches group by group —
+        one odd cluster no longer disables fusion for the rest.
+        """
+        groups: List[List[int]] = []
+        group_keys: List[object] = []
+        for index, cluster in enumerate(self.clusters):
+            key: object = None
+            if len(cluster.data) >= cluster.batch_size:
+                trainer_key = stacking_key(cluster.trainer)
+                if trainer_key is not None:
+                    key = (cluster.batch_size, trainer_key)
+            if key is not None and key in group_keys:
+                groups[group_keys.index(key)].append(index)
+                continue
+            groups.append([index])
+            # Unstackable clusters carry a unique key: never merged.
+            group_keys.append(key if key is not None
+                              else ("__unstackable__", index))
+        validated: List[List[int]] = []
+        for group in groups:
+            if len(group) >= 2 and not fleet_compatible(
+                    [self.clusters[k].trainer for k in group]):
+                validated.extend([k] for k in group)
+            else:
+                validated.append(group)
+        return tuple(tuple(group) for group in validated)
+
+    def execution_plan(self) -> ExecutionPlan:
+        """Resolve how the registered fleet will actually execute.
+
+        One decision point instead of scattered boolean gates: computes
+        the homogeneous stacking groups, resolves ``auto``, and decides
+        whether (and how) the event engine fuses — including whether
+        channel randomness must be pre-sampled into traces.
+        """
+        groups = self._stacking_groups()
+        stackable = any(len(group) >= 2 for group in groups)
+        if self.engine == "event":
+            if not self.segment_batching:
+                return ExecutionPlan("event", groups,
+                                     reason="segment batching disabled")
+            if not stackable:
+                return ExecutionPlan(
+                    "event", groups,
+                    reason="no homogeneous group of >= 2 clusters to stack")
+            lossy = self.channels is not None and not self.channels.ideal
+            if lossy and self.resilience.adaptive_arq \
+                    and bool(self.fault_schedule):
+                return ExecutionPlan(
+                    "event", groups,
+                    reason="adaptive ARQ re-derivation at fault boundaries "
+                           "changes lossy-channel behaviour mid-run")
+            if self.policy == "loss_priority":
+                if self.resilience.quorum > 0.0:
+                    return ExecutionPlan(
+                        "event", groups,
+                        reason="loss_priority pick timing couples to the "
+                               "quorum halt")
+                return ExecutionPlan("event", groups, fused=True,
+                                     mode="wave", traced=lossy)
+            return ExecutionPlan("event", groups, fused=True, traced=lossy)
+        if self.engine == "batched":
+            self._check_batch_geometry()
+            if len(groups) != 1:
+                raise FleetIncompatibilityError(
+                    "batched engine needs one architecture-homogeneous "
+                    f"fleet; the clusters partition into {len(groups)} "
+                    "stacking groups (use engine='auto' for group-wise "
+                    "batching)")
+            return ExecutionPlan("batched", groups)
+        if self.engine == "auto" and stackable:
+            return ExecutionPlan("batched", groups)
+        return ExecutionPlan(
+            "sequential", groups,
+            reason="" if self.engine == "sequential"
+            else "no homogeneous group of >= 2 clusters to stack")
 
     def run(self, rounds_per_cluster: int = 50) -> ScheduleReport:
         """Execute training until every cluster has its round budget.
@@ -560,13 +695,11 @@ class EdgeTrainingScheduler:
             raise RuntimeError("no clusters registered")
         if rounds_per_cluster <= 0:
             raise ValueError("rounds_per_cluster must be positive")
-        if self.engine == "event":
-            return self._run_event(rounds_per_cluster)
-        if self.engine == "batched":
-            self._check_batch_geometry()
-        if self.engine == "batched" or (self.engine == "auto"
-                                        and self._can_batch()):
-            records = self._execute_batched(rounds_per_cluster)
+        plan = self.execution_plan()
+        if plan.engine == "event":
+            return self._run_event(rounds_per_cluster, plan)
+        if plan.engine == "batched":
+            records = self._execute_batched(rounds_per_cluster, plan.groups)
             return self._replay_policy(rounds_per_cluster, records,
                                        engine="batched")
         return self._run_sequential(rounds_per_cluster)
@@ -618,33 +751,69 @@ class EdgeTrainingScheduler:
         return spec.with_arq(ARQConfig(max_retries=retries,
                                        ack_timeout_s=spec.arq.ack_timeout_s))
 
-    def _build_round_executor(self, states: Dict[str, "_EventClusterState"],
-                              injector: FaultInjector,
-                              budget: Dict[str, int],
-                              edge_clock: List[float]):
-        """Pick the event engine's training-math executor.
+    def _record_channel_traces(self, states: Dict[str, "_EventClusterState"],
+                               rounds_per_cluster: int) -> None:
+        """Pre-sample every channel's horizon of transmit outcomes.
 
-        Segment batching needs every transfer's outcome to be the
-        closed-form lossless one (channel draws make rounds state-
-        dependent) and the clusters to admit one stacked program.
-        ``loss_priority`` picks depend on losses the planner cannot
-        foresee, so it fuses only in the fully uncoupled case — no
-        scheduled faults and no quorum rule — where each cluster's round
-        count is pick-independent.
+        Each channel records ``rounds_per_cluster`` fixed-payload
+        transmits from its own RNG stream and then replays them — bit
+        -identical to the live draws under the same seed, since a
+        channel's draw sequence never depends on the simulated clock.
+        A channel is consulted at most once per round (failed uplinks
+        skip the downlink), so surplus entries simply go unused.
         """
-        lossless = self.channels is None or self.channels.ideal
-        fusable = self.segment_batching and lossless and self._can_batch()
-        if fusable and self.policy == "loss_priority" \
-                and (bool(self.fault_schedule)
-                     or self.resilience.quorum > 0.0):
-            fusable = False
-        if not fusable:
-            return InlineRoundExecutor()
-        return SegmentedFleetExecutor(self.clusters, states, injector,
-                                      budget, edge_clock, self.policy,
-                                      self.resilience)
+        for cluster in self.clusters:
+            state = states[cluster.name]
+            if state.up_channel is None:
+                continue
+            costs = cluster.trainer.round_costs(cluster.batch_size)
+            state.up_channel.replay(state.up_channel.record_trace(
+                costs.up_bytes, rounds_per_cluster))
+            state.down_channel.replay(state.down_channel.record_trace(
+                costs.down_bytes, rounds_per_cluster))
 
-    def _run_event(self, rounds_per_cluster: int) -> ScheduleReport:
+    def _arq_rederiver(self, states: Dict[str, "_EventClusterState"],
+                       budget: Dict[str, int], sim: EventScheduler):
+        """Per-fault ARQ re-derivation hook (adaptive ARQ satellite).
+
+        Run-start budgets price each cluster's *initial* deadline slack
+        and battery headroom; a brownout, failover or straggler changes
+        both.  This callback re-runs
+        :meth:`ResilientOrchestrationPolicy.arq_retries_for` with the
+        cluster's *remaining* rounds, remaining deadline and current
+        battery at every fault application and swaps the channel's
+        retransmission budget in place.
+        """
+        by_name = {c.name: c for c in self.clusters}
+
+        def rederive(event: FaultEvent) -> None:
+            cluster = by_name.get(event.cluster)
+            state = states.get(event.cluster)
+            if cluster is None or state is None or state.up_channel is None:
+                return
+            remaining = budget[event.cluster]
+            if state.dead or remaining <= 0:
+                return
+            costs = cluster.trainer.round_costs(cluster.batch_size)
+            ideal_remaining_s = costs.timing.total_s * remaining
+            slack = (float("inf") if cluster.deadline_s is None
+                     else (cluster.deadline_s - sim.now) / ideal_remaining_s)
+            round_j = (state.radio.tx_energy(costs.up_wire_bytes * 8,
+                                             state.backhaul_m)
+                       + state.radio.rx_energy(costs.down_wire_bytes * 8))
+            headroom = state.battery.remaining_j / (round_j * remaining)
+            retries = self.resilience.arq_retries_for(
+                self.channels.arq.max_retries, slack, headroom)
+            for channel in (state.up_channel, state.down_channel):
+                if channel.arq.max_retries != retries:
+                    channel.arq = ARQConfig(
+                        max_retries=retries,
+                        ack_timeout_s=channel.arq.ack_timeout_s)
+
+        return rederive
+
+    def _run_event(self, rounds_per_cluster: int,
+                   plan: ExecutionPlan) -> ScheduleReport:
         """Drive training on the :mod:`repro.sim.events` kernel.
 
         The edge server is one simulated process; fault injections are
@@ -655,7 +824,8 @@ class EdgeTrainingScheduler:
         not merely close) while degraded rounds stretch, fail or retire
         clusters per the resilience policy.  The training math itself is
         produced by a :mod:`repro.core.rounds` executor — per-cluster
-        steps, or segment-batched fleet waves when the world allows.
+        steps, or segment-batched fleet waves as the
+        :class:`ExecutionPlan` dictates.
         """
         sim = EventScheduler()
         states: Dict[str, _EventClusterState] = {
@@ -664,17 +834,26 @@ class EdgeTrainingScheduler:
                 self._channel_spec_for(c, rounds_per_cluster),
                 self.rng, self.backhaul_distance_m)
             for c in self.clusters}
+        if plan.traced:
+            self._record_channel_traces(states, rounds_per_cluster)
         injector = FaultInjector(self.fault_schedule, states)
+        budget = {c.name: rounds_per_cluster for c in self.clusters}
+        if self.resilience.adaptive_arq and self.channels is not None:
+            injector.on_applied = self._arq_rederiver(states, budget, sim)
         injector.arm(sim)
 
-        budget = {c.name: rounds_per_cluster for c in self.clusters}
         completion: Dict[str, List[float]] = {c.name: [] for c in self.clusters}
         misses: List[str] = []
         edge_busy = [0.0]
         edge_clock = [0.0]       # exact mirror of the sequential arithmetic
         halted = [False]
-        executor = self._build_round_executor(states, injector, budget,
-                                              edge_clock)
+        if plan.fused:
+            executor = SegmentedFleetExecutor(
+                self.clusters, states, injector, budget, edge_clock,
+                self.policy, self.resilience, groups=plan.groups,
+                mode=plan.mode)
+        else:
+            executor = InlineRoundExecutor()
 
         def edge_process():
             while True:
@@ -709,7 +888,7 @@ class EdgeTrainingScheduler:
                     trainer.ledger.record(0, -1, 0, up.wire_bytes,
                                           "latent_uplink_failed",
                                           up.elapsed_s, up.attempts, False)
-                    trainer.clock_s += agg_s + up.elapsed_s
+                    executor.charge_failure(cluster, agg_s + up.elapsed_s)
                     state.charge_backhaul(up.wire_bytes, 0)
                     state.round_failed()
                     state.ready_at = start + agg_s + up.elapsed_s
@@ -728,9 +907,9 @@ class EdgeTrainingScheduler:
                                           "recon_downlink_failed",
                                           down.elapsed_s, down.attempts,
                                           False)
-                    trainer.clock_s += (agg_s + up.elapsed_s
-                                        + timing.edge_compute_s
-                                        + down.elapsed_s)
+                    executor.charge_failure(
+                        cluster, agg_s + up.elapsed_s
+                        + timing.edge_compute_s + down.elapsed_s)
                     state.charge_backhaul(up.wire_bytes,
                                           down.received_wire_bytes)
                     state.round_failed()
@@ -792,34 +971,51 @@ class EdgeTrainingScheduler:
             faults_applied=len(injector.applied),
             fused_rounds=executor.fused_rounds,
             segments=executor.segments,
+            arq_budgets={name: st.up_channel.arq.max_retries
+                         for name, st in states.items()
+                         if st.up_channel is not None},
         )
 
     # ------------------------------------------------------------------
     # Batched engine: fleet-execute every round, then replay the policy
     # ------------------------------------------------------------------
-    def _execute_batched(self, rounds_per_cluster: int
+    def _execute_batched(self, rounds_per_cluster: int,
+                         groups: Tuple[Tuple[int, ...], ...]
                          ) -> List[List[RoundRecord]]:
-        """Run all clusters' rounds as stacked fleet waves.
+        """Run all clusters' rounds up front, stacked group by group.
 
         Valid because trajectories are schedule-independent: a cluster's
         round ``r`` uses only its own weights, noise RNG and data stream.
-        Returns ``records[k][r]`` for cluster ``k``, round ``r``.
+        Each multi-member homogeneous group runs as one
+        :class:`~repro.core.fleet.FleetTrainer` wave program; singleton
+        groups (the unstackable rest of a mixed fleet) step their own
+        trainer per round.  Returns ``records[k][r]`` for cluster ``k``,
+        round ``r``.
         """
-        fleet = FleetTrainer([c.trainer for c in self.clusters])
         records: List[List[RoundRecord]] = [[] for _ in self.clusters]
-        batch_size = self.clusters[0].batch_size
-        input_dim = self.clusters[0].trainer.input_dim
-        # One wave buffer, reused across rounds: every tensor the wave's
-        # autograd graph retains is derived from (not aliased to) it.
-        wave = np.empty((len(self.clusters), batch_size, input_dim))
-        rounds_per_epoch = [c.rounds_per_epoch for c in self.clusters]
-        for round_index in range(rounds_per_cluster):
-            for k, cluster in enumerate(self.clusters):
-                wave[k] = cluster.next_batch()
-            epochs = [round_index // rpe + 1 for rpe in rounds_per_epoch]
-            for k, record in enumerate(fleet.step(wave, epochs=epochs)):
-                records[k].append(record)
-        fleet.sync_to_trainers()
+        for members in groups:
+            if len(members) == 1:
+                cluster = self.clusters[members[0]]
+                rpe = cluster.rounds_per_epoch
+                for round_index in range(rounds_per_cluster):
+                    records[members[0]].append(cluster.trainer.step(
+                        cluster.next_batch(), epoch=round_index // rpe + 1))
+                continue
+            group = [self.clusters[k] for k in members]
+            fleet = FleetTrainer([c.trainer for c in group])
+            batch_size = group[0].batch_size
+            # One wave buffer, reused across rounds: every tensor the
+            # wave's autograd graph retains is derived from (not
+            # aliased to) it.
+            wave = np.empty((len(group), batch_size, fleet.input_dim))
+            rounds_per_epoch = [c.rounds_per_epoch for c in group]
+            for round_index in range(rounds_per_cluster):
+                for row, cluster in enumerate(group):
+                    wave[row] = cluster.next_batch()
+                epochs = [round_index // rpe + 1 for rpe in rounds_per_epoch]
+                for row, record in enumerate(fleet.step(wave, epochs=epochs)):
+                    records[members[row]].append(record)
+            fleet.sync_to_trainers()
         return records
 
     def _static_pick_order(self, rounds_per_cluster: int

@@ -21,7 +21,12 @@ the deployment story raises:
   runs under the fused event engine (fault-free spans pre-executed as
   :class:`~repro.core.fleet.FleetTrainer` waves) and must reproduce the
   unfused engine's modeled clock and ledger exactly, at lower
-  wall-clock cost.
+  wall-clock cost;
+* **Lossy fusion anchor** — the frame-loss sweep itself runs fused
+  (channel randomness pre-sampled into replayable
+  :class:`~repro.sim.channel.ChannelTrace`\\ s), and one sweep point is
+  re-run unfused to assert bit-identity end to end: delivered/attempt
+  ledger, failed rounds, modeled clock and completion times.
 
 Reported per condition: mean reconstruction NMSE on held-out rounds,
 mean rounds-to-threshold (threshold = halfway between the ideal run's
@@ -216,8 +221,12 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
                        nmse=round(sweep_nmse, 5),
                        mean_rounds_to_threshold=round(rounds_mean, 1),
                        failed_rounds=sum(report.failed_rounds.values()),
+                       fused_rounds=report.fused_rounds,
                        wire_overhead=round(wire / ideal_wire, 4),
                        energy_per_round_overhead=round(energy_overhead, 4))
+    result.check("lossy sweep points run on the fused path",
+                 all(r.get("fused_rounds", 0) > 0
+                     for r in result.rows if r.get("loss_rate") != 0.0))
     result.add_series("nmse_vs_loss", LOSS_RATES, nmses,
                       "frame_loss_rate", "held_out_nmse")
     result.add_series("energy_overhead_vs_loss", LOSS_RATES, energy_overheads,
@@ -234,6 +243,61 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
                  energy_overheads[-1] > 1.01)
     result.summary["wire_overhead_at_20pct_loss"] = round(byte_overheads[-1], 4)
     result.summary["nmse_at_20pct_loss"] = nmses[-1]
+
+    # --- 2a. lossy fused bit-identity anchor --------------------------
+    # One sweep point re-run unfused (live channel draws instead of
+    # pre-sampled traces): same seed => identical delivered/attempts,
+    # ledger, failed rounds, modeled clock and completion times.
+    anchor_rate = LOSS_RATES[2]
+    anchor_spec = ChannelSpec(loss=anchor_rate, arq=ARQConfig(max_retries=1))
+    lossy_fused, _ = _build(factory, seed, "event", channels=anchor_spec)
+    start = time.perf_counter()
+    lossy_fused_report = lossy_fused.run(rounds_per_cluster=train_rounds)
+    lossy_fused_s = time.perf_counter() - start
+    lossy_unfused, _ = _build(factory, seed, "event", channels=anchor_spec,
+                              segment_batching=False)
+    start = time.perf_counter()
+    lossy_unfused_report = lossy_unfused.run(rounds_per_cluster=train_rounds)
+    lossy_unfused_s = time.perf_counter() - start
+    lossy_loss_div = max(
+        float(np.abs(cf.history.losses - cu.history.losses).max())
+        if len(cf.history.losses) else 0.0
+        for cf, cu in zip(lossy_fused.clusters, lossy_unfused.clusters))
+    lossy_clock_exact = all(
+        np.array_equal(cf.history.times, cu.history.times)
+        and cf.trainer.clock_s == cu.trainer.clock_s
+        for cf, cu in zip(lossy_fused.clusters, lossy_unfused.clusters))
+    lossy_ledger_exact = all(
+        cf.trainer.ledger.by_kind() == cu.trainer.ledger.by_kind()
+        and len(cf.trainer.ledger) == len(cu.trainer.ledger)
+        for cf, cu in zip(lossy_fused.clusters, lossy_unfused.clusters))
+    lossy_speedup = lossy_unfused_s / lossy_fused_s if lossy_fused_s > 0 \
+        else float("inf")
+    result.add_row(loss_rate=anchor_rate, scenario="lossy fused anchor",
+                   fused_rounds=lossy_fused_report.fused_rounds,
+                   failed_rounds=sum(
+                       lossy_fused_report.failed_rounds.values()),
+                   fused_speedup_x=round(lossy_speedup, 2))
+    result.summary["lossy_fused_rounds"] = lossy_fused_report.fused_rounds
+    result.summary["lossy_fused_speedup_x"] = round(lossy_speedup, 2)
+    result.summary["lossy_fused_loss_divergence"] = lossy_loss_div
+    result.check("lossy fused run pre-executes rounds as fleet waves",
+                 lossy_fused_report.fused_rounds > 0)
+    result.check("lossy fused clock and completion times are bit-exact",
+                 lossy_clock_exact
+                 and lossy_fused_report.completion_times
+                 == lossy_unfused_report.completion_times
+                 and lossy_fused_report.makespan_s
+                 == lossy_unfused_report.makespan_s)
+    result.check("lossy fused delivered/attempts ledger is bit-exact",
+                 lossy_ledger_exact)
+    result.check("lossy fused failed rounds and energy agree",
+                 lossy_fused_report.failed_rounds
+                 == lossy_unfused_report.failed_rounds
+                 and lossy_fused_report.energy_j
+                 == lossy_unfused_report.energy_j)
+    result.check("lossy fused losses within reduction noise (1e-9)",
+                 lossy_loss_div <= 1e-9)
 
     # --- 2b. Gilbert-Elliott preset (802.15.4-calibrated burst loss) --
     preset_spec = ChannelSpec.preset("802154_indoor",

@@ -20,11 +20,17 @@ from .channel import (
     ARQConfig,
     BernoulliLoss,
     ChannelSpec,
+    ChannelTrace,
+    ChannelTraceDigest,
+    ChannelTraceExhausted,
     GILBERT_ELLIOTT_PRESETS,
+    GILBERT_ELLIOTT_TRACE_DIGESTS,
     GilbertElliottLoss,
     TransmitResult,
     UnreliableChannel,
     as_loss_model,
+    digest_gilbert_elliott,
+    fit_gilbert_elliott,
 )
 from .events import Event, EventScheduler, SimulationError
 from .faults import (
@@ -38,9 +44,12 @@ from .faults import (
 )
 
 __all__ = [
-    "ARQConfig", "BernoulliLoss", "ChannelSpec", "GILBERT_ELLIOTT_PRESETS",
+    "ARQConfig", "BernoulliLoss", "ChannelSpec", "ChannelTrace",
+    "ChannelTraceDigest", "ChannelTraceExhausted",
+    "GILBERT_ELLIOTT_PRESETS", "GILBERT_ELLIOTT_TRACE_DIGESTS",
     "GilbertElliottLoss",
     "TransmitResult", "UnreliableChannel", "as_loss_model",
+    "digest_gilbert_elliott", "fit_gilbert_elliott",
     "Event", "EventScheduler", "SimulationError",
     "FAULT_KINDS", "FaultEvent", "FaultInjector", "FaultSchedule",
     "NetworkFaultTarget", "apply_fault", "apply_fault_to_network",

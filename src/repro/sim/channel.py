@@ -18,12 +18,27 @@ Contract with the ideal layer: with no loss events and zero jitter a
 :meth:`UnreliableChannel.transmit` reports *exactly*
 ``link.transfer_time(n)`` seconds and ``link.wire_bytes(n)`` bytes —
 the property the event engine's zero-fault equivalence anchor rests on.
+
+Channel traces
+--------------
+Channel randomness is also available as a *replayable input* instead of
+an execution side effect: :meth:`UnreliableChannel.record_trace` draws
+the loss/jitter outcomes of a whole horizon of fixed-payload transmits
+up front (consuming the channel's RNG and burst state exactly as live
+transmits would) and :meth:`UnreliableChannel.replay` switches the
+channel to serving those pre-sampled :class:`TransmitResult`\\ s in
+order.  Because a channel's draw sequence depends only on its own RNG —
+never on *when* the simulated clock reaches each transmit — a recorded
+trace is bit-identical to the live draws under the same seed, which is
+what lets the scheduler's segment planner price lossy rounds at plan
+time (attempts, delivered verdicts, retransmission energy, clock
+stretch) and still match the unfused live run exactly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Optional, Union
+from typing import Callable, Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -150,6 +165,45 @@ class TransmitResult:
     retransmissions: int = 0       # attempts beyond the first, per frame
 
 
+class ChannelTraceExhausted(RuntimeError):
+    """A trace-driven channel was asked for more transmits than recorded."""
+
+
+@dataclass
+class ChannelTrace:
+    """Pre-sampled transmit outcomes of one channel over a horizon.
+
+    ``entries[i]`` is the :class:`TransmitResult` of the channel's
+    ``i``-th transmit; ``cursor`` is the next entry a trace-driven
+    :meth:`UnreliableChannel.transmit` will serve.  The scheduler's
+    segment planner reads entries by absolute index (:meth:`entry`)
+    without disturbing the cursor, so planning never perturbs replay.
+    """
+
+    entries: Tuple[TransmitResult, ...]
+    cursor: int = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def remaining(self) -> int:
+        return len(self.entries) - self.cursor
+
+    def entry(self, index: int) -> TransmitResult:
+        """Entry at absolute ``index`` (planner lookahead; cursor-free)."""
+        return self.entries[index]
+
+    def next(self) -> TransmitResult:
+        """Consume and return the next recorded outcome."""
+        if self.cursor >= len(self.entries):
+            raise ChannelTraceExhausted(
+                f"trace of {len(self.entries)} transmits exhausted")
+        result = self.entries[self.cursor]
+        self.cursor += 1
+        return result
+
+
 class UnreliableChannel:
     """A :class:`LinkModel` wrapped with loss, ARQ and jitter.
 
@@ -178,6 +232,28 @@ class UnreliableChannel:
         self.arq = arq or ARQConfig()
         self.jitter_s = jitter_s
         self.rng = rng or np.random.default_rng()
+        self.trace: Optional[ChannelTrace] = None
+
+    # ------------------------------------------------------------------
+    def record_trace(self, payload_bytes: int, transmits: int) -> ChannelTrace:
+        """Pre-sample ``transmits`` fixed-payload transmit outcomes.
+
+        Consumes this channel's RNG stream and burst state exactly as
+        the same sequence of live :meth:`transmit` calls would, so a
+        recorded-then-replayed run is bit-identical to a live run from
+        the same seed.  Recording more transmits than a run consumes is
+        harmless: each channel owns its RNG, so surplus draws leak into
+        nothing.
+        """
+        if transmits < 0:
+            raise ValueError("transmits must be non-negative")
+        entries = tuple(self._transmit_live(payload_bytes)
+                        for _ in range(transmits))
+        return ChannelTrace(entries)
+
+    def replay(self, trace: ChannelTrace) -> None:
+        """Serve future :meth:`transmit` calls from ``trace`` in order."""
+        self.trace = trace
 
     # ------------------------------------------------------------------
     def transmit(self, n_bytes: int) -> TransmitResult:
@@ -187,8 +263,19 @@ class UnreliableChannel:
         retry budget; on a frame giving up, remaining frames are not
         sent (the sender aborts the message).  Lossless + jitterless
         transmits reproduce the ideal link's closed-form time and bytes
-        exactly.
+        exactly.  Trace-driven channels pop the next pre-sampled
+        outcome instead of drawing live.
         """
+        if self.trace is not None:
+            result = self.trace.next()
+            if result.payload_bytes != n_bytes:
+                raise ValueError(
+                    f"trace recorded {result.payload_bytes}-byte transmits "
+                    f"but {n_bytes} bytes were requested")
+            return result
+        return self._transmit_live(n_bytes)
+
+    def _transmit_live(self, n_bytes: int) -> TransmitResult:
         if n_bytes < 0:
             raise ValueError("n_bytes must be non-negative")
         link = self.link
@@ -327,4 +414,124 @@ GILBERT_ELLIOTT_PRESETS: Dict[str, Dict[str, float]] = {
     # of the coexistence measurements.
     "noisy_office": dict(p_good_to_bad=0.06, p_bad_to_good=0.25,
                          loss_good=0.02, loss_bad=0.70),
+}
+
+
+# ----------------------------------------------------------------------
+# Trace digests: the calibration data behind the presets
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ChannelTraceDigest:
+    """Sufficient statistics of one instrumented frame-loss trace.
+
+    A digest summarises a long per-frame trace (channel state, state
+    transitions, loss verdicts) into the counts a Gilbert-Elliott fit
+    needs — the maximum-likelihood estimates of all four chain
+    parameters are plain ratios of these fields.  ``from_good`` counts
+    frames whose *pre-transition* state was GOOD; ``in_bad`` counts
+    frames whose loss draw used the BAD state (post-transition).
+    """
+
+    frames: int
+    from_good: int       # frames entered with the chain in GOOD
+    good_to_bad: int     # GOOD -> BAD transitions observed
+    bad_to_good: int     # BAD -> GOOD transitions observed
+    in_bad: int          # frames whose loss draw used the BAD rate
+    losses_in_good: int
+    losses_in_bad: int
+
+    @property
+    def losses(self) -> int:
+        return self.losses_in_good + self.losses_in_bad
+
+    @property
+    def loss_rate(self) -> float:
+        """Empirical frame-loss rate of the whole trace."""
+        return self.losses / self.frames if self.frames else 0.0
+
+    @property
+    def mean_bad_sojourn_frames(self) -> float:
+        """Mean frames spent in BAD per visit (the burst length)."""
+        if self.bad_to_good == 0:
+            return 0.0
+        return self.in_bad / self.bad_to_good
+
+
+def digest_gilbert_elliott(model: GilbertElliottLoss, frames: int,
+                           rng: np.random.Generator) -> ChannelTraceDigest:
+    """Run an instrumented Gilbert-Elliott trace and digest it.
+
+    Replays the exact chain semantics of
+    :meth:`GilbertElliottLoss.frame_lost` (flip first, then draw the
+    loss from the *post-transition* state) from the GOOD state, without
+    touching ``model``'s live burst state.  This is how the committed
+    :data:`GILBERT_ELLIOTT_TRACE_DIGESTS` were produced.
+    """
+    if frames <= 0:
+        raise ValueError("frames must be positive")
+    bad = False
+    from_good = g2b = b2g = in_bad = lost_good = lost_bad = 0
+    for _ in range(frames):
+        if not bad:
+            from_good += 1
+            if rng.random() < model.p_good_to_bad:
+                bad = True
+                g2b += 1
+        else:
+            if rng.random() < model.p_bad_to_good:
+                bad = False
+                b2g += 1
+        rate = model.loss_bad if bad else model.loss_good
+        if rate > 0.0 and rng.random() < rate:
+            if bad:
+                lost_bad += 1
+            else:
+                lost_good += 1
+        if bad:
+            in_bad += 1
+    return ChannelTraceDigest(frames, from_good, g2b, b2g, in_bad,
+                              lost_good, lost_bad)
+
+
+def fit_gilbert_elliott(digest: ChannelTraceDigest) -> GilbertElliottLoss:
+    """Maximum-likelihood Gilbert-Elliott parameters from a digest.
+
+    Each parameter's MLE is the matching event ratio: transitions over
+    frames entered in that state, losses over frames drawn in that
+    state.  A digest that never visits BAD fits a loss-only channel
+    (``p_good_to_bad = 0``).
+    """
+    from_bad = digest.frames - digest.from_good
+    in_good = digest.frames - digest.in_bad
+    return GilbertElliottLoss(
+        p_good_to_bad=(digest.good_to_bad / digest.from_good
+                       if digest.from_good else 0.0),
+        p_bad_to_good=(digest.bad_to_good / from_bad if from_bad else 1.0),
+        loss_good=digest.losses_in_good / in_good if in_good else 0.0,
+        loss_bad=digest.losses_in_bad / digest.in_bad
+        if digest.in_bad else 0.0)
+
+
+#: Digests of 200k-frame instrumented traces, one per preset, generated
+#: by ``digest_gilbert_elliott(GilbertElliottLoss(**params), 200_000,
+#: np.random.default_rng(0x802154))`` — committed so the test suite can
+#: *fit* the preset parameters from trace data (the way the published
+#: 802.15.4 measurements were distilled) instead of asserting the
+#: hand-derived constants against themselves.
+GILBERT_ELLIOTT_TRACE_DIGESTS: Dict[str, ChannelTraceDigest] = {
+    "802154_indoor": ChannelTraceDigest(
+        frames=200000, from_good=189189,
+        good_to_bad=3818, bad_to_good=3818,
+        in_bad=10811, losses_in_good=1771,
+        losses_in_bad=5392),
+    "802154_outdoor": ChannelTraceDigest(
+        frames=200000, from_good=192289,
+        good_to_bad=1960, bad_to_good=1960,
+        in_bad=7711, losses_in_good=5719,
+        losses_in_bad=4663),
+    "noisy_office": ChannelTraceDigest(
+        frames=200000, from_good=161493,
+        good_to_bad=9736, bad_to_good=9736,
+        in_bad=38507, losses_in_good=3152,
+        losses_in_bad=27021),
 }

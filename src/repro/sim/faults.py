@@ -31,7 +31,15 @@ Event kinds
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterable, Iterator, List, Optional, Protocol
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+)
 
 from .events import EventScheduler
 
@@ -191,12 +199,17 @@ class FaultInjector:
     unknown cluster raise at :meth:`arm` time (declarative schedules
     should fail loudly, not silently no-op).  ``applied`` records the
     events that actually fired, in order — the audit trail experiment
-    reports lean on.
+    reports lean on.  ``on_applied`` is an optional post-application
+    hook called with each fired event — the seam through which the
+    scheduler re-derives per-cluster ARQ budgets at fault boundaries
+    (a brownout or failover changes both deadline slack and battery
+    headroom, so the budget set at run start goes stale).
     """
 
     schedule: FaultSchedule
     targets: dict
     applied: List[FaultEvent] = field(default_factory=list)
+    on_applied: Optional[Callable[[FaultEvent], None]] = None
     _sim: Optional[EventScheduler] = field(default=None, repr=False)
 
     #: Event tag the injector arms with; :meth:`horizon` queries it.
@@ -227,6 +240,8 @@ class FaultInjector:
     def _fire(self, event: FaultEvent) -> None:
         apply_fault(event, self.targets[event.cluster])
         self.applied.append(event)
+        if self.on_applied is not None:
+            self.on_applied(event)
 
 
 # ----------------------------------------------------------------------

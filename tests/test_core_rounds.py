@@ -16,7 +16,7 @@ from repro.core import (
     OrcoDCSFramework,
     ResilientOrchestrationPolicy,
 )
-from repro.sim import ChannelSpec, FaultEvent, FaultSchedule
+from repro.sim import ARQConfig, ChannelSpec, FaultEvent, FaultSchedule
 
 DIM = 24
 LATENT = 4
@@ -117,21 +117,52 @@ class TestFusedEquivalence:
         assert fused_report.makespan_s == pytest.approx(
             seq_report.makespan_s, abs=1e-9)
 
-    def test_loss_priority_fuses_only_when_uncoupled(self):
+    def test_loss_priority_fuses_wave_by_wave_with_faults(self):
+        """Loss-coupled picks no longer disable fusion wholesale: the
+        executor fuses everything provably consumed before the next
+        fault and runs one-round waves while a fault is imminent."""
         report = build_scheduler(policy="loss_priority").run(
             rounds_per_cluster=ROUNDS)
         assert report.fused_rounds == 4 * ROUNDS
         faults = FaultSchedule([FaultEvent(1e-3, "node_death", "c0",
                                            device=2)])
-        report = build_scheduler(policy="loss_priority", faults=faults).run(
-            rounds_per_cluster=ROUNDS)
-        assert report.fused_rounds == 0
+        pair = run_pair(policy="loss_priority", faults=faults)
+        assert_fused_matches_unfused(*pair)
+        report = pair[1]
+        assert report.fused_rounds > 0
         assert report.rounds_per_cluster == {f"c{i}": ROUNDS
                                              for i in range(4)}
+
+    def test_loss_priority_with_quorum_stays_unfused(self):
+        """The quorum halt's timing couples to pick order the wave
+        planner cannot mirror, so this one combination falls back."""
+        faults = FaultSchedule([FaultEvent(1e-3, "cluster_death", "c0")])
+        report = build_scheduler(
+            policy="loss_priority", faults=faults,
+            resilience=ResilientOrchestrationPolicy(quorum=0.5)).run(
+            rounds_per_cluster=5)
+        assert report.fused_rounds == 0
 
     def test_loss_priority_fault_free_matches_unfused(self):
         pair = run_pair(policy="loss_priority")
         assert_fused_matches_unfused(*pair)
+
+    @pytest.mark.parametrize("policy", ["round_robin", "loss_priority"])
+    def test_lossy_fault_run_matches_unfused(self, policy):
+        """Channel traces + faults together: the planner prices lossy
+        rounds from the pre-sampled traces on both sides of each fault
+        boundary, bit-identical to the live unfused run."""
+        faults = mid_training_faults([
+            (0.25, "node_death", "c0", 5, 1.0),
+            (0.4, "straggler", "c1", None, 3.0),
+            (0.7, "recover", "c1", None, 1.0),
+        ])
+        pair = run_pair(policy=policy, faults=faults,
+                        channels=ChannelSpec(loss=0.1,
+                                             arq=ARQConfig(max_retries=1)))
+        assert_fused_matches_unfused(*pair)
+        assert pair[1].fused_rounds > 0
+        assert pair[1].failed_rounds == pair[3].failed_rounds
 
 
 class TestSegmentEdgeCases:
@@ -206,17 +237,33 @@ class TestSegmentEdgeCases:
         assert report.rounds_per_cluster["c3"] == ROUNDS
         assert report.fused_rounds > 0
 
-    def test_heterogeneous_fleet_runs_unfused(self):
-        """Clusters that cannot stack fall back to per-round execution."""
-        report = build_scheduler(latents=[4, 4, 6, 6]).run(
-            rounds_per_cluster=5)
-        assert report.fused_rounds == 0 and report.segments == 0
-        assert report.rounds_per_cluster == {f"c{i}": 5 for i in range(4)}
+    def test_lossy_channels_fuse_bit_identically(self):
+        """Pre-sampled channel traces make lossy rounds plan-time
+        computable: the fused run matches the live unfused event loop
+        bit for bit — delivered/attempt ledger, modeled clock,
+        completion times — while pre-executing the successes as waves."""
+        spec = ChannelSpec(loss=0.15, arq=ARQConfig(max_retries=1))
+        pair = run_pair(channels=spec)
+        assert_fused_matches_unfused(*pair)
+        report = pair[1]
+        assert report.fused_rounds > 0
+        assert report.failed_rounds == pair[3].failed_rounds
+        assert sum(report.failed_rounds.values()) > 0  # the sweep regime
 
-    def test_lossy_channels_run_unfused(self):
-        report = build_scheduler(channels=ChannelSpec(loss=0.1)).run(
-            rounds_per_cluster=5)
-        assert report.fused_rounds == 0
+    def test_jittery_channels_fuse_bit_identically(self):
+        spec = ChannelSpec(loss=0.05, arq=ARQConfig(max_retries=2),
+                           jitter_s=0.0005)
+        pair = run_pair(channels=spec)
+        assert_fused_matches_unfused(*pair)
+        assert pair[1].fused_rounds > 0
+
+    def test_gilbert_elliott_preset_fuses_bit_identically(self):
+        """Bursty (stateful) loss traces replay exactly too."""
+        spec = ChannelSpec.preset("noisy_office",
+                                  arq=ARQConfig(max_retries=1))
+        pair = run_pair(channels=spec)
+        assert_fused_matches_unfused(*pair)
+        assert pair[1].fused_rounds > 0
 
     def test_segment_batching_flag_forces_unfused(self):
         report = build_scheduler(fused=False).run(rounds_per_cluster=5)
@@ -263,3 +310,145 @@ class TestIdealLoopSharing:
 
         assert run("sequential").deadline_misses \
             == run("event").deadline_misses == ["tight"]
+
+
+class TestHeterogeneousStacking:
+    """Mixed-architecture fleets batch group by group (ISSUE 4)."""
+
+    def test_mixed_fleet_fuses_and_matches_unfused(self):
+        pair = run_pair(latents=[4, 4, 6, 6])
+        assert_fused_matches_unfused(*pair)
+        assert pair[1].fused_rounds == 4 * ROUNDS
+        assert pair[1].segments >= 1
+
+    def test_mixed_fleet_matches_sequential_engine(self):
+        fused = build_scheduler(fused=True, latents=[4, 4, 6, 6])
+        fused.run(rounds_per_cluster=ROUNDS)
+        sequential = build_scheduler(engine="sequential",
+                                     latents=[4, 4, 6, 6])
+        sequential.run(rounds_per_cluster=ROUNDS)
+        for c_f, c_s in zip(fused.clusters, sequential.clusters):
+            assert np.abs(c_f.history.losses
+                          - c_s.history.losses).max() <= 1e-6
+            assert np.abs(c_f.history.times
+                          - c_s.history.times).max() <= 1e-9
+
+    def test_single_odd_cluster_no_longer_disables_fusion(self):
+        """Three stackable clusters + one odd one: the trio fuses as a
+        group, the odd cluster pre-executes per round — exactly."""
+        pair = run_pair(latents=[4, 4, 4, 6])
+        assert_fused_matches_unfused(*pair)
+        assert pair[1].fused_rounds == 4 * ROUNDS
+
+    def test_mixed_fleet_with_faults_and_loss(self):
+        faults = mid_training_faults([
+            (0.3, "node_death", "c0", 5, 1.0),
+            (0.5, "straggler", "c2", None, 2.0),
+        ])
+        pair = run_pair(latents=[4, 4, 6, 6], faults=faults,
+                        channels=ChannelSpec(loss=0.1,
+                                             arq=ARQConfig(max_retries=1)))
+        assert_fused_matches_unfused(*pair)
+        assert pair[1].fused_rounds > 0
+
+    def test_all_singleton_groups_stay_unfused(self):
+        """With no group of >= 2 there is nothing to stack."""
+        report = build_scheduler(latents=[3, 4, 5, 6]).run(
+            rounds_per_cluster=5)
+        assert report.fused_rounds == 0 and report.segments == 0
+
+
+class TestExecutionPlan:
+    """Engine gates route through one introspectable ExecutionPlan."""
+
+    def test_lossless_homogeneous_plan(self):
+        plan = build_scheduler().execution_plan()
+        assert plan.engine == "event" and plan.fused
+        assert plan.mode == "segment" and not plan.traced
+        assert plan.groups == ((0, 1, 2, 3),)
+        assert plan.stacked_clusters == 4
+
+    def test_lossy_plan_records_traces(self):
+        plan = build_scheduler(
+            channels=ChannelSpec(loss=0.1)).execution_plan()
+        assert plan.fused and plan.traced
+
+    def test_loss_priority_plan_uses_wave_mode(self):
+        plan = build_scheduler(policy="loss_priority").execution_plan()
+        assert plan.fused and plan.mode == "wave"
+
+    def test_quorum_loss_priority_plan_unfused(self):
+        plan = build_scheduler(
+            policy="loss_priority",
+            resilience=ResilientOrchestrationPolicy(
+                quorum=0.5)).execution_plan()
+        assert not plan.fused and "quorum" in plan.reason
+
+    def test_adaptive_arq_with_faults_and_loss_unfused(self):
+        """Mid-run ARQ re-derivation invalidates recorded traces."""
+        faults = FaultSchedule([FaultEvent(1.0, "brownout", "c0",
+                                           magnitude=0.5)])
+        plan = build_scheduler(
+            channels=ChannelSpec(loss=0.1), faults=faults,
+            resilience=ResilientOrchestrationPolicy(
+                adaptive_arq=True)).execution_plan()
+        assert not plan.fused and "ARQ" in plan.reason
+        # Lossless channels never consult the retry budget: fusable.
+        plan = build_scheduler(
+            faults=faults,
+            resilience=ResilientOrchestrationPolicy(
+                adaptive_arq=True)).execution_plan()
+        assert plan.fused
+
+    def test_segment_batching_flag_in_plan(self):
+        plan = build_scheduler(fused=False).execution_plan()
+        assert not plan.fused and "disabled" in plan.reason
+
+    def test_hetero_plan_groups(self):
+        plan = build_scheduler(latents=[4, 6, 4, 6]).execution_plan()
+        assert sorted(plan.groups) == [(0, 2), (1, 3)]
+
+
+class TestAdaptiveArqRederivation:
+    """ARQ budgets re-derive at every fault application (ISSUE 4)."""
+
+    def _scheduler(self, faults=None, adaptive=True, battery=1e9):
+        resilience = ResilientOrchestrationPolicy(adaptive_arq=adaptive)
+        scheduler = EdgeTrainingScheduler(
+            "round_robin", rng=np.random.default_rng(0), engine="event",
+            channels=ChannelSpec(loss=0.05, arq=ARQConfig(max_retries=3)),
+            fault_schedule=faults, resilience=resilience)
+        for index in range(2):
+            config = OrcoDCSConfig(input_dim=DIM, latent_dim=LATENT,
+                                   seed=index, noise_sigma=0.05,
+                                   batch_size=BATCH)
+            data = np.random.default_rng(100 + index).random((ROWS, DIM))
+            scheduler.add_cluster(f"c{index}", OrcoDCSFramework(config),
+                                  data, batch_size=BATCH,
+                                  aggregator_battery_j=battery)
+        return scheduler
+
+    def test_budgets_rederived_at_brownout(self):
+        """A brownout guts the battery headroom mid-run: the affected
+        cluster's retry budget collapses to the minimum while the
+        untouched cluster keeps its slack-rich maximum."""
+        probe = self._scheduler()
+        probe_report = probe.run(rounds_per_cluster=ROUNDS)
+        makespan = probe_report.makespan_s
+        # Slack-rich, battery-rich run start: both clusters get the
+        # adaptive maximum (6) over the spec's base budget of 3.
+        assert probe_report.arq_budgets == {"c0": 6, "c1": 6}
+        faults = FaultSchedule([FaultEvent(0.5 * makespan, "brownout",
+                                           "c0", magnitude=1e-12)])
+        scheduler = self._scheduler(faults=faults)
+        report = scheduler.run(rounds_per_cluster=ROUNDS)
+        assert report.faults_applied == 1
+        assert report.arq_budgets["c0"] == 0    # battery-poor: minimum
+        assert report.arq_budgets["c1"] == 6    # untouched: slack-rich max
+
+    def test_budgets_static_without_adaptive_arq(self):
+        faults = FaultSchedule([FaultEvent(0.01, "brownout", "c0",
+                                           magnitude=1e-12)])
+        report = self._scheduler(faults=faults, adaptive=False).run(
+            rounds_per_cluster=ROUNDS)
+        assert report.arq_budgets == {"c0": 3, "c1": 3}

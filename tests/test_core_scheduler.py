@@ -281,3 +281,55 @@ class TestComparePolicies:
         assert len(edge_times) == 1
         for report in reports.values():
             assert report.mean_final_loss < float("inf")
+
+
+class TestGroupBatching:
+    """auto resolves mixed fleets into homogeneous stacking groups."""
+
+    def _mixed(self, engine="auto"):
+        scheduler = EdgeTrainingScheduler("round_robin",
+                                          rng=np.random.default_rng(0),
+                                          engine=engine)
+        for index, layers in enumerate([1, 1, 3, 3]):
+            scheduler.add_cluster(
+                f"c{index}",
+                make_framework(seed=index, decoder_layers=layers,
+                               noise=0.05),
+                cluster_data(seed=index))
+        return scheduler
+
+    def test_auto_batches_mixed_fleet_by_group(self):
+        scheduler = self._mixed()
+        plan = scheduler.execution_plan()
+        assert plan.engine == "batched"
+        assert sorted(plan.groups) == [(0, 1), (2, 3)]
+        assert scheduler.run(4).engine == "batched"
+
+    def test_group_batched_matches_sequential(self):
+        batched = self._mixed()
+        report_bat = batched.run(rounds_per_cluster=8)
+        sequential = self._mixed(engine="sequential")
+        report_seq = sequential.run(rounds_per_cluster=8)
+        for c_b, c_s in zip(batched.clusters, sequential.clusters):
+            np.testing.assert_allclose(c_b.history.losses,
+                                       c_s.history.losses, atol=1e-6)
+            np.testing.assert_allclose(c_b.history.times,
+                                       c_s.history.times, rtol=1e-12)
+        assert report_bat.makespan_s == pytest.approx(report_seq.makespan_s)
+        assert report_bat.completion_times == report_seq.completion_times
+
+    def test_explicit_batched_still_demands_one_group(self):
+        with pytest.raises(ValueError, match="stacking groups"):
+            self._mixed(engine="batched").run(2)
+
+    def test_two_odd_singletons_fall_back_to_sequential(self):
+        scheduler = EdgeTrainingScheduler("round_robin",
+                                          rng=np.random.default_rng(0))
+        scheduler.add_cluster("shallow", make_framework(seed=0),
+                              cluster_data(seed=0))
+        scheduler.add_cluster("deep",
+                              make_framework(seed=1, decoder_layers=3),
+                              cluster_data(seed=1))
+        plan = scheduler.execution_plan()
+        assert plan.engine == "sequential"
+        assert plan.groups == ((0,), (1,))
