@@ -16,7 +16,12 @@ Acceptance criteria measured directly:
   the resilience experiment's dominant cost — pre-sampled channel
   traces let the fused engine run at least **2.5x** faster than the
   unfused live loop, bit-identical in delivered/attempt ledger, failed
-  rounds, modeled clock and completion times.
+  rounds, modeled clock and completion times;
+* **coded (FEC) fusion** (ISSUE 5): the same 16-cluster lossy sweep
+  with erasure-coded channels — coded transmissions are deterministic
+  given a trace, so FEC runs fuse exactly like ARQ runs: at least
+  **2.5x** over the unfused live loop, with the same bit-identity
+  contract (plus per-kind FEC ledger records).
 
 Workload geometry mirrors ``benchmarks/bench_multicluster.py``: 8 (16
 for the fusion acceptances) clusters of 40 devices, latent 6,
@@ -34,7 +39,7 @@ from repro.core import (
     OrcoDCSFramework,
     ResilientOrchestrationPolicy,
 )
-from repro.sim import ARQConfig, ChannelSpec, FaultEvent, FaultSchedule
+from repro.sim import ARQConfig, ChannelSpec, CodingSpec, FaultEvent, FaultSchedule
 
 CLUSTERS = 8
 FUSED_CLUSTERS = 16
@@ -99,6 +104,41 @@ def run_lossy(segment_batching):
     return scheduler, report
 
 
+def coded_kwargs():
+    """The lossy sweep with erasure-coded channels (ISSUE 5): two
+    parity frames per message, open-loop FEC instead of ARQ."""
+    return dict(channels=ChannelSpec(loss=0.1, arq=ARQConfig(max_retries=1),
+                                     coding=CodingSpec(parity_frames=2)))
+
+
+def run_coded(segment_batching):
+    scheduler = build_scheduler("event", clusters=FUSED_CLUSTERS,
+                                segment_batching=segment_batching,
+                                **coded_kwargs())
+    report = scheduler.run(rounds_per_cluster=FUSED_ROUNDS)
+    return scheduler, report
+
+
+def fused_speedup_ratios(run_fn, trials=3):
+    """Interleaved unfused/fused wall-clock ratios for one workload.
+
+    The one copy of the fusion timing protocol, shared by every fusion
+    acceptance test here and imported by ``check_regression``'s gates:
+    returns the per-trial ratios plus the last fused run's report.
+    """
+    ratios = []
+    report = None
+    for _ in range(trials):
+        start = time.perf_counter()
+        run_fn(segment_batching=False)
+        unfused_s = time.perf_counter() - start
+        start = time.perf_counter()
+        _, report = run_fn(segment_batching=True)
+        fused_s = time.perf_counter() - start
+        ratios.append(unfused_s / fused_s)
+    return ratios, report
+
+
 def degraded_kwargs():
     faults = FaultSchedule([
         FaultEvent(0.01, "node_death", "cluster-0", device=7),
@@ -138,6 +178,17 @@ class TestEventEngineBenchmarks:
 
     def test_event_lossy_unfused_16_clusters(self, run_once):
         _, report = run_once(run_lossy, False)
+        assert report.fused_rounds == 0
+
+    def test_event_coded_fused_16_clusters(self, run_once):
+        """Baseline for the coded-fused regression gate
+        (``benchmarks/check_regression.py``)."""
+        _, report = run_once(run_coded, True)
+        assert report.fused_rounds > 0
+        assert set(report.coding_budgets.values()) == {2}
+
+    def test_event_coded_unfused_16_clusters(self, run_once):
+        _, report = run_once(run_coded, False)
         assert report.fused_rounds == 0
 
 
@@ -184,15 +235,7 @@ class TestEventEngineAcceptance:
         pre-executes the fault-free spans as fleet waves; typically
         lands near 4x on this geometry.
         """
-        ratios = []
-        for _ in range(3):
-            start = time.perf_counter()
-            run_fused(segment_batching=False)
-            unfused_s = time.perf_counter() - start
-            start = time.perf_counter()
-            _, report = run_fused(segment_batching=True)
-            fused_s = time.perf_counter() - start
-            ratios.append(unfused_s / fused_s)
+        ratios, report = fused_speedup_ratios(run_fused)
         speedup = statistics.median(ratios)
         print(f"\nsegment-batching speedup at {FUSED_CLUSTERS} clusters "
               f"(fault-only): {speedup:.2f}x unfused "
@@ -232,15 +275,7 @@ class TestEventEngineAcceptance:
         cost; pre-sampled channel traces let its rounds pre-execute as
         fleet waves.
         """
-        ratios = []
-        for _ in range(3):
-            start = time.perf_counter()
-            run_lossy(segment_batching=False)
-            unfused_s = time.perf_counter() - start
-            start = time.perf_counter()
-            _, report = run_lossy(segment_batching=True)
-            fused_s = time.perf_counter() - start
-            ratios.append(unfused_s / fused_s)
+        ratios, report = fused_speedup_ratios(run_lossy)
         speedup = statistics.median(ratios)
         print(f"\nlossy-fused speedup at {FUSED_CLUSTERS} clusters "
               f"(10% frame loss, fault-free): {speedup:.2f}x unfused "
@@ -274,6 +309,50 @@ class TestEventEngineAcceptance:
             == unfused_report.completion_times
         assert fused_report.failed_rounds == unfused_report.failed_rounds
         assert fused_report.energy_j == unfused_report.energy_j
+
+    def test_coded_fused_engine_2_5x_over_unfused(self):
+        """Acceptance (ISSUE 5): coded-lossy fusion >= 2.5x @ 16 clusters.
+
+        Erasure-coded transmissions are deterministic given a recorded
+        trace, so FEC runs fuse exactly like ARQ runs.
+        """
+        ratios, report = fused_speedup_ratios(run_coded)
+        speedup = statistics.median(ratios)
+        print(f"\ncoded-fused speedup at {FUSED_CLUSTERS} clusters "
+              f"(10% frame loss, k=2 FEC): {speedup:.2f}x unfused "
+              f"(trials: {', '.join(f'{r:.2f}' for r in ratios)}; "
+              f"{report.fused_rounds} fused rounds, "
+              f"{sum(report.failed_rounds.values())} failed rounds)")
+        assert report.fused_rounds > 0
+        assert speedup >= 2.5, \
+            f"coded-fused speedup {speedup:.2f}x < 2.5x"
+
+    def test_coded_fused_run_is_bit_identical(self):
+        """Fused (trace-replayed) vs unfused (live draws) on the coded
+        lossy sweep: ledger (FEC records included), failed rounds,
+        modeled clock and completion times bit-identical."""
+        fused, fused_report = run_coded(segment_batching=True)
+        unfused, unfused_report = run_coded(segment_batching=False)
+        worst = 0.0
+        for c_f, c_u in zip(fused.clusters, unfused.clusters):
+            if len(c_f.history.losses):
+                worst = max(worst, float(np.abs(c_f.history.losses
+                                                - c_u.history.losses).max()))
+            assert np.array_equal(c_f.history.times, c_u.history.times)
+            assert c_f.trainer.clock_s == c_u.trainer.clock_s
+            assert c_f.trainer.ledger.by_kind() \
+                == c_u.trainer.ledger.by_kind()
+            assert c_f.trainer.ledger.total_wire_bytes(
+                "latent_uplink_fec") > 0
+            assert len(c_f.trainer.ledger) == len(c_u.trainer.ledger)
+        print(f"\ncoded fused-vs-unfused max loss divergence: {worst:.3e}")
+        assert worst <= 1e-9
+        assert fused_report.makespan_s == unfused_report.makespan_s
+        assert fused_report.completion_times \
+            == unfused_report.completion_times
+        assert fused_report.failed_rounds == unfused_report.failed_rounds
+        assert fused_report.energy_j == unfused_report.energy_j
+        assert fused_report.coding_budgets == unfused_report.coding_budgets
 
     def test_zero_fault_event_run_matches_sequential(self):
         """The equivalence anchor, asserted at benchmark geometry."""

@@ -1,6 +1,6 @@
 """Speedup regression gates against the committed benchmark baselines.
 
-Two engine-speedup ratios are gated at **80%** of their committed
+Three engine-speedup ratios are gated at **80%** of their committed
 baselines (exit code 1 below the floor):
 
 * the fleet engine's 16-cluster sequential/batched speedup (the
@@ -9,7 +9,10 @@ baselines (exit code 1 below the floor):
 * the event engine's 16-cluster lossy-fused speedup — unfused live
   loop over trace-replayed fused run, the workload of
   ``bench_resilience.py``'s lossy benchmarks — against
-  ``BENCH_resilience.json``.
+  ``BENCH_resilience.json``;
+* the event engine's 16-cluster **coded-fused** (erasure-coded lossy)
+  speedup — the same fusion contract under FEC channels — against the
+  coded benchmarks in ``BENCH_resilience.json``.
 
 Comparing *ratios* rather than absolute times keeps the gates
 meaningful across machines: CI hardware differs from the baseline box,
@@ -25,7 +28,7 @@ gate(s) being checked).
 Usage (from the repo root, CI's bench-smoke job)::
 
     PYTHONPATH=src python benchmarks/check_regression.py \
-        [--gate fleet|lossy-fused|all] [--from-json measured.json]
+        [--gate fleet|lossy-fused|coded-fused|all] [--from-json measured.json]
 """
 
 import argparse
@@ -38,7 +41,12 @@ import time
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
 from bench_multicluster import CLUSTERS, run_engine  # noqa: E402
-from bench_resilience import FUSED_CLUSTERS, run_lossy  # noqa: E402
+from bench_resilience import (  # noqa: E402
+    FUSED_CLUSTERS,
+    fused_speedup_ratios,
+    run_coded,
+    run_lossy,
+)
 
 REGRESSION_FLOOR = 0.8
 TRIALS = 3
@@ -76,16 +84,12 @@ def measured_fleet_speedup(trials: int = TRIALS) -> float:
 
 
 def measured_lossy_fused_speedup(trials: int = TRIALS) -> float:
-    ratios = []
-    for _ in range(trials):
-        start = time.perf_counter()
-        run_lossy(segment_batching=False)
-        unfused_s = time.perf_counter() - start
-        start = time.perf_counter()
-        run_lossy(segment_batching=True)
-        fused_s = time.perf_counter() - start
-        ratios.append(unfused_s / fused_s)
-    return statistics.median(ratios)
+    """Median of bench_resilience's interleaved unfused/fused ratios."""
+    return statistics.median(fused_speedup_ratios(run_lossy, trials)[0])
+
+
+def measured_coded_fused_speedup(trials: int = TRIALS) -> float:
+    return statistics.median(fused_speedup_ratios(run_coded, trials)[0])
 
 
 #: gate name -> (baseline JSON, (slow, fast) benchmark names, measurer,
@@ -100,6 +104,11 @@ GATES = {
                      "test_event_lossy_fused_16_clusters"),
                     measured_lossy_fused_speedup,
                     f"lossy-fused speedup at {FUSED_CLUSTERS} clusters"),
+    "coded-fused": (REPO_ROOT / "BENCH_resilience.json",
+                    ("test_event_coded_unfused_16_clusters",
+                     "test_event_coded_fused_16_clusters"),
+                    measured_coded_fused_speedup,
+                    f"coded-fused (FEC) speedup at {FUSED_CLUSTERS} clusters"),
 }
 
 

@@ -100,6 +100,17 @@ class EncoderDeployment:
         aggregation) and — when ``charge_network`` — bills the network for
         the transmissions of the hybrid scheme.
 
+        With an unreliable sensor channel attached
+        (:meth:`~repro.wsn.network.WSNetwork.attach_unreliable`), hops
+        whose recovery budget is exhausted sever their subtree from the
+        partial sum — the round's latent is the masked product over the
+        readings that actually reached the aggregator, exactly like a
+        dead relay.  Erasure-coded sensor channels
+        (``ChannelSpec(..., coding=CodingSpec(k))``) tolerate up to
+        ``k`` lost frames per hop without retransmission, keeping
+        subtrees attached at a fixed parity-airtime premium: the
+        coded-partial-sum path the intra-cluster loss sweep measures.
+
         Raises
         ------
         RuntimeError
@@ -113,15 +124,8 @@ class EncoderDeployment:
                    if nid not in readings and nid not in failed]
         if missing:
             raise ValueError(f"missing readings for devices {missing[:5]}")
-        if failed:
-            partial, _, contributors = hybrid_encode_partial(
-                self.tree, readings, self.weight_e, self.device_index,
-                failed=failed)
-        else:
-            partial, _ = hybrid_encode(self.tree, readings, self.weight_e,
-                                       self.device_index)
-            contributors = frozenset(self.network.device_ids)
-        latent = self._activation(partial + self.bias_e)
+        # Charge the network first: on unreliable sensor links the
+        # transmissions decide which subtrees' contributions survive.
         if charge_network and failed:
             report = simulate_masked_hybrid_aggregation(
                 self.network, self.tree, self.model.config.latent_dim,
@@ -135,6 +139,16 @@ class EncoderDeployment:
                 kind="compressed_round")
         else:
             report = AggregationReport()
+        severed = failed | report.failed_hops
+        if severed:
+            partial, _, contributors = hybrid_encode_partial(
+                self.tree, readings, self.weight_e, self.device_index,
+                failed=severed)
+        else:
+            partial, _ = hybrid_encode(self.tree, readings, self.weight_e,
+                                       self.device_index)
+            contributors = frozenset(self.network.device_ids)
+        latent = self._activation(partial + self.bias_e)
         return CompressedRound(latent, report, tuple(sorted(contributors)))
 
     def centralized_latent(self, readings: Dict[int, float]) -> np.ndarray:

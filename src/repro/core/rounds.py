@@ -61,7 +61,10 @@ whole horizon of transmit outcomes into
 draws under the same seed, because a channel's draw sequence depends
 only on its own RNG, never on the simulated clock) and the planner
 reads delivered verdicts, attempts, retransmission wire bytes and
-elapsed stretches straight from the traces.  A lossy round is therefore
+elapsed stretches straight from the traces.  Erasure-coded channels
+(:mod:`repro.sim.coding` — FEC parity frames, hybrid ARQ repair) need
+no special handling: a coded transmission is deterministic given its
+trace entry, so coded lossy runs fuse under exactly the same contract.  A lossy round is therefore
 plan-time computable: failed rounds are walked through exactly as the
 kernel will process them inline (budget burned, battery charged,
 failure streaks advanced, no training update), and successful rounds
@@ -207,7 +210,11 @@ class ScheduleReport:
     stacked fleet segments (zero under the unfused executor);
     ``arq_budgets`` records each cluster's final per-frame
     retransmission budget (meaningful under adaptive ARQ, where fault
-    applications re-derive it mid-run).
+    applications re-derive it mid-run); ``coding_budgets`` records each
+    cluster's erasure-coding *uplink* parity budget ``k`` (meaningful
+    when the resilience policy selects ``recovery="fec"|"hybrid"`` and
+    derives ``k`` per cluster and link direction from observed loss,
+    message frame count and battery headroom).
     """
 
     policy: str
@@ -226,6 +233,7 @@ class ScheduleReport:
     fused_rounds: int = 0
     segments: int = 0
     arq_budgets: Dict[str, int] = field(default_factory=dict)
+    coding_budgets: Dict[str, int] = field(default_factory=dict)
 
     @property
     def mean_final_loss(self) -> float:

@@ -57,7 +57,11 @@ exotic losses, data shorter than one batch).
   devices/aggregators, brown out batteries and straggle clusters
   mid-run, and a :class:`ResilientOrchestrationPolicy` decides how
   training proceeds with degraded clusters (failover vs. retire,
-  straggler tolerance, fleet-wide quorum, per-cluster ARQ budgets).
+  straggler tolerance, fleet-wide quorum, per-cluster ARQ budgets,
+  and the loss-recovery strategy itself: ``recovery="arq"|"fec"|
+  "hybrid"`` selects stop-and-wait retransmission, open-loop erasure
+  coding with per-cluster/per-direction adaptive parity, or the coded
+  burst with ARQ repair — see :mod:`repro.sim.coding`).
   With zero faults and zero loss this engine reproduces the sequential
   engine's per-cluster trajectories, transmission ledger and modeled
   clock exactly — the correctness anchor mirroring the batched engine's
@@ -99,13 +103,17 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..sim.channel import ARQConfig, ChannelSpec
+from ..sim.channel import ARQConfig, ChannelSpec, as_loss_model
+from ..sim.coding import (
+    CodingSpec,
+    delivery_probability,
+    expected_frames_per_delivery,
+)
 from ..sim.events import EventScheduler
 from ..sim.faults import FaultEvent, FaultInjector, FaultSchedule
 from ..wsn.clustering import select_aggregator
 from ..wsn.energy import Battery, BatteryDepletedError, RadioEnergyModel
 from .fleet import (
-    FleetIncompatibilityError,
     FleetTrainer,
     fleet_compatible,
     stacking_key,
@@ -131,6 +139,11 @@ __all__ = [
 
 _POLICIES = ("fifo", "round_robin", "loss_priority", "deadline")
 _ENGINES = ("auto", "sequential", "batched", "event")
+
+#: Horizons beyond this record chunked channel traces (bounded memory);
+#: the chunk size is the refill granularity.
+_TRACE_CHUNK_THRESHOLD = 4096
+_TRACE_CHUNK = 1024
 
 
 @dataclass
@@ -240,7 +253,30 @@ class ResilientOrchestrationPolicy:
         counts as slack-rich (no deadline is infinitely rich).
     arq_battery_margin:
         Battery-over-ideal-radio-spend ratio below which a cluster
-        conserves energy.
+        conserves energy (shared by the adaptive-ARQ and adaptive-FEC
+        rules: both adapt to the same headroom signal).
+    recovery:
+        Uplink/downlink loss-recovery strategy the scheduler stamps
+        onto every cluster's channels: ``"arq"`` (default — the
+        channel spec's stop-and-wait budget, exactly the pre-FEC
+        behaviour), ``"fec"`` (open-loop erasure coding: ``k`` parity
+        frames per message, decodable from any ``F`` of ``F+k``, no
+        retransmissions) or ``"hybrid"`` (the coded burst plus
+        ARQ-repair of a shortfall).  For ``fec``/``hybrid`` the parity
+        budget ``k`` is derived **per cluster** from the channel's
+        observed mean loss rate and the cluster's battery headroom
+        (:meth:`coding_parity_for`), separately per link direction
+        (each link's parity protects its own message length); the
+        uplink budget is reported in
+        :attr:`~repro.core.rounds.ScheduleReport.coding_budgets`.  A
+        spec that already carries an explicit
+        :class:`~repro.sim.coding.CodingSpec` is left untouched.
+    fec_max_parity:
+        Upper clamp on the adaptive parity budget ``k``.
+    fec_target_residual:
+        Residual message-failure probability the reliability-first rule
+        provisions for: slack clusters pick the smallest ``k`` whose
+        binomial failure tail is at or below this.
     """
 
     on_aggregator_death: str = "replace"
@@ -255,8 +291,17 @@ class ResilientOrchestrationPolicy:
     arq_max_retries: int = 6
     arq_slack_rich: float = 2.0
     arq_battery_margin: float = 2.0
+    recovery: str = "arq"
+    fec_max_parity: int = 8
+    fec_target_residual: float = 1e-2
 
     def __post_init__(self):
+        if self.recovery not in ("arq", "fec", "hybrid"):
+            raise ValueError("recovery must be 'arq', 'fec' or 'hybrid'")
+        if self.fec_max_parity < 0:
+            raise ValueError("fec_max_parity must be >= 0")
+        if not 0.0 < self.fec_target_residual <= 1.0:
+            raise ValueError("fec_target_residual must be in (0, 1]")
         if self.on_aggregator_death not in ("replace", "skip"):
             raise ValueError("on_aggregator_death must be 'replace' or 'skip'")
         if self.on_straggler not in ("wait", "skip"):
@@ -302,6 +347,49 @@ class ResilientOrchestrationPolicy:
             return max(base_retries, self.arq_max_retries)
         return base_retries
 
+    def coding_parity_for(self, data_frames: int, loss_rate: float,
+                          battery_headroom: float) -> int:
+        """Adaptive erasure-code redundancy ``k`` for one cluster.
+
+        Two candidate budgets, both priced in closed form from the
+        channel's observed mean frame-loss rate:
+
+        * the **energy-optimal** ``k`` minimises expected radiated
+          frames per *delivered* message, ``(F+k) / P[deliver]`` —
+          more parity burns airtime every round, less parity wastes
+          whole rounds (:func:`~repro.sim.coding.
+          expected_frames_per_delivery`);
+        * the **reliability-first** ``k`` is the smallest whose
+          residual failure tail is at or below
+          ``fec_target_residual``.
+
+        Battery-poor clusters (headroom below ``arq_battery_margin``)
+        take the energy-optimal budget; clusters with energy to spare
+        take whichever is larger, buying failure-free rounds with
+        airtime they can afford.  Ties in the energy rule break toward
+        smaller ``k``.
+
+        The budget is additionally clamped so ``data_frames + k`` never
+        exceeds the GF(256) code's 256-shard limit; a message already
+        fragmenting into 256+ frames cannot be coded at all and falls
+        back to the uncoded path (``k = 0``).
+        """
+        if self.recovery == "arq":
+            return 0
+        max_parity = min(self.fec_max_parity, max(0, 256 - data_frames))
+        if max_parity == 0:
+            return 0
+        candidates = range(max_parity + 1)
+        energy_k = min(candidates, key=lambda k: (
+            expected_frames_per_delivery(data_frames, k, loss_rate), k))
+        if battery_headroom < self.arq_battery_margin:
+            return energy_k
+        reliability_k = next(
+            (k for k in candidates
+             if 1.0 - delivery_probability(data_frames, k, loss_rate)
+             <= self.fec_target_residual), max_parity)
+        return max(energy_k, reliability_k)
+
 
 class _EventClusterState:
     """Mutable per-cluster world state under the event engine.
@@ -314,7 +402,7 @@ class _EventClusterState:
     def __init__(self, cluster: ScheduledCluster,
                  resilience: ResilientOrchestrationPolicy,
                  sim: EventScheduler,
-                 channels: Optional[ChannelSpec],
+                 channels: Tuple[Optional[ChannelSpec], Optional[ChannelSpec]],
                  rng: np.random.Generator,
                  backhaul_distance_m: float):
         self.cluster = cluster
@@ -336,10 +424,11 @@ class _EventClusterState:
         self.radio = RadioEnergyModel()
         self.radio_energy_j = 0.0
         self.backhaul_m = backhaul_distance_m
-        if channels is not None:
-            self.up_channel = channels.build(
+        up_spec, down_spec = channels
+        if up_spec is not None:
+            self.up_channel = up_spec.build(
                 trainer.timing.up, np.random.default_rng(rng.integers(2 ** 63)))
-            self.down_channel = channels.build(
+            self.down_channel = down_spec.build(
                 trainer.timing.down,
                 np.random.default_rng(rng.integers(2 ** 63)))
         else:
@@ -529,6 +618,12 @@ class EdgeTrainingScheduler:
         channels are lossless and the clusters stack (see the module
         docstring).  ``False`` forces the per-round unfused loop — the
         reference the fused path is validated against.
+    trace_chunk:
+        Explicit chunk size for channel-trace recording (``None`` =
+        automatic: full traces for short horizons, chunked recording
+        beyond ``_TRACE_CHUNK_THRESHOLD`` rounds).  Chunked traces
+        bound trace memory for very long horizons without changing
+        replay semantics.
     """
 
     def __init__(self, policy: str = "round_robin",
@@ -538,27 +633,33 @@ class EdgeTrainingScheduler:
                  resilience: Optional[ResilientOrchestrationPolicy] = None,
                  channels: Optional[ChannelSpec] = None,
                  backhaul_distance_m: float = 100.0,
-                 segment_batching: bool = True):
+                 segment_batching: bool = True,
+                 trace_chunk: Optional[int] = None):
         if policy not in _POLICIES:
             raise ValueError(f"unknown policy {policy!r}; choose from {_POLICIES}")
         if engine not in _ENGINES:
             raise ValueError(f"unknown engine {engine!r}; choose from {_ENGINES}")
-        degraded = bool(fault_schedule) or (channels is not None
-                                            and not channels.ideal)
+        resilience = resilience or ResilientOrchestrationPolicy()
+        degraded = bool(fault_schedule) or (
+            channels is not None and (not channels.ideal
+                                      or resilience.recovery != "arq"))
         if degraded and engine != "event":
             raise ValueError(
-                "fault schedules and unreliable channels require "
-                "engine='event'; the sequential/batched engines model an "
-                "ideal synchronous world")
+                "fault schedules, unreliable channels and coded recovery "
+                "require engine='event'; the sequential/batched engines "
+                "model an ideal synchronous world")
         self.policy = policy
         self.engine = engine
         self.rng = rng or np.random.default_rng()
         self.clusters: List[ScheduledCluster] = []
         self.fault_schedule = fault_schedule or FaultSchedule()
-        self.resilience = resilience or ResilientOrchestrationPolicy()
+        self.resilience = resilience
         self.channels = channels
         self.backhaul_distance_m = backhaul_distance_m
         self.segment_batching = segment_batching
+        if trace_chunk is not None and trace_chunk < 1:
+            raise ValueError("trace_chunk must be >= 1")
+        self.trace_chunk = trace_chunk
 
     def add_cluster(self, name: str, trainer: OrchestratedTrainer,
                     data: np.ndarray, batch_size: int = 32,
@@ -583,19 +684,6 @@ class EdgeTrainingScheduler:
         return policy_pick(self.policy, pending,
                            lambda c: c.rounds_completed,
                            lambda c: c.current_loss)
-
-    def _check_batch_geometry(self) -> None:
-        """Raise a specific error when forced batching cannot stack waves."""
-        batch_sizes = {c.batch_size for c in self.clusters}
-        if len(batch_sizes) != 1:
-            raise FleetIncompatibilityError(
-                f"batched engine needs one uniform batch size, got "
-                f"{sorted(batch_sizes)}")
-        short = [c.name for c in self.clusters if len(c.data) < c.batch_size]
-        if short:
-            raise FleetIncompatibilityError(
-                "batched engine needs at least one full batch of data per "
-                f"cluster; too short: {short}")
 
     def _stacking_groups(self) -> Tuple[Tuple[int, ...], ...]:
         """Partition clusters into homogeneous stacking groups.
@@ -650,6 +738,13 @@ class EdgeTrainingScheduler:
                     "event", groups,
                     reason="no homogeneous group of >= 2 clusters to stack")
             lossy = self.channels is not None and not self.channels.ideal
+            # Coded channels must be trace-priced even when lossless:
+            # parity frames radiate extra bytes and airtime the
+            # planner's ideal closed forms do not know about.  The
+            # resilience policy may stamp coding on per cluster, so the
+            # base spec being uncoded is not enough to skip tracing.
+            traced = lossy or (self.channels is not None
+                               and self.resilience.recovery != "arq")
             if lossy and self.resilience.adaptive_arq \
                     and bool(self.fault_schedule):
                 return ExecutionPlan(
@@ -663,16 +758,13 @@ class EdgeTrainingScheduler:
                         reason="loss_priority pick timing couples to the "
                                "quorum halt")
                 return ExecutionPlan("event", groups, fused=True,
-                                     mode="wave", traced=lossy)
-            return ExecutionPlan("event", groups, fused=True, traced=lossy)
+                                     mode="wave", traced=traced)
+            return ExecutionPlan("event", groups, fused=True, traced=traced)
         if self.engine == "batched":
-            self._check_batch_geometry()
-            if len(groups) != 1:
-                raise FleetIncompatibilityError(
-                    "batched engine needs one architecture-homogeneous "
-                    f"fleet; the clusters partition into {len(groups)} "
-                    "stacking groups (use engine='auto' for group-wise "
-                    "batching)")
+            # Mixed fleets batch group by group, exactly like ``auto``
+            # — the strict one-homogeneous-fleet contract is gone;
+            # singleton groups (odd architectures, short data) step
+            # their own trainer per round inside the same replay.
             return ExecutionPlan("batched", groups)
         if self.engine == "auto" and stackable:
             return ExecutionPlan("batched", groups)
@@ -722,34 +814,62 @@ class EdgeTrainingScheduler:
     # ------------------------------------------------------------------
     # Event engine: asynchronous rounds on the discrete-event kernel
     # ------------------------------------------------------------------
-    def _channel_spec_for(self, cluster: ScheduledCluster,
-                          rounds_per_cluster: int) -> Optional[ChannelSpec]:
-        """The cluster's channel recipe, with its adaptive ARQ budget.
+    def _channel_specs_for(self, cluster: ScheduledCluster,
+                           rounds_per_cluster: int
+                           ) -> Tuple[Optional[ChannelSpec],
+                                      Optional[ChannelSpec]]:
+        """The cluster's (uplink, downlink) recipes with adaptive budgets.
 
         With ``resilience.adaptive_arq`` the fleet-uniform spec's retry
         budget is overridden per cluster from its deadline slack
         (deadline over ideal uncontended completion) and battery
         headroom (battery over the run's ideal backhaul radio energy).
+        With ``resilience.recovery`` of ``"fec"``/``"hybrid"`` an
+        erasure-coding recipe is stamped on **per link direction**: the
+        parity budget ``k`` protects whole messages, so it is derived
+        from each direction's own frame count (a 25-frame reconstruction
+        downlink needs more parity than a 4-frame latent uplink) plus
+        the channel's observed mean loss rate and the cluster's battery
+        headroom (:meth:`ResilientOrchestrationPolicy.coding_parity_for`).
+        A spec already carrying explicit coding keeps it on both links.
         """
         spec = self.channels
-        if spec is None or not self.resilience.adaptive_arq:
-            return spec
+        policy = self.resilience
+        wants_fec = (policy.recovery in ("fec", "hybrid")
+                     and spec is not None and spec.coding is None)
+        if spec is None or not (policy.adaptive_arq or wants_fec):
+            return spec, spec
         costs = cluster.trainer.round_costs(cluster.batch_size)
-        ideal_total_s = costs.timing.total_s * rounds_per_cluster
-        slack = (float("inf") if cluster.deadline_s is None
-                 else cluster.deadline_s / ideal_total_s)
         radio = RadioEnergyModel()
         round_j = (radio.tx_energy(costs.up_wire_bytes * 8,
                                    self.backhaul_distance_m)
                    + radio.rx_energy(costs.down_wire_bytes * 8))
         headroom = cluster.aggregator_battery_j \
             / (round_j * rounds_per_cluster)
-        retries = self.resilience.arq_retries_for(spec.arq.max_retries,
-                                                  slack, headroom)
-        if retries == spec.arq.max_retries:
-            return spec
-        return spec.with_arq(ARQConfig(max_retries=retries,
-                                       ack_timeout_s=spec.arq.ack_timeout_s))
+        if policy.adaptive_arq:
+            ideal_total_s = costs.timing.total_s * rounds_per_cluster
+            slack = (float("inf") if cluster.deadline_s is None
+                     else cluster.deadline_s / ideal_total_s)
+            retries = policy.arq_retries_for(spec.arq.max_retries,
+                                             slack, headroom)
+            if retries != spec.arq.max_retries:
+                spec = spec.with_arq(ARQConfig(
+                    max_retries=retries,
+                    ack_timeout_s=spec.arq.ack_timeout_s))
+        if not wants_fec:
+            return spec, spec
+        model = as_loss_model(spec.loss() if callable(spec.loss)
+                              else spec.loss)
+        rate = model.mean_loss_rate if model is not None else 0.0
+        hybrid = policy.recovery == "hybrid"
+        up_parity = policy.coding_parity_for(
+            cluster.trainer.timing.up.frames_for(costs.up_bytes),
+            rate, headroom)
+        down_parity = policy.coding_parity_for(
+            cluster.trainer.timing.down.frames_for(costs.down_bytes),
+            rate, headroom)
+        return (spec.with_coding(CodingSpec(up_parity, hybrid)),
+                spec.with_coding(CodingSpec(down_parity, hybrid)))
 
     def _record_channel_traces(self, states: Dict[str, "_EventClusterState"],
                                rounds_per_cluster: int) -> None:
@@ -761,16 +881,25 @@ class EdgeTrainingScheduler:
         channel's draw sequence never depends on the simulated clock.
         A channel is consulted at most once per round (failed uplinks
         skip the downlink), so surplus entries simply go unused.
+
+        Long horizons record **chunked** (``trace_chunk`` entries
+        ahead, refilled lazily from the same RNG stream, consumed
+        entries discarded) so trace memory stays bounded for 1e5+-round
+        runs; the entry sequence — and therefore the run — is identical
+        either way.
         """
+        chunk = self.trace_chunk
+        if chunk is None and rounds_per_cluster > _TRACE_CHUNK_THRESHOLD:
+            chunk = _TRACE_CHUNK
         for cluster in self.clusters:
             state = states[cluster.name]
             if state.up_channel is None:
                 continue
             costs = cluster.trainer.round_costs(cluster.batch_size)
             state.up_channel.replay(state.up_channel.record_trace(
-                costs.up_bytes, rounds_per_cluster))
+                costs.up_bytes, rounds_per_cluster, chunk=chunk))
             state.down_channel.replay(state.down_channel.record_trace(
-                costs.down_bytes, rounds_per_cluster))
+                costs.down_bytes, rounds_per_cluster, chunk=chunk))
 
     def _arq_rederiver(self, states: Dict[str, "_EventClusterState"],
                        budget: Dict[str, int], sim: EventScheduler):
@@ -831,7 +960,7 @@ class EdgeTrainingScheduler:
         states: Dict[str, _EventClusterState] = {
             c.name: _EventClusterState(
                 c, self.resilience, sim,
-                self._channel_spec_for(c, rounds_per_cluster),
+                self._channel_specs_for(c, rounds_per_cluster),
                 self.rng, self.backhaul_distance_m)
             for c in self.clusters}
         if plan.traced:
@@ -925,17 +1054,34 @@ class EdgeTrainingScheduler:
                          + (up.elapsed_s - timing.uplink_s)
                          + (down.elapsed_s - timing.downlink_s))
                 record = executor.execute(cluster, state, agg_s, extra)
-                retx_up = up.wire_bytes - costs.up_wire_bytes
+                # The k overhead frames of an erasure-coded transfer
+                # are ledgered apart from retransmissions: parity is a
+                # fixed open-loop cost, retransmission a reactive one.
+                if up.fec_wire_bytes > 0:
+                    trainer.ledger.record(0, -1, 0, up.fec_wire_bytes,
+                                          "latent_uplink_fec",
+                                          up.fec_time_s, up.parity_frames,
+                                          True)
+                retx_up = up.wire_bytes - costs.up_wire_bytes \
+                    - up.fec_wire_bytes
                 if retx_up > 0:
                     trainer.ledger.record(0, -1, 0, retx_up,
                                           "latent_uplink_retx",
-                                          up.elapsed_s - timing.uplink_s,
+                                          up.elapsed_s - timing.uplink_s
+                                          - up.fec_time_s,
                                           up.retransmissions, True)
-                retx_down = down.wire_bytes - costs.down_wire_bytes
+                if down.fec_wire_bytes > 0:
+                    trainer.ledger.record(-1, 0, 0, down.fec_wire_bytes,
+                                          "recon_downlink_fec",
+                                          down.fec_time_s,
+                                          down.parity_frames, True)
+                retx_down = down.wire_bytes - costs.down_wire_bytes \
+                    - down.fec_wire_bytes
                 if retx_down > 0:
                     trainer.ledger.record(-1, 0, 0, retx_down,
                                           "recon_downlink_retx",
-                                          down.elapsed_s - timing.downlink_s,
+                                          down.elapsed_s - timing.downlink_s
+                                          - down.fec_time_s,
                                           down.retransmissions, True)
                 state.charge_backhaul(up.wire_bytes, down.received_wire_bytes)
                 state.round_succeeded()
@@ -974,6 +1120,10 @@ class EdgeTrainingScheduler:
             arq_budgets={name: st.up_channel.arq.max_retries
                          for name, st in states.items()
                          if st.up_channel is not None},
+            coding_budgets={name: st.up_channel.coding.parity_frames
+                            for name, st in states.items()
+                            if st.up_channel is not None
+                            and st.up_channel.coding is not None},
         )
 
     # ------------------------------------------------------------------

@@ -26,7 +26,20 @@ the deployment story raises:
   (channel randomness pre-sampled into replayable
   :class:`~repro.sim.channel.ChannelTrace`\\ s), and one sweep point is
   re-run unfused to assert bit-identity end to end: delivered/attempt
-  ledger, failed rounds, modeled clock and completion times.
+  ledger, failed rounds, modeled clock and completion times;
+* **Recovery strategies** — ARQ vs erasure-coded FEC vs hybrid on a
+  narrow (802.15.4-class) backhaul where messages stripe across many
+  frames: the Gilbert-Elliott presets are swept under all three
+  strategies (NMSE, rounds-to-threshold, energy per delivered round,
+  deadline misses) and a Bernoulli sweep locates the **crossover loss
+  rate** above which coded uplinks beat ARQ on energy at equal
+  reconstruction quality — the headline FEC result;
+* **Intra-cluster loss** — unreliable *sensor* hops
+  (:meth:`~repro.wsn.network.WSNetwork.attach_unreliable`) inside one
+  deployed cluster: lost hops sever subtree contributions from the
+  partial sum, degrading reconstruction NMSE with loss, and an
+  erasure-coded sensor channel buys the contributions back at a fixed
+  parity-airtime premium.
 
 Reported per condition: mean reconstruction NMSE on held-out rounds,
 mean rounds-to-threshold (threshold = halfway between the ideal run's
@@ -42,23 +55,37 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..core import OrcoDCSConfig, OrcoDCSFramework, ResilientOrchestrationPolicy
+from ..core.deployment import EncoderDeployment
 from ..core.scheduler import EdgeTrainingScheduler
+from ..core.timing import OrchestrationTimingModel
 from ..datasets import FieldRegime, SensorField
 from ..datasets.sensing import normalized_rounds
 from ..metrics import nmse
-from ..sim import ARQConfig, ChannelSpec, FaultEvent, FaultSchedule
-from ..wsn import place_uniform
+from ..sim import ARQConfig, ChannelSpec, CodingSpec, FaultEvent, FaultSchedule
+from ..wsn import WSNetwork, place_uniform, select_aggregator
+from ..wsn.aggregation import build_aggregation_tree
+from ..wsn.link import sensor_link
 from .common import ExperimentResult, scaled
 
 LOSS_RATES = (0.0, 0.05, 0.1, 0.2)
+RECOVERY_RATES = (0.05, 0.1, 0.15, 0.2, 0.3)
+SENSOR_LOSS_RATES = (0.0, 0.1, 0.2, 0.3)
 
 
-def _make_fleet(num_clusters: int, devices: int, rounds_data: int, seed: int):
+def _make_fleet(num_clusters: int, devices: int, rounds_data: int, seed: int,
+                narrow_backhaul: bool = False):
     """Factory for (name, trainer, train_data, held_out, positions) tuples.
 
     Called fresh per condition so every condition starts from identical
     weights, data and device geometry — differences measure the channel
-    and the faults, nothing else.
+    and the faults, nothing else.  ``narrow_backhaul`` swaps the
+    aggregator<->edge links for 802.15.4-class sensor links (the
+    aggregator is itself an IoT device in the paper's setting): messages
+    then stripe across many small frames, which is the regime where the
+    ARQ-vs-FEC tradeoff is live — per-frame retry budgets give a long
+    message many chances to die, while a shared parity budget protects
+    it as a whole.  Trajectories are timing-independent, so thresholds
+    derived from the wide-backhaul ideal run carry over unchanged.
     """
 
     def factory() -> List[Tuple]:
@@ -76,7 +103,11 @@ def _make_fleet(num_clusters: int, devices: int, rounds_data: int, seed: int):
                                    latent_dim=max(4, devices // 6),
                                    noise_sigma=0.05, seed=index,
                                    batch_size=16)
-            fleet.append((f"cluster-{index}", OrcoDCSFramework(config),
+            timing = (OrchestrationTimingModel(up=sensor_link(),
+                                               down=sensor_link())
+                      if narrow_backhaul else None)
+            fleet.append((f"cluster-{index}",
+                          OrcoDCSFramework(config, timing=timing),
                           data[:rounds_data], data[rounds_data:], positions))
         return fleet
 
@@ -318,6 +349,100 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     result.check("802.15.4 indoor preset sweeps without blow-up",
                  np.isfinite(preset_nmse) and preset_wire >= ideal_wire)
 
+    # --- 2c. recovery strategies: ARQ vs FEC vs hybrid ----------------
+    # Narrow (802.15.4-class) backhaul so messages stripe across many
+    # frames — the regime where recovery strategy matters (see
+    # _make_fleet).  Same trajectories as the wide fleet (timing never
+    # touches the math), so the ideal-run thresholds carry over.
+    narrow_factory = _make_fleet(num_clusters, devices, rounds_data, seed,
+                                 narrow_backhaul=True)
+
+    def run_recovery(recovery: str, channels: Optional[ChannelSpec],
+                     deadline_s: Optional[float] = None):
+        resilience = ResilientOrchestrationPolicy(
+            recovery=recovery, max_consecutive_failures=10 ** 6)
+        scheduler = EdgeTrainingScheduler(
+            "round_robin", rng=np.random.default_rng(seed), engine="event",
+            channels=channels, resilience=resilience)
+        held = []
+        for name, trainer, data, held_rows, positions in narrow_factory():
+            scheduler.add_cluster(name, trainer, data, batch_size=16,
+                                  positions=positions, deadline_s=deadline_s)
+            held.append(held_rows)
+        report = scheduler.run(rounds_per_cluster=train_rounds)
+        completed = max(1, sum(report.rounds_per_cluster.values()))
+        return (scheduler, held, report,
+                sum(report.energy_j.values()) / completed)
+
+    _, _, clean_report, clean_energy_per_round = run_recovery("arq", None)
+    recovery_deadline = 1.25 * clean_report.makespan_s
+
+    for preset in ("802154_indoor", "802154_outdoor", "noisy_office"):
+        spec = ChannelSpec.preset(preset, arq=ARQConfig(max_retries=1))
+        for recovery in ("arq", "fec", "hybrid"):
+            sched, held, report, energy_per_round = run_recovery(
+                recovery, spec, deadline_s=recovery_deadline)
+            result.add_row(
+                loss_rate=f"GE:{preset}", recovery=recovery,
+                nmse=round(_fleet_nmse(sched, held), 5),
+                mean_rounds_to_threshold=round(_mean_rounds_to_threshold(
+                    sched, thresholds, train_rounds), 1),
+                failed_rounds=sum(report.failed_rounds.values()),
+                deadline_misses=len(report.deadline_misses),
+                energy_per_round_overhead=round(
+                    energy_per_round / clean_energy_per_round, 4),
+                parity_k=report.coding_budgets.get("cluster-0"))
+
+    # The headline: sweep Bernoulli loss under ARQ and FEC and locate
+    # the loss rate above which coded uplinks deliver rounds cheaper
+    # than retransmission at equal (or better) reconstruction quality.
+    arq_energy_curve, fec_energy_curve = [], []
+    arq_nmse_curve, fec_nmse_curve = [], []
+    fec_parity_ks = []
+    crossover = None
+    for rate in RECOVERY_RATES:
+        spec = ChannelSpec(loss=rate, arq=ARQConfig(max_retries=1))
+        arq_sched, arq_held, arq_report, arq_epr = run_recovery("arq", spec)
+        fec_sched, fec_held, fec_report, fec_epr = run_recovery("fec", spec)
+        arq_rel = arq_epr / clean_energy_per_round
+        fec_rel = fec_epr / clean_energy_per_round
+        arq_err = _fleet_nmse(arq_sched, arq_held)
+        fec_err = _fleet_nmse(fec_sched, fec_held)
+        arq_energy_curve.append(arq_rel)
+        fec_energy_curve.append(fec_rel)
+        arq_nmse_curve.append(arq_err)
+        fec_nmse_curve.append(fec_err)
+        fec_parity_ks.append(fec_report.coding_budgets.get("cluster-0", 0))
+        if crossover is None and fec_rel < arq_rel \
+                and fec_err <= arq_err + 1e-3:
+            crossover = rate
+        result.add_row(loss_rate=rate, recovery="arq vs fec",
+                       nmse=round(arq_err, 5),
+                       fec_nmse=round(fec_err, 5),
+                       failed_rounds=sum(arq_report.failed_rounds.values()),
+                       fec_failed_rounds=sum(
+                           fec_report.failed_rounds.values()),
+                       energy_per_round_overhead=round(arq_rel, 4),
+                       fec_energy_per_round_overhead=round(fec_rel, 4),
+                       parity_k=fec_parity_ks[-1])
+    result.add_series("arq_energy_per_round_vs_loss", RECOVERY_RATES,
+                      arq_energy_curve, "frame_loss_rate", "x_ideal_energy")
+    result.add_series("fec_energy_per_round_vs_loss", RECOVERY_RATES,
+                      fec_energy_curve, "frame_loss_rate", "x_ideal_energy")
+    result.summary["fec_beats_arq_above_loss_rate"] = crossover
+    result.check("FEC beats ARQ on energy per delivered round above a "
+                 "crossover loss rate", crossover is not None)
+    result.check("at the mildest loss point, ARQ is the cheaper recovery",
+                 arq_energy_curve[0] <= fec_energy_curve[0] + 1e-9)
+    result.check("FEC wins decisively at the heaviest loss point",
+                 fec_energy_curve[-1] < arq_energy_curve[-1])
+    result.check("FEC holds reconstruction quality at the heaviest loss",
+                 fec_nmse_curve[-1] <= arq_nmse_curve[-1] + 1e-3)
+    result.check("adaptive parity budgets grow with loss",
+                 all(k2 >= k1 for k1, k2 in zip(fec_parity_ks,
+                                                fec_parity_ks[1:]))
+                 and fec_parity_ks[-1] > 0)
+
     # --- 3. fault schedule: death, failover, straggler ----------------
     # Fault times are placed relative to the ideal makespan so the
     # deaths land mid-training at every scale.
@@ -413,6 +538,96 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
                  and fused_report.dead_clusters
                  == unfused_report.dead_clusters
                  and fused_report.energy_j == unfused_report.energy_j)
+
+    # --- 5. intra-cluster loss: sensor hops vs reconstruction NMSE ----
+    # Unreliable *sensor* links inside one deployed cluster (the PR 2
+    # open item): a hop that exhausts its recovery budget severs its
+    # subtree from the partial sum, so per-frame loss shows up directly
+    # as reconstruction error — and an erasure-coded sensor channel
+    # buys the contributions back for a fixed parity premium.
+    rng = np.random.default_rng(seed + 77)
+    positions = place_uniform(devices, (80.0, 80.0), rng)
+    field = SensorField(regime=FieldRegime(mean=18.0, amplitude=2.0,
+                                           correlation_length=6.0), rng=rng)
+    rounds = field.generate_rounds(positions, rounds_data + 16)
+    data, _, _ = normalized_rounds(rounds)
+    config = OrcoDCSConfig(input_dim=devices, latent_dim=max(4, devices // 6),
+                           noise_sigma=0.05, seed=seed, batch_size=16)
+    framework = OrcoDCSFramework(config)
+    framework.fit_config(data[:rounds_data], epochs=10)
+    eval_rows = data[rounds_data:rounds_data + scaled(12, scale, minimum=6)]
+
+    def deployed_recons(loss_rate: float, coding: Optional[CodingSpec]):
+        """Per-row edge reconstructions + contributor fraction + wire."""
+        network = WSNetwork(positions, battery_capacity_j=1e9)
+        network.set_aggregator(select_aggregator(positions))
+        if loss_rate > 0.0:
+            network.attach_unreliable(
+                sensor=ChannelSpec(loss=loss_rate,
+                                   arq=ARQConfig(max_retries=0),
+                                   coding=coding),
+                rng=np.random.default_rng(seed + 1234))
+        tree = build_aggregation_tree(network)
+        deployment = EncoderDeployment(framework.model, network, tree)
+        deployment.distribute()
+        recons, contributors = [], []
+        for row in eval_rows:
+            readings = {nid: float(row[i])
+                        for i, nid in enumerate(network.device_ids)}
+            collected = deployment.compressed_round(readings)
+            recons.append(deployment.reconstruct_at_edge(collected.latent))
+            contributors.append(len(collected.contributors) / devices)
+        return (np.array(recons), float(np.mean(contributors)),
+                network.ledger.total_wire_bytes("compressed_round"))
+
+    # The channel-induced error: degraded reconstruction vs the clean
+    # cluster's reconstruction of the same rows.  (NMSE vs ground truth
+    # is mean-dominated on smooth sensor fields and would bury the
+    # channel's contribution; this isolates exactly what loss costs.)
+    clean_recons, _, _ = deployed_recons(0.0, None)
+    truth_nmse = float(nmse(eval_rows, clean_recons))
+    plain_curve = []
+    worst_stats = {}
+    for rate in SENSOR_LOSS_RATES:
+        plain_recons, plain_contrib, plain_wire = deployed_recons(rate, None)
+        coded_recons, coded_contrib, coded_wire = deployed_recons(
+            rate, CodingSpec(parity_frames=2))
+        plain_err = float(nmse(clean_recons, plain_recons)) if rate else 0.0
+        coded_err = float(nmse(clean_recons, coded_recons)) if rate else 0.0
+        plain_curve.append(plain_err)
+        if rate == SENSOR_LOSS_RATES[-1]:
+            worst_stats = dict(plain=plain_err, coded=coded_err,
+                               plain_contrib=plain_contrib,
+                               coded_contrib=coded_contrib,
+                               plain_wire=plain_wire, coded_wire=coded_wire)
+        result.add_row(scenario="intra-cluster sensor loss",
+                       loss_rate=rate,
+                       nmse=round(plain_err, 6),
+                       fec_nmse=round(coded_err, 6),
+                       contributors=round(plain_contrib, 3),
+                       fec_contributors=round(coded_contrib, 3),
+                       wire_overhead=round(coded_wire / max(1, plain_wire),
+                                           3))
+    result.add_series("intra_cluster_nmse_vs_loss", SENSOR_LOSS_RATES,
+                      plain_curve, "sensor_frame_loss_rate",
+                      "channel_induced_nmse")
+    result.summary["intra_cluster_truth_nmse"] = truth_nmse
+    result.summary["intra_cluster_channel_nmse_at_30pct_loss"] = \
+        worst_stats["plain"]
+    result.summary["intra_cluster_coded_channel_nmse_at_30pct_loss"] = \
+        worst_stats["coded"]
+    result.check("intra-cluster NMSE stays finite under sensor loss",
+                 all(np.isfinite(v) for v in plain_curve)
+                 and np.isfinite(truth_nmse))
+    result.check("sensor-hop loss degrades reconstruction",
+                 worst_stats["plain"] > 0.0
+                 and worst_stats["plain"] >= plain_curve[1])
+    result.check("coded sensor hops keep more contributors at heavy loss",
+                 worst_stats["coded_contrib"] > worst_stats["plain_contrib"])
+    result.check("coded sensor hops reconstruct better at heavy loss",
+                 worst_stats["coded"] < worst_stats["plain"])
+    result.check("sensor-hop coding pays a parity wire premium",
+                 worst_stats["coded_wire"] > worst_stats["plain_wire"])
     return result
 
 

@@ -23,6 +23,7 @@ from .channel import (
     ChannelTrace,
     ChannelTraceDigest,
     ChannelTraceExhausted,
+    ChunkedChannelTrace,
     GILBERT_ELLIOTT_PRESETS,
     GILBERT_ELLIOTT_TRACE_DIGESTS,
     GilbertElliottLoss,
@@ -31,6 +32,15 @@ from .channel import (
     as_loss_model,
     digest_gilbert_elliott,
     fit_gilbert_elliott,
+)
+from .coding import (
+    CodingSpec,
+    ErasureCodec,
+    ErasureDecodeError,
+    decode_floats,
+    delivery_probability,
+    encode_floats,
+    expected_frames_per_delivery,
 )
 from .events import Event, EventScheduler, SimulationError
 from .faults import (
@@ -45,11 +55,14 @@ from .faults import (
 
 __all__ = [
     "ARQConfig", "BernoulliLoss", "ChannelSpec", "ChannelTrace",
-    "ChannelTraceDigest", "ChannelTraceExhausted",
+    "ChannelTraceDigest", "ChannelTraceExhausted", "ChunkedChannelTrace",
+    "CodingSpec", "ErasureCodec", "ErasureDecodeError",
     "GILBERT_ELLIOTT_PRESETS", "GILBERT_ELLIOTT_TRACE_DIGESTS",
     "GilbertElliottLoss",
     "TransmitResult", "UnreliableChannel", "as_loss_model",
-    "digest_gilbert_elliott", "fit_gilbert_elliott",
+    "decode_floats", "delivery_probability", "digest_gilbert_elliott",
+    "encode_floats", "expected_frames_per_delivery",
+    "fit_gilbert_elliott",
     "Event", "EventScheduler", "SimulationError",
     "FAULT_KINDS", "FaultEvent", "FaultInjector", "FaultSchedule",
     "NetworkFaultTarget", "apply_fault", "apply_fault_to_network",

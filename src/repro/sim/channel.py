@@ -12,6 +12,11 @@ per-frame:
   per-state loss rates), the two standard abstractions;
 * **ARQ** — stop-and-wait per frame with a retry budget and an
   ACK-timeout charge per lost attempt (:class:`ARQConfig`);
+* **FEC / hybrid** — erasure-coded messages
+  (:class:`~repro.sim.coding.CodingSpec`): ``k`` parity frames per
+  message, decodable from any ``F`` of ``F+k`` coded frames —
+  retransmission-free open-loop recovery, optionally with ARQ repair of
+  a shortfall (hybrid);
 * **jitter** — optional exponential per-frame latency jitter.
 
 Contract with the ideal layer: with no loss events and zero jitter a
@@ -37,12 +42,14 @@ stretch) and still match the unfused live run exactly.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Optional, Tuple, Union
+from typing import Callable, Deque, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..wsn.link import LinkModel
+from .coding import CodingSpec
 
 
 # ----------------------------------------------------------------------
@@ -152,17 +159,27 @@ class ARQConfig:
 
 @dataclass(frozen=True)
 class TransmitResult:
-    """Outcome of one message transmission over an unreliable channel."""
+    """Outcome of one message transmission over an unreliable channel.
+
+    On an erasure-coded channel ``delivered`` means the receiver holds
+    enough coded frames to decode (any ``frames`` of the
+    ``frames + parity_frames`` radiated); ``fec_wire_bytes`` /
+    ``fec_time_s`` price the parity overhead separately so the ledger
+    can attribute coding cost apart from retransmissions.
+    """
 
     payload_bytes: int
-    frames: int          # frames the message fragments into
+    frames: int          # data frames the message fragments into
     attempts: int        # frame transmissions actually radiated
     lost_frames: int     # attempts that were lost in flight
-    delivered: bool      # every frame delivered within its ARQ budget?
+    delivered: bool      # decodable / every frame within its ARQ budget?
     wire_bytes: int      # bytes radiated across all attempts
     elapsed_s: float     # sender-side elapsed time incl. timeouts/jitter
     received_wire_bytes: int = 0   # bytes that actually reached the receiver
     retransmissions: int = 0       # attempts beyond the first, per frame
+    parity_frames: int = 0         # erasure-code parity frames radiated
+    fec_wire_bytes: int = 0        # bytes radiated as parity overhead
+    fec_time_s: float = 0.0        # parity airtime (jitter excluded)
 
 
 class ChannelTraceExhausted(RuntimeError):
@@ -204,6 +221,83 @@ class ChannelTrace:
         return result
 
 
+class ChunkedChannelTrace:
+    """Bounded-memory channel trace: record ahead in chunks, refill on
+    exhaustion from the channel's own RNG stream, discard consumed
+    entries.
+
+    Replay semantics are identical to a full :class:`ChannelTrace` from
+    the same seed: a channel's draw sequence depends only on its RNG,
+    and chunked recording consumes that stream in exactly the order a
+    full up-front recording would — just lazily.  Sequential replay
+    keeps at most ``chunk + 1`` entries buffered (the planner's
+    ``seed_current`` reads one entry behind the cursor, so exactly one
+    consumed entry is retained); planner lookahead past the recorded
+    frontier transparently records further chunks, so a fused run's
+    worst case degrades to the full trace's memory while unfused or
+    short-lookahead runs stay O(chunk) for 1e5+-round horizons.
+    """
+
+    def __init__(self, channel: "UnreliableChannel", payload_bytes: int,
+                 transmits: int, chunk: int):
+        if transmits < 0:
+            raise ValueError("transmits must be non-negative")
+        if chunk < 1:
+            raise ValueError("chunk must be >= 1")
+        self.channel = channel
+        self.payload_bytes = payload_bytes
+        self.total = transmits
+        self.chunk = chunk
+        self.cursor = 0
+        self._entries: Deque[TransmitResult] = deque()
+        self._base = 0   # absolute index of _entries[0]
+
+    def __len__(self) -> int:
+        return self.total
+
+    @property
+    def remaining(self) -> int:
+        return self.total - self.cursor
+
+    @property
+    def buffered(self) -> int:
+        """Entries currently held in memory (the bound under test)."""
+        return len(self._entries)
+
+    def entry(self, index: int) -> TransmitResult:
+        """Entry at absolute ``index``, recording forward as needed."""
+        if not 0 <= index < self.total:
+            raise ChannelTraceExhausted(
+                f"entry {index} outside the {self.total}-transmit horizon")
+        if index < self._base:
+            raise ValueError(
+                f"entry {index} was discarded (chunked trace retains "
+                f">= {self._base}); chunked replay is forward-only")
+        while self._base + len(self._entries) <= index:
+            burst = min(self.chunk,
+                        self.total - self._base - len(self._entries))
+            for _ in range(burst):
+                self._entries.append(
+                    self.channel._transmit_live(self.payload_bytes))
+        return self._entries[index - self._base]
+
+    def next(self) -> TransmitResult:
+        """Consume and return the next recorded outcome."""
+        if self.cursor >= self.total:
+            raise ChannelTraceExhausted(
+                f"trace of {self.total} transmits exhausted")
+        result = self.entry(self.cursor)
+        self.cursor += 1
+        while self._base < self.cursor - 1:
+            self._entries.popleft()
+            self._base += 1
+        return result
+
+
+#: Either trace flavour serves :meth:`UnreliableChannel.transmit`.
+ChannelTraceLike = Union[ChannelTrace, ChunkedChannelTrace]
+
+
 class UnreliableChannel:
     """A :class:`LinkModel` wrapped with loss, ARQ and jitter.
 
@@ -218,12 +312,20 @@ class UnreliableChannel:
         Retransmission policy; ``None`` uses the default budget.
     jitter_s:
         Mean of an exponential extra per-frame delay (0 disables).
+    coding:
+        Optional :class:`~repro.sim.coding.CodingSpec`: the message's
+        frames become shards of a systematic erasure code (``k`` extra
+        parity frames; decodable from any ``F`` of ``F+k``).  Pure FEC
+        is open-loop (no ACKs, no retransmissions); with
+        ``arq_fallback`` a shortfall is ARQ-repaired (hybrid).  A
+        zero-parity spec degenerates to the uncoded path bit-for-bit.
     rng:
         Generator driving loss and jitter draws (deterministic per seed).
     """
 
     def __init__(self, link: LinkModel, loss: LossModelLike = None,
                  arq: Optional[ARQConfig] = None, jitter_s: float = 0.0,
+                 coding: Optional[CodingSpec] = None,
                  rng: Optional[np.random.Generator] = None):
         if jitter_s < 0:
             raise ValueError("jitter_s must be >= 0")
@@ -231,11 +333,13 @@ class UnreliableChannel:
         self.loss = as_loss_model(loss)
         self.arq = arq or ARQConfig()
         self.jitter_s = jitter_s
+        self.coding = coding
         self.rng = rng or np.random.default_rng()
-        self.trace: Optional[ChannelTrace] = None
+        self.trace: Optional[ChannelTraceLike] = None
 
     # ------------------------------------------------------------------
-    def record_trace(self, payload_bytes: int, transmits: int) -> ChannelTrace:
+    def record_trace(self, payload_bytes: int, transmits: int,
+                     chunk: Optional[int] = None) -> ChannelTraceLike:
         """Pre-sample ``transmits`` fixed-payload transmit outcomes.
 
         Consumes this channel's RNG stream and burst state exactly as
@@ -244,14 +348,21 @@ class UnreliableChannel:
         the same seed.  Recording more transmits than a run consumes is
         harmless: each channel owns its RNG, so surplus draws leak into
         nothing.
+
+        With ``chunk`` the trace is a :class:`ChunkedChannelTrace` that
+        records only ``chunk`` transmits ahead and refills lazily from
+        the same RNG stream — identical entry sequence, bounded memory
+        for very long horizons.
         """
         if transmits < 0:
             raise ValueError("transmits must be non-negative")
+        if chunk is not None:
+            return ChunkedChannelTrace(self, payload_bytes, transmits, chunk)
         entries = tuple(self._transmit_live(payload_bytes)
                         for _ in range(transmits))
         return ChannelTrace(entries)
 
-    def replay(self, trace: ChannelTrace) -> None:
+    def replay(self, trace: ChannelTraceLike) -> None:
         """Serve future :meth:`transmit` calls from ``trace`` in order."""
         self.trace = trace
 
@@ -275,6 +386,40 @@ class UnreliableChannel:
             return result
         return self._transmit_live(n_bytes)
 
+    def _arq_frame(self, payload: int, elapsed: float,
+                   repair: bool) -> Tuple[bool, int, int, int, int, int,
+                                          float]:
+        """Stop-and-wait one frame under the ARQ budget.
+
+        The one copy of the per-frame attempt/timeout/jitter accounting,
+        shared by the uncoded message loop and the hybrid repair phase
+        (which must never diverge).  The message's running ``elapsed``
+        is threaded through so float accumulation order is identical to
+        an inlined loop.  ``repair`` marks a retransmitted coded frame:
+        every attempt, the first included, counts as a retransmission.
+        Returns ``(delivered, attempts, lost, retransmissions, wire,
+        received, elapsed)``.
+        """
+        link = self.link
+        frame_wire = payload + link.header_bytes
+        frame_time = link.frame_time(payload)
+        attempts = lost = retransmissions = wire = received = 0
+        for attempt in range(self.arq.max_retries + 1):
+            attempts += 1
+            retransmissions += repair or attempt > 0
+            wire += frame_wire
+            elapsed += frame_time
+            if self.jitter_s > 0.0:
+                elapsed += float(self.rng.exponential(self.jitter_s))
+            if self.loss is not None and self.loss.frame_lost(self.rng):
+                lost += 1
+                elapsed += self.arq.ack_timeout_s
+                continue
+            received += frame_wire
+            return True, attempts, lost, retransmissions, wire, received, \
+                elapsed
+        return False, attempts, lost, retransmissions, wire, received, elapsed
+
     def _transmit_live(self, n_bytes: int) -> TransmitResult:
         if n_bytes < 0:
             raise ValueError("n_bytes must be non-negative")
@@ -282,6 +427,8 @@ class UnreliableChannel:
         frames = link.frame_sizes(n_bytes)
         if not frames:
             return TransmitResult(0, 0, 0, 0, True, 0, 0.0, 0, 0)
+        if self.coding is not None and self.coding.parity_frames > 0:
+            return self._transmit_coded(n_bytes, frames)
 
         elapsed = link.latency_s
         wire = 0
@@ -291,23 +438,13 @@ class UnreliableChannel:
         retransmissions = 0
         delivered = True
         for payload in frames:
-            frame_wire = payload + link.header_bytes
-            frame_time = link.frame_time(payload)
-            frame_done = False
-            for attempt in range(self.arq.max_retries + 1):
-                attempts += 1
-                retransmissions += attempt > 0
-                wire += frame_wire
-                elapsed += frame_time
-                if self.jitter_s > 0.0:
-                    elapsed += float(self.rng.exponential(self.jitter_s))
-                if self.loss is not None and self.loss.frame_lost(self.rng):
-                    lost += 1
-                    elapsed += self.arq.ack_timeout_s
-                    continue
-                received += frame_wire
-                frame_done = True
-                break
+            (frame_done, f_attempts, f_lost, f_retx, f_wire, f_received,
+             elapsed) = self._arq_frame(payload, elapsed, repair=False)
+            attempts += f_attempts
+            lost += f_lost
+            retransmissions += f_retx
+            wire += f_wire
+            received += f_received
             if not frame_done:
                 delivered = False
                 break
@@ -321,6 +458,71 @@ class UnreliableChannel:
         return TransmitResult(n_bytes, len(frames), attempts, lost,
                               delivered, wire, elapsed, received,
                               retransmissions)
+
+    def _transmit_coded(self, n_bytes: int,
+                        frames: List[int]) -> TransmitResult:
+        """Erasure-coded transmit: an open-loop burst of ``F+k`` coded
+        frames, decodable from any ``F`` arrivals.
+
+        Per-frame striping: each data frame is one shard of a
+        systematic Cauchy-RS code (:mod:`repro.sim.coding`); the ``k``
+        parity frames carry stripe-sized parity shards (the stripe is
+        the largest data-frame payload, so a short final frame is
+        zero-padded into the code).  Pure FEC radiates every frame
+        exactly once — no ACKs, no timeouts.  With ``arq_fallback`` a
+        shortfall is repaired by retransmitting the erased coded frames
+        stop-and-wait under the channel's ARQ budget (hybrid); a repair
+        frame exhausting its budget loses the message, exactly like an
+        uncoded ARQ abort.
+        """
+        link = self.link
+        coding = self.coding
+        if len(frames) + coding.parity_frames > 256:
+            raise ValueError(
+                f"message of {len(frames)} data frames + "
+                f"{coding.parity_frames} parity frames exceeds the "
+                "256-shard limit of the GF(256) Cauchy-RS code; split the "
+                "payload or reduce the parity budget")
+        stripe = frames[0]   # all but the last frame carry the max payload
+        elapsed = link.latency_s
+        wire = received = attempts = lost = retransmissions = 0
+        arrived = 0
+        erased: List[int] = []   # payload sizes of lost coded frames
+        for payload in frames + [stripe] * coding.parity_frames:
+            frame_wire = payload + link.header_bytes
+            attempts += 1
+            wire += frame_wire
+            elapsed += link.frame_time(payload)
+            if self.jitter_s > 0.0:
+                elapsed += float(self.rng.exponential(self.jitter_s))
+            if self.loss is not None and self.loss.frame_lost(self.rng):
+                lost += 1
+                erased.append(payload)
+                continue
+            received += frame_wire
+            arrived += 1
+        delivered = arrived >= len(frames)
+        if not delivered and coding.arq_fallback:
+            # Hybrid repair: the receiver NACKs the burst and the sender
+            # retransmits erased coded frames until the decoder holds F
+            # shards, each repair under the stop-and-wait ARQ budget.
+            for payload in erased[:len(frames) - arrived]:
+                (frame_done, f_attempts, f_lost, f_retx, f_wire, f_received,
+                 elapsed) = self._arq_frame(payload, elapsed, repair=True)
+                attempts += f_attempts
+                lost += f_lost
+                retransmissions += f_retx
+                wire += f_wire
+                received += f_received
+                if not frame_done:
+                    break   # repair budget exhausted: message lost
+            else:
+                delivered = True
+        return TransmitResult(
+            n_bytes, len(frames), attempts, lost, delivered, wire, elapsed,
+            received, retransmissions, coding.parity_frames,
+            coding.parity_frames * (stripe + link.header_bytes),
+            coding.parity_frames * link.frame_time(stripe))
 
     def reset(self) -> None:
         """Reset bursty loss state (new epoch / new channel realisation)."""
@@ -344,12 +546,14 @@ class ChannelSpec:
     loss: Union[float, Callable[[], object], None] = None
     arq: ARQConfig = field(default_factory=ARQConfig)
     jitter_s: float = 0.0
+    coding: Optional[CodingSpec] = None
 
     def build(self, link: LinkModel,
               rng: np.random.Generator) -> UnreliableChannel:
         loss = self.loss() if callable(self.loss) else self.loss
         return UnreliableChannel(link, loss=loss, arq=self.arq,
-                                 jitter_s=self.jitter_s, rng=rng)
+                                 jitter_s=self.jitter_s, coding=self.coding,
+                                 rng=rng)
 
     def with_arq(self, arq: ARQConfig) -> "ChannelSpec":
         """This spec with a different retransmission budget.
@@ -361,16 +565,50 @@ class ChannelSpec:
         """
         return replace(self, arq=arq)
 
+    def with_coding(self, coding: Union[CodingSpec, int, None],
+                    arq_fallback: bool = False) -> "ChannelSpec":
+        """This spec with an erasure-coding recipe on every link.
+
+        ``coding`` may be a :class:`~repro.sim.coding.CodingSpec`, a
+        bare parity-frame count ``k`` (``arq_fallback`` then selects
+        hybrid FEC+ARQ repair), or ``None`` to strip coding.  The hook
+        per-cluster redundancy adaptation uses: the resilience policy
+        derives one ``k`` per cluster from observed loss and battery
+        headroom and stamps per-cluster channels from the shared recipe.
+        """
+        if isinstance(coding, int):
+            coding = CodingSpec(parity_frames=coding,
+                                arq_fallback=arq_fallback)
+        return replace(self, coding=coding)
+
+    @property
+    def recovery(self) -> str:
+        """The loss-recovery strategy this spec resolves to.
+
+        ``"fec"`` / ``"hybrid"`` when an erasure code is attached (open
+        loop vs. ARQ-repaired shortfall), ``"arq"`` when only a
+        retransmission budget stands between loss and a failed round,
+        ``"none"`` when nothing recovers a lost frame.
+        """
+        if self.coding is not None and self.coding.parity_frames > 0:
+            return "hybrid" if self.coding.arq_fallback else "fec"
+        return "arq" if self.arq.max_retries > 0 else "none"
+
     @property
     def ideal(self) -> bool:
-        """True when this spec degrades nothing (lossless, no jitter)."""
+        """True when this spec degrades nothing (lossless, no jitter,
+        no coding overhead — parity frames radiate extra bytes and
+        airtime even on a lossless link)."""
         if callable(self.loss):
+            return False
+        if self.coding is not None and self.coding.parity_frames > 0:
             return False
         return (self.loss is None or self.loss == 0.0) and self.jitter_s == 0.0
 
     @classmethod
     def preset(cls, name: str, arq: Optional[ARQConfig] = None,
-               jitter_s: float = 0.0) -> "ChannelSpec":
+               jitter_s: float = 0.0,
+               coding: Optional[CodingSpec] = None) -> "ChannelSpec":
         """Named Gilbert-Elliott channel calibrated to 802.15.4 traces.
 
         Parameters per preset live in :data:`GILBERT_ELLIOTT_PRESETS`;
@@ -383,7 +621,7 @@ class ChannelSpec:
                              f"{sorted(GILBERT_ELLIOTT_PRESETS)}")
         params = GILBERT_ELLIOTT_PRESETS[name]
         return cls(loss=lambda: GilbertElliottLoss(**params),
-                   arq=arq or ARQConfig(), jitter_s=jitter_s)
+                   arq=arq or ARQConfig(), jitter_s=jitter_s, coding=coding)
 
 
 #: Gilbert-Elliott parameter sets distilled from published IEEE 802.15.4

@@ -1,0 +1,314 @@
+"""Erasure coding for latent uplinks: FEC as a third recovery strategy.
+
+ARQ (stop-and-wait retransmission, :mod:`repro.sim.channel`) is a
+*closed-loop* recovery mechanism: it spends airtime reactively, per lost
+frame, and a tight retry budget turns bursty loss into whole lost
+rounds.  This module adds the *open-loop* alternative the paper's
+energy story calls for — transmission dominates sensing-node budgets,
+so retransmission-free recovery is the natural other axis: send ``M+k``
+coded symbols up front and decode **exactly** from *any* ``M``
+arrivals, no feedback channel required.
+
+Three pieces:
+
+* :class:`ErasureCodec` — a systematic Cauchy-Reed-Solomon code over
+  GF(256) (the construction practical erasure coders use: every square
+  submatrix of a Cauchy matrix is nonsingular, so the code is MDS and
+  *any* ``M`` of the ``M+k`` coded shards reconstruct the originals,
+  byte-for-byte exactly).  Payload bytes — including float scalars,
+  whose bit patterns round-trip untouched — are striped across shards;
+  :func:`encode_floats`/:func:`decode_floats` are the scalar-level view
+  ("send M+k coded scalars") used by the WSN partial-sum path.
+* :class:`CodingSpec` — the declarative per-link recipe (how many
+  parity frames per message, whether ARQ repairs a shortfall), the FEC
+  counterpart of :class:`~repro.sim.channel.ARQConfig`.  A message of
+  ``F`` data frames is transmitted as ``F + k`` coded frames
+  (per-frame striping: each frame is one shard) and is decodable iff
+  at least ``F`` of them arrive.
+* :func:`delivery_probability` / :func:`expected_frames_per_delivery` —
+  the closed-form pricing the scheduler's resilience policy uses to
+  derive an adaptive redundancy ``k`` from observed loss and battery
+  headroom (see :meth:`repro.core.scheduler.ResilientOrchestrationPolicy.
+  coding_parity_for`).
+
+The cost model in :class:`~repro.sim.channel.UnreliableChannel` moves
+no real payload bytes, so the channel integration only needs the
+*counting* semantics (``k`` extra stripe-sized frames, decodable from
+any ``F``); the codec itself backs the exactness property tests and the
+coded partial-sum path through
+:func:`~repro.wsn.aggregation.hybrid_encode_partial`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "CodingSpec", "ErasureCodec", "ErasureDecodeError",
+    "decode_floats", "delivery_probability", "encode_floats",
+    "expected_frames_per_delivery",
+]
+
+
+# ----------------------------------------------------------------------
+# GF(256) arithmetic (AES-standard reduction polynomial 0x11d)
+# ----------------------------------------------------------------------
+def _build_tables() -> Tuple[np.ndarray, np.ndarray]:
+    exp = np.zeros(512, dtype=np.uint8)
+    log = np.zeros(256, dtype=np.int64)
+    value = 1
+    for power in range(255):
+        exp[power] = value
+        log[value] = power
+        value <<= 1
+        if value & 0x100:
+            value ^= 0x11D
+    exp[255:510] = exp[:255]  # wraparound so log sums need no modulo
+    return exp, log
+
+
+_GF_EXP, _GF_LOG = _build_tables()
+
+
+def gf_mul(a, b) -> np.ndarray:
+    """Element-wise GF(256) product of two uint8 arrays (broadcasting)."""
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    product = _GF_EXP[_GF_LOG[a] + _GF_LOG[b]]
+    return np.where((a == 0) | (b == 0), 0, product).astype(np.uint8)
+
+
+def gf_inverse(a: int) -> int:
+    """Multiplicative inverse in GF(256); 0 has none."""
+    if a == 0:
+        raise ZeroDivisionError("0 has no inverse in GF(256)")
+    return int(_GF_EXP[255 - _GF_LOG[a]])
+
+
+def gf_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix product over GF(256): XOR-accumulated gf_mul products."""
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    # (n, K, 1) x (1, K, m) -> (n, K, m), XOR-reduced over K.  Shard
+    # counts are small (<= 256), so the broadcast stays tiny.
+    products = gf_mul(a[:, :, None], b[None, :, :])
+    return np.bitwise_xor.reduce(products, axis=1)
+
+
+def gf_inv_matrix(matrix: np.ndarray) -> np.ndarray:
+    """Invert a square matrix over GF(256) by Gauss-Jordan elimination."""
+    matrix = np.asarray(matrix, dtype=np.uint8)
+    n = matrix.shape[0]
+    if matrix.shape != (n, n):
+        raise ValueError("matrix must be square")
+    aug = np.concatenate([matrix.copy(),
+                          np.eye(n, dtype=np.uint8)], axis=1)
+    for col in range(n):
+        pivot_rows = np.nonzero(aug[col:, col])[0]
+        if pivot_rows.size == 0:
+            raise np.linalg.LinAlgError("matrix is singular over GF(256)")
+        pivot = col + int(pivot_rows[0])
+        if pivot != col:
+            aug[[col, pivot]] = aug[[pivot, col]]
+        aug[col] = gf_mul(gf_inverse(int(aug[col, col])), aug[col])
+        for row in range(n):
+            if row != col and aug[row, col]:
+                aug[row] ^= gf_mul(aug[row, col], aug[col])
+    return aug[:, n:]
+
+
+# ----------------------------------------------------------------------
+# Systematic Cauchy-Reed-Solomon codec
+# ----------------------------------------------------------------------
+class ErasureDecodeError(ValueError):
+    """Decoding was asked of fewer/invalid shards than the code needs."""
+
+
+class ErasureCodec:
+    """Systematic ``(M, M+k)`` Cauchy-Reed-Solomon code over GF(256).
+
+    ``encode`` maps ``M`` data shards (equal-length byte rows) to
+    ``M + k`` coded shards whose first ``M`` are the data untouched
+    (systematic).  The parity rows come from a Cauchy matrix
+    ``C[i, j] = 1 / (x_i ^ y_j)`` with ``x_i = M + i``, ``y_j = j`` —
+    every square submatrix of a Cauchy matrix is nonsingular, so any
+    ``M`` rows of the generator ``[I; C]`` are invertible: the code is
+    MDS and ``decode`` recovers the data **exactly** (byte-for-byte)
+    from any ``M`` of the ``M + k`` shards.
+    """
+
+    def __init__(self, data_shards: int, parity_shards: int):
+        if data_shards < 1:
+            raise ValueError("data_shards must be >= 1")
+        if parity_shards < 0:
+            raise ValueError("parity_shards must be >= 0")
+        if data_shards + parity_shards > 256:
+            raise ValueError("GF(256) supports at most 256 total shards, "
+                             f"got {data_shards + parity_shards}")
+        self.data_shards = data_shards
+        self.parity_shards = parity_shards
+        x = np.arange(data_shards,
+                      data_shards + parity_shards, dtype=np.uint8)
+        y = np.arange(data_shards, dtype=np.uint8)
+        denom = x[:, None] ^ y[None, :]
+        cauchy = _GF_EXP[255 - _GF_LOG[denom]].astype(np.uint8) \
+            if parity_shards else np.zeros((0, data_shards), dtype=np.uint8)
+        self.matrix = np.concatenate(
+            [np.eye(data_shards, dtype=np.uint8), cauchy], axis=0)
+
+    @property
+    def total_shards(self) -> int:
+        return self.data_shards + self.parity_shards
+
+    def encode(self, shards: np.ndarray) -> np.ndarray:
+        """``(M, L)`` data bytes -> ``(M+k, L)`` coded bytes."""
+        shards = np.atleast_2d(np.asarray(shards, dtype=np.uint8))
+        if shards.shape[0] != self.data_shards:
+            raise ValueError(f"expected {self.data_shards} data shards, "
+                             f"got {shards.shape[0]}")
+        if self.parity_shards == 0:
+            return shards.copy()
+        parity = gf_matmul(self.matrix[self.data_shards:], shards)
+        return np.concatenate([shards, parity], axis=0)
+
+    def decode(self, indices: Sequence[int],
+               shards: np.ndarray) -> np.ndarray:
+        """Recover the ``(M, L)`` data from any ``M`` coded shards.
+
+        ``indices`` names which coded rows ``shards`` holds (0-based
+        positions in the ``M+k`` output of :meth:`encode`).  Exact by
+        construction: GF(256) arithmetic has no rounding, so data bytes
+        — float bit patterns included — round-trip untouched.
+        """
+        indices = [int(i) for i in indices]
+        shards = np.atleast_2d(np.asarray(shards, dtype=np.uint8))
+        if len(indices) != self.data_shards:
+            raise ErasureDecodeError(
+                f"need exactly {self.data_shards} shards to decode, "
+                f"got {len(indices)}")
+        if len(set(indices)) != len(indices):
+            raise ErasureDecodeError(f"duplicate shard indices {indices}")
+        if not all(0 <= i < self.total_shards for i in indices):
+            raise ErasureDecodeError(
+                f"shard indices {indices} out of range 0.."
+                f"{self.total_shards - 1}")
+        if shards.shape[0] != len(indices):
+            raise ErasureDecodeError("one shard row per index required")
+        if indices == list(range(self.data_shards)):
+            return shards.copy()   # all systematic rows arrived
+        return gf_matmul(gf_inv_matrix(self.matrix[indices]), shards)
+
+
+def encode_floats(values: np.ndarray, parity: int) -> np.ndarray:
+    """``M`` float64 scalars -> ``M + parity`` coded float64 scalars.
+
+    Each scalar is one 8-byte shard; parity scalars are GF(256) parity
+    bytes reinterpreted as float64 bit patterns (meaningless as numbers,
+    wire-compatible with the simulator's scalar accounting).
+    """
+    values = np.ascontiguousarray(np.asarray(values, dtype=np.float64))
+    if values.ndim != 1:
+        raise ValueError("values must be a 1-D scalar vector")
+    shards = values.view(np.uint8).reshape(values.size, 8)
+    coded = ErasureCodec(values.size, parity).encode(shards)
+    return np.ascontiguousarray(coded).view(np.float64).ravel()
+
+
+def decode_floats(indices: Sequence[int], coded: np.ndarray,
+                  data_scalars: int) -> np.ndarray:
+    """Recover the original scalars from any ``data_scalars`` coded ones.
+
+    ``indices`` names each received scalar's position in the
+    :func:`encode_floats` output; recovery is bit-exact (NaN payloads
+    and signed zeros included).
+    """
+    coded = np.ascontiguousarray(np.asarray(coded, dtype=np.float64))
+    if coded.ndim != 1:
+        raise ValueError("coded must be a 1-D scalar vector")
+    parity = 0 if not len(indices) else max(
+        0, max(int(i) for i in indices) - data_scalars + 1)
+    codec = ErasureCodec(data_scalars, max(parity, 0))
+    shards = coded.view(np.uint8).reshape(coded.size, 8)
+    decoded = codec.decode(indices, shards)
+    return np.ascontiguousarray(decoded).view(np.float64).ravel()
+
+
+# ----------------------------------------------------------------------
+# The declarative recipe + closed-form pricing
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CodingSpec:
+    """Per-link erasure-coding policy (the FEC analogue of ARQConfig).
+
+    A message fragmenting into ``F`` data frames is transmitted as
+    ``F + parity_frames`` coded frames — per-frame striping, each frame
+    one shard of a systematic Cauchy-RS code — and is decodable iff at
+    least ``F`` of them arrive.  Pure FEC is open-loop: every frame is
+    radiated exactly once, no ACKs, no timeouts, no retransmissions.
+
+    ``arq_fallback=True`` selects the **hybrid** strategy: after the
+    coded burst, a shortfall (fewer than ``F`` arrivals) is repaired by
+    retransmitting the erased coded frames stop-and-wait under the
+    channel's :class:`~repro.sim.channel.ARQConfig` budget — FEC's
+    fixed overhead plus ARQ's persistence, at ARQ's feedback cost.
+
+    ``parity_frames=0`` is the degenerate code: zero erasure tolerance
+    adds nothing, so the channel falls through to its uncoded path
+    (bit-identical to a spec with no coding at all — asserted in
+    ``tests/test_sim_coding.py``).
+    """
+
+    parity_frames: int = 2
+    arq_fallback: bool = False
+
+    def __post_init__(self):
+        if self.parity_frames < 0:
+            raise ValueError("parity_frames must be >= 0")
+        if self.parity_frames > 255:
+            raise ValueError("GF(256) striping supports at most 255 "
+                             "parity frames")
+
+
+def delivery_probability(data_frames: int, parity_frames: int,
+                         loss_rate: float) -> float:
+    """P[message decodable] under i.i.d. per-frame loss.
+
+    The message survives iff at most ``parity_frames`` of its
+    ``data_frames + parity_frames`` coded frames are erased — the
+    binomial tail the adaptive-redundancy policy prices.  For bursty
+    (Gilbert-Elliott) channels the policy feeds the chain's *mean* loss
+    rate in, making this a first-order approximation.
+    """
+    if data_frames < 1:
+        raise ValueError("data_frames must be >= 1")
+    if parity_frames < 0:
+        raise ValueError("parity_frames must be >= 0")
+    if not 0.0 <= loss_rate < 1.0:
+        raise ValueError("loss_rate must be in [0, 1)")
+    if loss_rate == 0.0:
+        return 1.0
+    total = data_frames + parity_frames
+    keep = 1.0 - loss_rate
+    return float(sum(comb(total, erased)
+                     * loss_rate ** erased * keep ** (total - erased)
+                     for erased in range(parity_frames + 1)))
+
+
+def expected_frames_per_delivery(data_frames: int, parity_frames: int,
+                                 loss_rate: float) -> float:
+    """Expected radiated frames per *delivered* message, pure FEC.
+
+    Open-loop FEC always radiates ``F + k`` frames; a failed message
+    wastes them all, so the per-delivery price is ``(F + k) /
+    P[deliver]`` — the quantity the battery-aware redundancy rule
+    minimises (more parity costs airtime every round; less parity
+    wastes whole rounds).
+    """
+    p_deliver = delivery_probability(data_frames, parity_frames, loss_rate)
+    if p_deliver <= 0.0:
+        return float("inf")
+    return (data_frames + parity_frames) / p_deliver

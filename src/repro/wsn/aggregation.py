@@ -20,7 +20,7 @@ mitigation the paper attributes to tree aggregation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import AbstractSet, Dict, FrozenSet, List, Optional, Tuple
+from typing import AbstractSet, Dict, FrozenSet, List, Optional, Set, Tuple
 
 import networkx as nx
 import numpy as np
@@ -179,7 +179,14 @@ def build_aggregation_tree(network: WSNetwork, root: Optional[int] = None,
 
 @dataclass
 class AggregationReport:
-    """Cost accounting for one aggregation round."""
+    """Cost accounting for one aggregation round.
+
+    ``failed_hops`` lists the nodes whose transmission toward their
+    parent was never delivered (an unreliable sensor channel exhausted
+    its recovery budget) — each severs its subtree's contribution from
+    the round's partial sum, exactly like a dead relay.  Empty on ideal
+    links and on coded/ARQ hops that recovered every loss.
+    """
 
     values_transmitted: int = 0
     payload_bytes: int = 0
@@ -188,6 +195,7 @@ class AggregationReport:
     makespan_s: float = 0.0
     slots: int = 0
     per_node_values: Dict[int, int] = field(default_factory=dict)
+    failed_hops: Set[int] = field(default_factory=set)
 
     @property
     def total_kb(self) -> float:
@@ -237,7 +245,13 @@ def _simulate_upward(network: WSNetwork, tree: AggregationTree,
 
     ``transmitters`` restricts the pass to a surviving subset (masked
     aggregation under faults); other nodes keep their TDMA slots but
-    stay silent.
+    stay silent.  With an unreliable sensor channel attached, a hop
+    whose recovery budget (ARQ retries / erasure-code parity) is
+    exhausted lands in ``report.failed_hops`` — the caller severs that
+    subtree from the round's partial sum.  Scalar counts still assume
+    full participation (nodes budget their TDMA slot before learning of
+    upstream losses), so loss shows up as wasted airtime plus missing
+    contributions, not shrunken payloads.
     """
     report = AggregationReport(per_node_values=dict(values_per_node))
     schedule = TDMASchedule(tree)
@@ -249,8 +263,10 @@ def _simulate_upward(network: WSNetwork, tree: AggregationTree,
                 continue
             count = values_per_node.get(node, 0)
             payload = count * value_bytes
-            elapsed = network.unicast(node, tree.parent[node], payload,
-                                      kind=kind, force=True)
+            elapsed, delivered = network.unicast_delivered(
+                node, tree.parent[node], payload, kind=kind, force=True)
+            if payload > 0 and not delivered:
+                report.failed_hops.add(node)
             report.values_transmitted += count
             report.payload_bytes += payload
             report.wire_bytes += network.sensor_link.wire_bytes(payload)

@@ -331,6 +331,16 @@ class WSNetwork:
         charged to the sender's battery and the ledger alongside the
         delivered bytes.
         """
+        elapsed, _ = self.unicast_delivered(src, dst, payload_bytes,
+                                            kind=kind, force=force)
+        return elapsed
+
+    def unicast_delivered(self, src: int, dst: int, payload_bytes: int,
+                          kind: str = "data",
+                          force: bool = False) -> Tuple[float, bool]:
+        """:meth:`unicast`, also returning whether the message survived
+        its recovery budget — the verdict masked aggregation severs
+        subtrees on (always ``True`` on ideal links)."""
         if src == dst:
             raise ValueError("unicast to self")
         src_node, dst_node = self._require_alive(src), self._require_alive(dst)
@@ -344,7 +354,7 @@ class WSNetwork:
         self._charge(dst_node, dst_node.radio.rx_energy(received * 8))
         self.ledger.record(src, dst, payload_bytes, wire, kind, elapsed,
                            attempts, delivered)
-        return elapsed
+        return elapsed, delivered
 
     def broadcast(self, src: int, payload_bytes: int,
                   kind: str = "broadcast") -> float:

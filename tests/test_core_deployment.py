@@ -133,3 +133,77 @@ class TestRounds:
         simulate_raw_aggregation(network, tree)
         raw = network.ledger.total_wire_bytes()
         assert compressed < raw
+
+
+class TestUnreliableSensorHops:
+    """Intra-cluster loss on sensor hops: severed subtrees vs coding."""
+
+    def _deployed_lossy(self, loss, coding=None, retries=0, seed=0):
+        from repro.sim import ARQConfig, ChannelSpec
+        deployment, network, tree, model = deployed_cluster(seed=seed)
+        network.attach_unreliable(
+            sensor=ChannelSpec(loss=loss, arq=ARQConfig(max_retries=retries),
+                               coding=coding),
+            rng=np.random.default_rng(42))
+        deployment.distribute()
+        return deployment, network, tree
+
+    def test_failed_hops_sever_contributions(self):
+        deployment, network, _ = self._deployed_lossy(loss=0.4)
+        readings = readings_for(network)
+        collected = deployment.compressed_round(readings)
+        assert collected.report.failed_hops
+        assert len(collected.contributors) < network.num_devices
+        # The latent equals the centralized masked product over the
+        # contributors that actually reached the aggregator.
+        stacked = np.array([readings[nid] if nid in collected.contributors
+                            else 0.0 for nid in network.device_ids])
+        expected = deployment._activation(
+            deployment.weight_e @ stacked + deployment.bias_e)
+        np.testing.assert_array_equal(collected.latent, expected)
+
+    def test_delivered_rounds_unchanged_by_channel(self):
+        deployment, network, _ = self._deployed_lossy(loss=0.0)
+        readings = readings_for(network)
+        collected = deployment.compressed_round(readings)
+        assert not collected.report.failed_hops
+        np.testing.assert_allclose(
+            collected.latent, deployment.centralized_latent(readings),
+            rtol=1e-12, atol=0)
+
+    def test_coded_hops_restore_contributors_at_parity_cost(self):
+        from repro.sim import CodingSpec
+        readings = None
+        plain_contrib = coded_contrib = None
+        plain, plain_net, _ = self._deployed_lossy(loss=0.35)
+        readings = readings_for(plain_net)
+        plain_round = plain.compressed_round(readings)
+        plain_contrib = len(plain_round.contributors)
+        coded, coded_net, _ = self._deployed_lossy(
+            loss=0.35, coding=CodingSpec(parity_frames=4))
+        coded_round = coded.compressed_round(readings)
+        coded_contrib = len(coded_round.contributors)
+        assert coded_contrib > plain_contrib
+        # Parity frames radiate extra bytes on every hop.
+        assert coded_net.ledger.total_wire_bytes("compressed_round") \
+            > plain_net.ledger.total_wire_bytes("compressed_round")
+
+    def test_partial_sum_rides_coded_scalars_exactly(self):
+        """Coded partial sums through hybrid_encode_partial: the M-vector
+        a relay forwards survives any k erasures of its M+k coded
+        scalars, bit for bit."""
+        from repro.sim import decode_floats, encode_floats
+        from repro.wsn.aggregation import hybrid_encode_partial
+
+        deployment, network, tree = self._deployed_lossy(loss=0.0)
+        readings = readings_for(network)
+        partial, _, _ = hybrid_encode_partial(
+            tree, readings, deployment.weight_e, deployment.device_index)
+        coded = encode_floats(partial, 3)
+        assert coded.size == partial.size + 3
+        # Drop any 3 coded scalars; the aggregator still decodes the
+        # exact partial sum.
+        survivors = [6, 1, 5, 2][:partial.size]
+        decoded = decode_floats(survivors, coded[survivors], partial.size)
+        assert np.array_equal(decoded.view(np.uint64),
+                              partial.view(np.uint64))

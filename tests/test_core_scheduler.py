@@ -162,36 +162,63 @@ class TestSchedulerEdgeCases:
         with pytest.raises(ValueError):
             EdgeTrainingScheduler("fifo", engine="quantum")
 
-    def test_batched_engine_rejects_mixed_batch_sizes(self):
-        scheduler = EdgeTrainingScheduler("round_robin",
-                                          rng=np.random.default_rng(0),
-                                          engine="batched")
-        scheduler.add_cluster("small", make_framework(seed=0),
-                              cluster_data(seed=0), batch_size=8)
-        scheduler.add_cluster("large", make_framework(seed=1),
-                              cluster_data(seed=1), batch_size=16)
-        with pytest.raises(ValueError, match="uniform batch size"):
-            scheduler.run(rounds_per_cluster=2)
+    def test_batched_engine_accepts_mixed_batch_sizes(self):
+        # The strict homogeneous-fleet contract is gone: clusters with
+        # different batch sizes partition into separate stacking groups
+        # (the group key includes the batch size) and still batch.
+        def build(engine):
+            scheduler = EdgeTrainingScheduler("round_robin",
+                                              rng=np.random.default_rng(0),
+                                              engine=engine)
+            scheduler.add_cluster("small", make_framework(seed=0),
+                                  cluster_data(seed=0), batch_size=8)
+            scheduler.add_cluster("large", make_framework(seed=1),
+                                  cluster_data(seed=1), batch_size=16)
+            return scheduler
 
-    def test_batched_engine_rejects_short_data(self):
+        batched = build("batched")
+        assert batched.execution_plan().groups == ((0,), (1,))
+        report = batched.run(rounds_per_cluster=3)
+        assert report.engine == "batched"
+        sequential = build("sequential")
+        sequential.run(rounds_per_cluster=3)
+        for c_b, c_s in zip(batched.clusters, sequential.clusters):
+            np.testing.assert_allclose(c_b.history.losses,
+                                       c_s.history.losses, atol=1e-6)
+
+    def test_batched_engine_accepts_short_data(self):
+        # A cluster with less than one full batch of data cannot stack;
+        # it runs as a singleton group inside the batched replay.
         scheduler = EdgeTrainingScheduler("round_robin",
                                           rng=np.random.default_rng(0),
                                           engine="batched")
         scheduler.add_cluster("short", make_framework(seed=0),
                               cluster_data(seed=0, count=4), batch_size=16)
-        with pytest.raises(ValueError, match="full batch"):
-            scheduler.run(rounds_per_cluster=2)
+        report = scheduler.run(rounds_per_cluster=2)
+        assert report.engine == "batched"
+        assert report.rounds_per_cluster == {"short": 2}
 
-    def test_batched_engine_rejects_heterogeneous_models(self):
-        scheduler = EdgeTrainingScheduler("round_robin",
-                                          rng=np.random.default_rng(0),
-                                          engine="batched")
-        scheduler.add_cluster("shallow", make_framework(seed=0),
-                              cluster_data(seed=0))
-        scheduler.add_cluster("deep", make_framework(seed=1, decoder_layers=3),
-                              cluster_data(seed=1))
-        with pytest.raises(ValueError):
-            scheduler.run(rounds_per_cluster=2)
+    def test_batched_engine_accepts_heterogeneous_models(self):
+        def build(engine):
+            scheduler = EdgeTrainingScheduler("round_robin",
+                                              rng=np.random.default_rng(0),
+                                              engine=engine)
+            scheduler.add_cluster("shallow", make_framework(seed=0),
+                                  cluster_data(seed=0))
+            scheduler.add_cluster("deep",
+                                  make_framework(seed=1, decoder_layers=3),
+                                  cluster_data(seed=1))
+            return scheduler
+
+        batched = build("batched")
+        report = batched.run(rounds_per_cluster=2)
+        assert report.engine == "batched"
+        sequential = build("sequential")
+        report_seq = sequential.run(rounds_per_cluster=2)
+        for c_b, c_s in zip(batched.clusters, sequential.clusters):
+            np.testing.assert_allclose(c_b.history.losses,
+                                       c_s.history.losses, atol=1e-6)
+        assert report.makespan_s == pytest.approx(report_seq.makespan_s)
 
     def test_auto_falls_back_for_heterogeneous_models(self):
         scheduler = EdgeTrainingScheduler("round_robin",
@@ -318,9 +345,22 @@ class TestGroupBatching:
         assert report_bat.makespan_s == pytest.approx(report_seq.makespan_s)
         assert report_bat.completion_times == report_seq.completion_times
 
-    def test_explicit_batched_still_demands_one_group(self):
-        with pytest.raises(ValueError, match="stacking groups"):
-            self._mixed(engine="batched").run(2)
+    def test_explicit_batched_batches_mixed_fleet_by_group(self):
+        # engine="batched" now takes the same ExecutionPlan stacking
+        # groups as auto: a mixed fleet batches group by group instead
+        # of raising.
+        batched = self._mixed(engine="batched")
+        plan = batched.execution_plan()
+        assert plan.engine == "batched"
+        assert sorted(plan.groups) == [(0, 1), (2, 3)]
+        report = batched.run(rounds_per_cluster=4)
+        assert report.engine == "batched"
+        sequential = self._mixed(engine="sequential")
+        report_seq = sequential.run(rounds_per_cluster=4)
+        for c_b, c_s in zip(batched.clusters, sequential.clusters):
+            np.testing.assert_allclose(c_b.history.losses,
+                                       c_s.history.losses, atol=1e-6)
+        assert report.completion_times == report_seq.completion_times
 
     def test_two_odd_singletons_fall_back_to_sequential(self):
         scheduler = EdgeTrainingScheduler("round_robin",

@@ -9,7 +9,13 @@ from repro.core import (
     OrcoDCSFramework,
     ResilientOrchestrationPolicy,
 )
-from repro.sim import ARQConfig, ChannelSpec, FaultEvent, FaultSchedule
+from repro.sim import (
+    ARQConfig,
+    ChannelSpec,
+    CodingSpec,
+    FaultEvent,
+    FaultSchedule,
+)
 from repro.wsn import place_uniform
 
 DIM = 24
@@ -363,3 +369,129 @@ class TestAdaptiveARQBudgets:
         assert retx_bytes(rich) > retx_bytes(tight) == 0
         assert report.failed_rounds.get("tight", 0) \
             > report.failed_rounds.get("rich", 0)
+
+
+class TestCodedRecovery:
+    """Erasure-coded uplink recovery: fec/hybrid strategies end to end."""
+
+    def _build(self, recovery="fec", segment_batching=True, coding=None,
+               loss=0.15, faults=None, policy="round_robin",
+               trace_chunk=None, clusters=5, battery_j=1e9):
+        spec = ChannelSpec(loss=loss, arq=ARQConfig(max_retries=1),
+                           coding=coding)
+        scheduler = EdgeTrainingScheduler(
+            policy, rng=np.random.default_rng(0), engine="event",
+            channels=spec, fault_schedule=faults,
+            resilience=ResilientOrchestrationPolicy(recovery=recovery),
+            segment_batching=segment_batching, trace_chunk=trace_chunk)
+        for index in range(clusters):
+            config = OrcoDCSConfig(input_dim=DIM, latent_dim=LATENT,
+                                   seed=index, noise_sigma=0.05,
+                                   batch_size=BATCH)
+            data = np.random.default_rng(100 + index).random((ROWS, DIM))
+            scheduler.add_cluster(f"c{index}", OrcoDCSFramework(config),
+                                  data, batch_size=BATCH,
+                                  aggregator_battery_j=battery_j)
+        return scheduler
+
+    def _assert_bit_identical(self, **kwargs):
+        fused = self._build(segment_batching=True, **kwargs)
+        fused_report = fused.run(rounds_per_cluster=15)
+        unfused = self._build(segment_batching=False, **kwargs)
+        unfused_report = unfused.run(rounds_per_cluster=15)
+        assert fused_report.fused_rounds > 0
+        assert unfused_report.fused_rounds == 0
+        for c_f, c_u in zip(fused.clusters, unfused.clusters):
+            assert np.array_equal(c_f.history.times, c_u.history.times)
+            assert c_f.trainer.clock_s == c_u.trainer.clock_s
+            assert c_f.trainer.ledger.by_kind() == c_u.trainer.ledger.by_kind()
+            assert len(c_f.trainer.ledger) == len(c_u.trainer.ledger)
+            if len(c_f.history.losses):
+                assert np.abs(c_f.history.losses
+                              - c_u.history.losses).max() <= 1e-9
+        assert fused_report.makespan_s == unfused_report.makespan_s
+        assert fused_report.completion_times == unfused_report.completion_times
+        assert fused_report.failed_rounds == unfused_report.failed_rounds
+        assert fused_report.energy_j == unfused_report.energy_j
+        assert fused_report.coding_budgets == unfused_report.coding_budgets
+        return fused, fused_report
+
+    def test_fec_fused_run_bit_identical_to_unfused(self):
+        """Acceptance: coded lossy runs fuse with bit-identity."""
+        fused, report = self._assert_bit_identical(recovery="fec")
+        assert report.coding_budgets and all(
+            k > 0 for k in report.coding_budgets.values())
+        ledger = fused.clusters[0].trainer.ledger
+        assert ledger.total_wire_bytes("latent_uplink_fec") > 0
+        assert ledger.total_wire_bytes("recon_downlink_fec") > 0
+        # Pure FEC is open loop: no retransmission records at all.
+        assert ledger.total_wire_bytes("latent_uplink_retx") == 0
+        assert ledger.total_wire_bytes("recon_downlink_retx") == 0
+
+    def test_hybrid_fused_run_bit_identical_to_unfused(self):
+        self._assert_bit_identical(recovery="hybrid")
+
+    def test_explicit_coding_spec_respected(self):
+        fused, report = self._assert_bit_identical(
+            recovery="arq", coding=CodingSpec(parity_frames=3))
+        assert set(report.coding_budgets.values()) == {3}
+
+    def test_coded_run_with_faults_fuses_bit_identically(self):
+        faults = FaultSchedule([
+            FaultEvent(0.05, "node_death", "c0", device=3),
+            FaultEvent(0.3, "straggler", "c1", magnitude=2.0),
+            FaultEvent(0.6, "recover", "c1"),
+        ])
+        _, report = self._assert_bit_identical(recovery="fec", faults=faults)
+        assert report.faults_applied == 3
+
+    def test_chunked_traces_reproduce_full_trace_run(self):
+        """Satellite: chunked recording changes nothing but memory."""
+        full = self._build(recovery="fec")
+        full_report = full.run(rounds_per_cluster=15)
+        chunked = self._build(recovery="fec", trace_chunk=3)
+        chunked_report = chunked.run(rounds_per_cluster=15)
+        for c_a, c_b in zip(full.clusters, chunked.clusters):
+            assert np.array_equal(c_a.history.losses, c_b.history.losses)
+            assert np.array_equal(c_a.history.times, c_b.history.times)
+            assert c_a.trainer.ledger.by_kind() == c_b.trainer.ledger.by_kind()
+        assert full_report.makespan_s == chunked_report.makespan_s
+        assert full_report.completion_times == chunked_report.completion_times
+        assert full_report.failed_rounds == chunked_report.failed_rounds
+
+    def test_fec_loses_fewer_rounds_than_tight_arq_at_high_loss(self):
+        """The motivating contrast: at heavy loss a tight ARQ budget
+        loses whole rounds; adaptive parity keeps delivering."""
+        arq = self._build(recovery="arq", loss=0.3)
+        arq_report = arq.run(rounds_per_cluster=15)
+        fec = self._build(recovery="fec", loss=0.3)
+        fec_report = fec.run(rounds_per_cluster=15)
+        assert sum(fec_report.failed_rounds.values()) \
+            < sum(arq_report.failed_rounds.values())
+
+    def test_battery_poor_cluster_gets_leaner_parity(self):
+        rich = self._build(recovery="fec", loss=0.25)
+        rich_report = rich.run(rounds_per_cluster=10)
+        poor = self._build(recovery="fec", loss=0.25, battery_j=1e-3)
+        poor_report = poor.run(rounds_per_cluster=10)
+        assert all(
+            poor_report.coding_budgets[name] <= rich_report.coding_budgets[name]
+            for name in rich_report.coding_budgets)
+
+    def test_coded_channels_require_event_engine(self):
+        with pytest.raises(ValueError):
+            EdgeTrainingScheduler(
+                "fifo", engine="batched",
+                channels=ChannelSpec(coding=CodingSpec(2)))
+        with pytest.raises(ValueError):
+            EdgeTrainingScheduler(
+                "fifo", engine="sequential", channels=ChannelSpec(),
+                resilience=ResilientOrchestrationPolicy(recovery="fec"))
+
+    def test_coded_lossless_channel_is_traced(self):
+        scheduler = self._build(recovery="fec", loss=None)
+        plan = scheduler.execution_plan()
+        assert plan.fused and plan.traced
+        report = scheduler.run(rounds_per_cluster=5)
+        # Lossless channel: the adaptive rule provisions zero parity.
+        assert set(report.coding_budgets.values()) == {0}

@@ -1,0 +1,400 @@
+"""Erasure-coding layer: exact MDS decode, coded channels, chunked traces."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ResilientOrchestrationPolicy
+from repro.sim import (
+    ARQConfig,
+    ChannelSpec,
+    ChannelTraceExhausted,
+    ChunkedChannelTrace,
+    CodingSpec,
+    ErasureCodec,
+    ErasureDecodeError,
+    TransmitResult,
+    UnreliableChannel,
+    decode_floats,
+    delivery_probability,
+    encode_floats,
+    expected_frames_per_delivery,
+)
+from repro.sim.coding import gf_inv_matrix, gf_inverse, gf_mul
+from repro.wsn.link import sensor_link, uplink
+
+
+class _ScriptedLoss:
+    """Loss model driven by an explicit verdict list (deterministic)."""
+
+    def __init__(self, verdicts):
+        self.verdicts = list(verdicts)
+
+    def frame_lost(self, rng):
+        return self.verdicts.pop(0)
+
+    def reset(self):
+        pass
+
+    mean_loss_rate = 0.0
+
+
+# ----------------------------------------------------------------------
+# GF(256) arithmetic
+# ----------------------------------------------------------------------
+class TestGF256:
+    def test_field_axioms_on_samples(self):
+        rng = np.random.default_rng(0)
+        a, b, c = (rng.integers(0, 256, 64, dtype=np.uint8) for _ in range(3))
+        # Distributivity: a * (b ^ c) == (a*b) ^ (a*c).
+        assert np.array_equal(gf_mul(a, b ^ c), gf_mul(a, b) ^ gf_mul(a, c))
+        # Associativity and commutativity.
+        assert np.array_equal(gf_mul(gf_mul(a, b), c), gf_mul(a, gf_mul(b, c)))
+        assert np.array_equal(gf_mul(a, b), gf_mul(b, a))
+
+    def test_inverses(self):
+        for value in range(1, 256):
+            assert int(gf_mul(value, gf_inverse(value))) == 1
+        with pytest.raises(ZeroDivisionError):
+            gf_inverse(0)
+
+    def test_matrix_inverse_round_trip(self):
+        rng = np.random.default_rng(1)
+        for n in (1, 3, 6):
+            while True:
+                matrix = rng.integers(0, 256, (n, n), dtype=np.uint8)
+                try:
+                    inverse = gf_inv_matrix(matrix)
+                    break
+                except np.linalg.LinAlgError:
+                    continue
+            product = np.bitwise_xor.reduce(
+                gf_mul(matrix[:, :, None], inverse[None, :, :]), axis=1)
+            assert np.array_equal(product, np.eye(n, dtype=np.uint8))
+
+    def test_singular_matrix_rejected(self):
+        with pytest.raises(np.linalg.LinAlgError):
+            gf_inv_matrix(np.zeros((2, 2), dtype=np.uint8))
+
+
+# ----------------------------------------------------------------------
+# Codec: the MDS exactness property
+# ----------------------------------------------------------------------
+class TestErasureCodec:
+    @pytest.mark.parametrize("data,parity", [(1, 1), (1, 3), (4, 2), (5, 3),
+                                             (6, 0), (3, 4), (8, 2)])
+    def test_decode_exact_from_every_subset(self, data, parity):
+        """The tentpole property: *any* M of M+k shards decode exactly."""
+        rng = np.random.default_rng(data * 31 + parity)
+        codec = ErasureCodec(data, parity)
+        shards = rng.integers(0, 256, (data, 17), dtype=np.uint8)
+        coded = codec.encode(shards)
+        assert np.array_equal(coded[:data], shards)   # systematic
+        for subset in itertools.combinations(range(data + parity), data):
+            decoded = codec.decode(subset, coded[list(subset)])
+            assert np.array_equal(decoded, shards), subset
+
+    @given(st.integers(1, 6), st.integers(0, 4), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_decode_exact_property(self, data, parity, draw):
+        payload = draw.draw(st.binary(min_size=data * 4, max_size=data * 4))
+        shards = np.frombuffer(payload, dtype=np.uint8).reshape(data, 4)
+        codec = ErasureCodec(data, parity)
+        coded = codec.encode(shards)
+        subset = draw.draw(st.permutations(range(data + parity)))[:data]
+        decoded = codec.decode(subset, coded[list(subset)])
+        assert np.array_equal(decoded, shards)
+
+    def test_float_scalars_round_trip_bit_exactly(self):
+        values = np.array([1.5, -0.0, np.nan, np.inf, 1e-308, np.pi])
+        coded = encode_floats(values, 3)
+        assert coded.size == 9
+        # Systematic prefix is the data itself, bit for bit.
+        assert np.array_equal(coded[:6].view(np.uint64),
+                              values.view(np.uint64))
+        picks = [8, 3, 0, 7, 5, 6]   # three systematic scalars erased
+        decoded = decode_floats(picks, coded[picks], 6)
+        assert np.array_equal(decoded.view(np.uint64), values.view(np.uint64))
+
+    def test_decode_rejects_bad_requests(self):
+        codec = ErasureCodec(3, 2)
+        coded = codec.encode(np.zeros((3, 4), dtype=np.uint8))
+        with pytest.raises(ErasureDecodeError):
+            codec.decode([0, 1], coded[:2])           # too few
+        with pytest.raises(ErasureDecodeError):
+            codec.decode([0, 0, 1], coded[:3])        # duplicates
+        with pytest.raises(ErasureDecodeError):
+            codec.decode([0, 1, 9], coded[:3])        # out of range
+
+    def test_shard_count_limits(self):
+        with pytest.raises(ValueError):
+            ErasureCodec(0, 2)
+        with pytest.raises(ValueError):
+            ErasureCodec(200, 100)   # > 256 total
+
+
+# ----------------------------------------------------------------------
+# CodingSpec + ChannelSpec plumbing
+# ----------------------------------------------------------------------
+class TestCodingSpecPlumbing:
+    def test_coding_spec_validation(self):
+        with pytest.raises(ValueError):
+            CodingSpec(parity_frames=-1)
+        with pytest.raises(ValueError):
+            CodingSpec(parity_frames=300)
+
+    def test_with_coding_and_recovery(self):
+        base = ChannelSpec(loss=0.1, arq=ARQConfig(max_retries=2))
+        assert base.recovery == "arq"
+        assert ChannelSpec(loss=0.1,
+                           arq=ARQConfig(max_retries=0)).recovery == "none"
+        fec = base.with_coding(2)
+        assert fec.coding == CodingSpec(parity_frames=2)
+        assert fec.recovery == "fec"
+        hybrid = base.with_coding(3, arq_fallback=True)
+        assert hybrid.recovery == "hybrid"
+        assert hybrid.with_coding(None).recovery == "arq"
+
+    def test_coded_spec_is_never_ideal(self):
+        # Parity frames radiate bytes and airtime even with zero loss.
+        assert ChannelSpec().ideal
+        assert not ChannelSpec(coding=CodingSpec(1)).ideal
+        assert ChannelSpec(coding=CodingSpec(0)).ideal
+
+    def test_preset_carries_coding(self):
+        spec = ChannelSpec.preset("802154_indoor", coding=CodingSpec(2))
+        assert spec.recovery == "fec"
+        channel = spec.build(sensor_link(), np.random.default_rng(0))
+        assert channel.coding == CodingSpec(2)
+
+
+# ----------------------------------------------------------------------
+# Coded transmission paths
+# ----------------------------------------------------------------------
+class TestCodedChannel:
+    def test_lossless_coded_accounting(self):
+        link = sensor_link()
+        channel = UnreliableChannel(link, coding=CodingSpec(2),
+                                    rng=np.random.default_rng(0))
+        result = channel.transmit(320)   # 4 data frames of <= 96 bytes
+        assert result.delivered
+        assert result.frames == 4 and result.parity_frames == 2
+        assert result.attempts == 6 and result.retransmissions == 0
+        assert result.fec_wire_bytes == 2 * (96 + link.header_bytes)
+        assert result.wire_bytes == link.wire_bytes(320) + result.fec_wire_bytes
+        assert result.received_wire_bytes == result.wire_bytes
+        assert result.elapsed_s == pytest.approx(
+            link.latency_s
+            + sum(link.frame_time(p) for p in link.frame_sizes(320))
+            + 2 * link.frame_time(96))
+        assert result.fec_time_s == pytest.approx(2 * link.frame_time(96))
+
+    def test_fec_tolerates_up_to_k_erasures(self):
+        link = sensor_link()
+        channel = UnreliableChannel(link, coding=CodingSpec(2),
+                                    rng=np.random.default_rng(0))
+        # 4 data + 2 parity; exactly 2 lost -> still decodable.
+        channel.loss = _ScriptedLoss([True, False, True, False, False, False])
+        result = channel.transmit(320)
+        assert result.delivered and result.lost_frames == 2
+        # No ACKs in open loop: every frame radiated exactly once.
+        assert result.attempts == 6 and result.retransmissions == 0
+        # 3 lost -> fewer than F arrivals, undecodable; airtime still spent.
+        channel.loss = _ScriptedLoss([True, True, False, True, False, False])
+        result = channel.transmit(320)
+        assert not result.delivered
+        assert result.attempts == 6   # open loop never aborts the burst
+
+    def test_fec_adds_no_ack_timeouts(self):
+        link = sensor_link()
+        channel = UnreliableChannel(link, arq=ARQConfig(ack_timeout_s=9.0),
+                                    coding=CodingSpec(1),
+                                    rng=np.random.default_rng(0))
+        channel.loss = _ScriptedLoss([True, False, False, False, False])
+        result = channel.transmit(320)
+        assert result.delivered
+        assert result.elapsed_s < 1.0   # the 9 s timeout never charged
+
+    def test_hybrid_repairs_shortfall_with_arq(self):
+        link = sensor_link()
+        channel = UnreliableChannel(
+            link, arq=ARQConfig(max_retries=2, ack_timeout_s=0.01),
+            coding=CodingSpec(1, arq_fallback=True),
+            rng=np.random.default_rng(0))
+        # Burst: 2 of 5 coded frames erased (shortfall 1); repair frame
+        # lost once, then delivered within its budget.
+        channel.loss = _ScriptedLoss([True, True, False, False, False,
+                                      True, False])
+        result = channel.transmit(320)
+        assert result.delivered
+        assert result.attempts == 7 and result.retransmissions == 2
+        assert result.elapsed_s > channel.arq.ack_timeout_s   # timeout charged
+
+    def test_hybrid_gives_up_when_repair_budget_exhausts(self):
+        link = sensor_link()
+        channel = UnreliableChannel(
+            link, arq=ARQConfig(max_retries=1, ack_timeout_s=0.01),
+            coding=CodingSpec(1, arq_fallback=True),
+            rng=np.random.default_rng(0))
+        channel.loss = _ScriptedLoss([True, True, False, False, False,
+                                      True, True])
+        result = channel.transmit(320)
+        assert not result.delivered
+        assert result.retransmissions == 2   # both repair attempts radiated
+
+    def test_zero_parity_coded_path_is_bit_identical_to_uncoded(self):
+        """Satellite: k=0 degenerates to the uncoded channel exactly."""
+        link = uplink()
+        for seed in range(4):
+            plain = UnreliableChannel(link, loss=0.3,
+                                      arq=ARQConfig(max_retries=1),
+                                      jitter_s=0.001,
+                                      rng=np.random.default_rng(seed))
+            coded = UnreliableChannel(link, loss=0.3,
+                                      arq=ARQConfig(max_retries=1),
+                                      jitter_s=0.001,
+                                      coding=CodingSpec(parity_frames=0),
+                                      rng=np.random.default_rng(seed))
+            for _ in range(30):
+                assert plain.transmit(3000) == coded.transmit(3000)
+
+    def test_coded_trace_record_replay_bit_identical(self):
+        link = sensor_link()
+
+        def channel():
+            return UnreliableChannel(link, loss=0.2,
+                                     coding=CodingSpec(2),
+                                     rng=np.random.default_rng(5))
+
+        live = channel()
+        expected = [live.transmit(320) for _ in range(50)]
+        replayed = channel()
+        replayed.replay(replayed.record_trace(320, 50))
+        assert [replayed.transmit(320) for _ in range(50)] == expected
+
+    def test_empty_payload_skips_coding(self):
+        channel = UnreliableChannel(sensor_link(), coding=CodingSpec(2),
+                                    rng=np.random.default_rng(0))
+        assert channel.transmit(0) == TransmitResult(0, 0, 0, 0, True, 0,
+                                                     0.0, 0, 0)
+
+    def test_messages_beyond_256_shards_rejected(self):
+        # The cost model refuses what the GF(256) codec cannot build.
+        link = sensor_link()   # 96-byte frames -> 300 frames for ~28 KB
+        channel = UnreliableChannel(link, coding=CodingSpec(2),
+                                    rng=np.random.default_rng(0))
+        with pytest.raises(ValueError, match="256-shard"):
+            channel.transmit(300 * link.max_payload_bytes)
+        # 254 data frames + 2 parity still fit.
+        assert channel.transmit(254 * link.max_payload_bytes).delivered
+
+
+# ----------------------------------------------------------------------
+# Chunked traces
+# ----------------------------------------------------------------------
+class TestChunkedChannelTrace:
+    def _channel(self, seed=9):
+        return UnreliableChannel(sensor_link(), loss=0.2,
+                                 arq=ARQConfig(max_retries=1),
+                                 rng=np.random.default_rng(seed))
+
+    def test_identical_entry_sequence_and_bounded_buffer(self):
+        full = self._channel().record_trace(300, 400)
+        chunked_channel = self._channel()
+        chunked = chunked_channel.record_trace(300, 400, chunk=16)
+        assert isinstance(chunked, ChunkedChannelTrace)
+        assert len(chunked) == 400 and chunked.remaining == 400
+        chunked_channel.replay(chunked)
+        for index in range(400):
+            assert chunked_channel.transmit(300) == full.entry(index)
+            # chunk ahead + one consumed entry behind the cursor.
+            assert chunked.buffered <= 17
+        assert chunked.remaining == 0
+        with pytest.raises(ChannelTraceExhausted):
+            chunked_channel.transmit(300)
+
+    def test_planner_style_lookahead_then_consume(self):
+        full = self._channel().record_trace(300, 100)
+        chunked = self._channel().record_trace(300, 100, chunk=8)
+        # Planner reads far ahead without moving the cursor...
+        assert chunked.entry(63) == full.entry(63)
+        assert chunked.cursor == 0
+        # ...then the kernel consumes; sequence unchanged.
+        for index in range(100):
+            assert chunked.next() == full.entry(index)
+
+    def test_discarded_entries_are_forward_only(self):
+        chunked = self._channel().record_trace(300, 50, chunk=4)
+        for _ in range(10):
+            chunked.next()
+        assert chunked.entry(9) is not None   # one behind the cursor kept
+        with pytest.raises(ValueError, match="discarded"):
+            chunked.entry(3)
+        with pytest.raises(ChannelTraceExhausted):
+            chunked.entry(50)
+
+    def test_validation(self):
+        channel = self._channel()
+        with pytest.raises(ValueError):
+            channel.record_trace(300, 10, chunk=0)
+        with pytest.raises(ValueError):
+            channel.record_trace(300, -1, chunk=4)
+
+
+# ----------------------------------------------------------------------
+# Closed-form pricing + the adaptive redundancy rule
+# ----------------------------------------------------------------------
+class TestAdaptiveRedundancy:
+    def test_delivery_probability_sanity(self):
+        assert delivery_probability(4, 0, 0.0) == 1.0
+        assert delivery_probability(1, 0, 0.3) == pytest.approx(0.7)
+        # One parity frame: survives any single loss of the two frames.
+        assert delivery_probability(1, 1, 0.3) == pytest.approx(
+            0.7 ** 2 + 2 * 0.3 * 0.7)
+        # Monotone in k.
+        probs = [delivery_probability(5, k, 0.2) for k in range(6)]
+        assert all(b >= a for a, b in zip(probs, probs[1:]))
+
+    def test_expected_frames_tradeoff(self):
+        # More parity always costs airtime on a clean channel...
+        assert expected_frames_per_delivery(4, 0, 0.0) == 4
+        assert expected_frames_per_delivery(4, 2, 0.0) == 6
+        # ...but pays for itself once loss makes whole messages fail.
+        lossy = [expected_frames_per_delivery(10, k, 0.35)
+                 for k in range(8)]
+        assert min(lossy) < lossy[0]
+
+    def test_coding_parity_for_rules(self):
+        policy = ResilientOrchestrationPolicy(recovery="fec",
+                                              fec_max_parity=6,
+                                              fec_target_residual=1e-2)
+        # ARQ recovery never provisions parity.
+        arq = ResilientOrchestrationPolicy(recovery="arq")
+        assert arq.coding_parity_for(8, 0.2, 100.0) == 0
+        # Clean channel: nothing to protect against.
+        assert policy.coding_parity_for(8, 0.0, 100.0) == 0
+        # Loss raises the budget, clamped at fec_max_parity.
+        k_low = policy.coding_parity_for(8, 0.05, 100.0)
+        k_high = policy.coding_parity_for(8, 0.3, 100.0)
+        assert 0 < k_low <= k_high <= 6
+        # Battery-poor clusters take the energy-optimal budget, which
+        # never exceeds the reliability-first one the rich cluster gets.
+        assert policy.coding_parity_for(8, 0.2, 0.1) \
+            <= policy.coding_parity_for(8, 0.2, 100.0)
+        # The budget is clamped to the GF(256) shard limit: long
+        # messages get less parity, 256+-frame messages none at all
+        # (they cannot be coded and must fall back to the uncoded path).
+        assert policy.coding_parity_for(253, 0.3, 100.0) <= 3
+        assert policy.coding_parity_for(256, 0.3, 100.0) == 0
+        assert policy.coding_parity_for(400, 0.3, 100.0) == 0
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            ResilientOrchestrationPolicy(recovery="parrot")
+        with pytest.raises(ValueError):
+            ResilientOrchestrationPolicy(fec_max_parity=-1)
+        with pytest.raises(ValueError):
+            ResilientOrchestrationPolicy(fec_target_residual=0.0)
