@@ -21,7 +21,13 @@ Acceptance criteria measured directly:
   with erasure-coded channels — coded transmissions are deterministic
   given a trace, so FEC runs fuse exactly like ARQ runs: at least
   **2.5x** over the unfused live loop, with the same bit-identity
-  contract (plus per-kind FEC ledger records).
+  contract (plus per-kind FEC ledger records);
+* **vectorized channel kernel** (ISSUE 6): recording the 16-cluster
+  lossy sweep's channel traces (real uplink/downlink payloads, 2000
+  transmits per channel) through the block-sampling kernel is at least
+  **3x** faster than the scalar per-frame reference path, with every
+  recorded :class:`TransmitResult` bit-identical — and an unfused lossy
+  engine run cannot tell the two paths apart.
 
 Workload geometry mirrors ``benchmarks/bench_multicluster.py``: 8 (16
 for the fusion acceptances) clusters of 40 devices, latent 6,
@@ -40,6 +46,7 @@ from repro.core import (
     ResilientOrchestrationPolicy,
 )
 from repro.sim import ARQConfig, ChannelSpec, CodingSpec, FaultEvent, FaultSchedule
+from repro.wsn.link import uplink
 
 CLUSTERS = 8
 FUSED_CLUSTERS = 16
@@ -90,18 +97,77 @@ def run_fused(segment_batching):
     return scheduler, report
 
 
-def lossy_kwargs():
+def lossy_kwargs(vectorize=True):
     """Bernoulli frame loss with a tight ARQ budget, no faults: the
     resilience experiment's dominant sweep regime (ISSUE 4)."""
-    return dict(channels=ChannelSpec(loss=0.1, arq=ARQConfig(max_retries=1)))
+    return dict(channels=ChannelSpec(loss=0.1, arq=ARQConfig(max_retries=1),
+                                     vectorize=vectorize))
 
 
-def run_lossy(segment_batching):
+def run_lossy(segment_batching, vectorize=True):
     scheduler = build_scheduler("event", clusters=FUSED_CLUSTERS,
                                 segment_batching=segment_batching,
-                                **lossy_kwargs())
+                                **lossy_kwargs(vectorize))
     report = scheduler.run(rounds_per_cluster=FUSED_ROUNDS)
     return scheduler, report
+
+
+# ----------------------------------------------------------------------
+# Vectorized channel kernel (ISSUE 6): trace recording, kernel vs
+# per-frame reference
+# ----------------------------------------------------------------------
+KERNEL_TRANSMITS = 2000
+
+_KERNEL_PAYLOADS = []
+
+
+def kernel_payloads():
+    """Real per-round uplink/downlink payload sizes of the benchmark
+    geometry (memoised — the model build is not part of the timing)."""
+    if not _KERNEL_PAYLOADS:
+        scheduler = build_scheduler("event", clusters=1, **lossy_kwargs())
+        cluster = scheduler.clusters[0]
+        costs = cluster.trainer.round_costs(cluster.batch_size)
+        _KERNEL_PAYLOADS.append((costs.up_bytes, costs.down_bytes))
+    return _KERNEL_PAYLOADS[0]
+
+
+def record_kernel_traces(vectorize, payloads=None):
+    """Record the lossy sweep's channel traces for all 16 clusters.
+
+    One uplink + one downlink channel per cluster, each pre-sampling a
+    ``KERNEL_TRANSMITS``-transmit horizon of its real round payload —
+    the exact work ``_record_channel_traces`` does before a fused run,
+    scaled up so the kernel (not the model build) dominates.  Returns
+    the recorded traces so the acceptance test can assert the two paths
+    agree entry for entry.
+    """
+    up_bytes, down_bytes = payloads or kernel_payloads()
+    spec = ChannelSpec(loss=0.1, arq=ARQConfig(max_retries=1),
+                       vectorize=vectorize)
+    traces = []
+    for index in range(FUSED_CLUSTERS):
+        for stream, payload in enumerate((up_bytes, down_bytes)):
+            channel = spec.build(
+                uplink(), np.random.default_rng(1000 + 2 * index + stream))
+            traces.append(channel.record_trace(payload, KERNEL_TRANSMITS))
+    return traces
+
+
+def kernel_speedup_ratios(trials=3):
+    """Interleaved reference/kernel wall-clock ratios for the trace
+    recording workload (shared with ``check_regression``'s gate)."""
+    payloads = kernel_payloads()
+    ratios = []
+    for _ in range(trials):
+        start = time.perf_counter()
+        record_kernel_traces(False, payloads)
+        reference_s = time.perf_counter() - start
+        start = time.perf_counter()
+        record_kernel_traces(True, payloads)
+        kernel_s = time.perf_counter() - start
+        ratios.append(reference_s / kernel_s)
+    return ratios
 
 
 def coded_kwargs():
@@ -190,6 +256,20 @@ class TestEventEngineBenchmarks:
     def test_event_coded_unfused_16_clusters(self, run_once):
         _, report = run_once(run_coded, False)
         assert report.fused_rounds == 0
+
+    def test_kernel_trace_recording_vectorized(self, run_once):
+        """Baseline for the vectorized-kernel regression gate
+        (``benchmarks/check_regression.py``)."""
+        kernel_payloads()   # model build outside the timed region
+        traces = run_once(record_kernel_traces, True)
+        assert len(traces) == 2 * FUSED_CLUSTERS
+        assert all(len(t) == KERNEL_TRANSMITS for t in traces)
+
+    def test_kernel_trace_recording_reference(self, run_once):
+        kernel_payloads()
+        traces = run_once(record_kernel_traces, False)
+        assert len(traces) == 2 * FUSED_CLUSTERS
+        assert all(len(t) == KERNEL_TRANSMITS for t in traces)
 
 
 class TestEventEngineAcceptance:
@@ -353,6 +433,41 @@ class TestEventEngineAcceptance:
         assert fused_report.failed_rounds == unfused_report.failed_rounds
         assert fused_report.energy_j == unfused_report.energy_j
         assert fused_report.coding_budgets == unfused_report.coding_budgets
+
+    def test_vectorized_kernel_3x_and_bit_identical(self):
+        """Acceptance (ISSUE 6): the block-sampling kernel records the
+        lossy sweep's traces >= 3x faster than the per-frame reference
+        (typically lands far above), entry-for-entry bit-identical."""
+        payloads = kernel_payloads()
+        vec = record_kernel_traces(True, payloads)
+        ref = record_kernel_traces(False, payloads)
+        for trace_v, trace_r in zip(vec, ref):
+            assert trace_v.entries == trace_r.entries
+        ratios = kernel_speedup_ratios()
+        speedup = statistics.median(ratios)
+        print(f"\nvectorized-kernel trace recording at {FUSED_CLUSTERS} "
+              f"clusters x {KERNEL_TRANSMITS} transmits: {speedup:.2f}x "
+              f"per-frame reference "
+              f"(trials: {', '.join(f'{r:.2f}' for r in ratios)})")
+        assert speedup >= 3.0, \
+            f"vectorized-kernel speedup {speedup:.2f}x < 3x"
+
+    def test_unfused_lossy_run_blind_to_kernel(self):
+        """An unfused lossy engine run must not be able to tell the
+        vectorized kernel from the per-frame reference: clock, ledger,
+        failed rounds and completion times all bit-identical."""
+        fast, fast_report = run_lossy(segment_batching=False)
+        slow, slow_report = run_lossy(segment_batching=False,
+                                      vectorize=False)
+        for c_f, c_s in zip(fast.clusters, slow.clusters):
+            assert np.array_equal(c_f.history.times, c_s.history.times)
+            assert c_f.trainer.clock_s == c_s.trainer.clock_s
+            assert c_f.trainer.ledger.by_kind() \
+                == c_s.trainer.ledger.by_kind()
+        assert fast_report.makespan_s == slow_report.makespan_s
+        assert fast_report.completion_times == slow_report.completion_times
+        assert fast_report.failed_rounds == slow_report.failed_rounds
+        assert fast_report.energy_j == slow_report.energy_j
 
     def test_zero_fault_event_run_matches_sequential(self):
         """The equivalence anchor, asserted at benchmark geometry."""

@@ -1,6 +1,6 @@
 """Speedup regression gates against the committed benchmark baselines.
 
-Three engine-speedup ratios are gated at **80%** of their committed
+Four engine-speedup ratios are gated at **80%** of their committed
 baselines (exit code 1 below the floor):
 
 * the fleet engine's 16-cluster sequential/batched speedup (the
@@ -12,7 +12,11 @@ baselines (exit code 1 below the floor):
   ``BENCH_resilience.json``;
 * the event engine's 16-cluster **coded-fused** (erasure-coded lossy)
   speedup — the same fusion contract under FEC channels — against the
-  coded benchmarks in ``BENCH_resilience.json``.
+  coded benchmarks in ``BENCH_resilience.json``;
+* the **vectorized channel kernel**'s trace-recording speedup over the
+  scalar per-frame reference path (the workload of
+  ``bench_resilience.py``'s kernel benchmarks) against
+  ``BENCH_resilience.json``.
 
 Comparing *ratios* rather than absolute times keeps the gates
 meaningful across machines: CI hardware differs from the baseline box,
@@ -43,7 +47,9 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 from bench_multicluster import CLUSTERS, run_engine  # noqa: E402
 from bench_resilience import (  # noqa: E402
     FUSED_CLUSTERS,
+    KERNEL_TRANSMITS,
     fused_speedup_ratios,
+    kernel_speedup_ratios,
     run_coded,
     run_lossy,
 )
@@ -92,6 +98,11 @@ def measured_coded_fused_speedup(trials: int = TRIALS) -> float:
     return statistics.median(fused_speedup_ratios(run_coded, trials)[0])
 
 
+def measured_kernel_speedup(trials: int = TRIALS) -> float:
+    """Median of bench_resilience's interleaved reference/kernel ratios."""
+    return statistics.median(kernel_speedup_ratios(trials))
+
+
 #: gate name -> (baseline JSON, (slow, fast) benchmark names, measurer,
 #: human label)
 GATES = {
@@ -109,6 +120,13 @@ GATES = {
                      "test_event_coded_fused_16_clusters"),
                     measured_coded_fused_speedup,
                     f"coded-fused (FEC) speedup at {FUSED_CLUSTERS} clusters"),
+    "vectorized-kernel": (REPO_ROOT / "BENCH_resilience.json",
+                          ("test_kernel_trace_recording_reference",
+                           "test_kernel_trace_recording_vectorized"),
+                          measured_kernel_speedup,
+                          f"vectorized-kernel trace recording at "
+                          f"{FUSED_CLUSTERS} clusters x "
+                          f"{KERNEL_TRANSMITS} transmits"),
 }
 
 

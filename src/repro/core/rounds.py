@@ -92,7 +92,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..sim.channel import TransmitResult
+from ..sim.channel import TransmitResult, ideal_transmit_result
 from .fleet import FleetTrainer
 from .orchestrator import RoundRecord
 
@@ -565,9 +565,9 @@ class SegmentedFleetExecutor:
         self.fused_rounds = 0
         self.segments = 0
         # Per-cluster constants: round timing plus the ideal channel's
-        # closed-form transmit outcomes (`LinkModel.transfer_time` /
-        # `wire_bytes` — exactly what a lossless transmit reports), the
-        # planner's stand-in wherever no trace is attached.
+        # closed-form transmit outcomes (the same pricing the channel
+        # kernel's clean path reports), the planner's stand-in wherever
+        # no trace is attached.
         self._costs: Dict[str, object] = {}
         self._ideal_up: Dict[str, TransmitResult] = {}
         self._ideal_down: Dict[str, TransmitResult] = {}
@@ -575,16 +575,10 @@ class SegmentedFleetExecutor:
             costs = cluster.trainer.round_costs(cluster.batch_size)
             timing = cluster.trainer.timing
             self._costs[cluster.name] = costs.timing
-            up_frames = timing.up.frames_for(costs.up_bytes)
-            down_frames = timing.down.frames_for(costs.down_bytes)
-            self._ideal_up[cluster.name] = TransmitResult(
-                costs.up_bytes, up_frames, up_frames, 0, True,
-                costs.up_wire_bytes, costs.timing.uplink_s,
-                costs.up_wire_bytes, 0)
-            self._ideal_down[cluster.name] = TransmitResult(
-                costs.down_bytes, down_frames, down_frames, 0, True,
-                costs.down_wire_bytes, costs.timing.downlink_s,
-                costs.down_wire_bytes, 0)
+            self._ideal_up[cluster.name] = ideal_transmit_result(
+                timing.up, costs.up_bytes)
+            self._ideal_down[cluster.name] = ideal_transmit_result(
+                timing.down, costs.down_bytes)
 
     # -- trace access ---------------------------------------------------
     def _cursors(self, name: str):

@@ -98,12 +98,13 @@ comparisons measure *scheduling*, not data-order luck.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..sim.channel import ARQConfig, ChannelSpec, as_loss_model
+from ..sim.channel import ARQConfig, ChannelSpec, TracePolicy, as_loss_model
 from ..sim.coding import (
     CodingSpec,
     delivery_probability,
@@ -139,11 +140,6 @@ __all__ = [
 
 _POLICIES = ("fifo", "round_robin", "loss_priority", "deadline")
 _ENGINES = ("auto", "sequential", "batched", "event")
-
-#: Horizons beyond this record chunked channel traces (bounded memory);
-#: the chunk size is the refill granularity.
-_TRACE_CHUNK_THRESHOLD = 4096
-_TRACE_CHUNK = 1024
 
 
 @dataclass
@@ -619,11 +615,11 @@ class EdgeTrainingScheduler:
         docstring).  ``False`` forces the per-round unfused loop — the
         reference the fused path is validated against.
     trace_chunk:
-        Explicit chunk size for channel-trace recording (``None`` =
-        automatic: full traces for short horizons, chunked recording
-        beyond ``_TRACE_CHUNK_THRESHOLD`` rounds).  Chunked traces
-        bound trace memory for very long horizons without changing
-        replay semantics.
+        **Deprecated** (warns): explicit chunk size for channel-trace
+        recording.  Declare the policy on the channel spec instead —
+        ``ChannelSpec(trace=TracePolicy(chunk=...))`` — whose defaults
+        reproduce the old automatic behaviour (full traces for short
+        horizons, chunked recording past 4096 rounds).
     """
 
     def __init__(self, policy: str = "round_robin",
@@ -657,9 +653,19 @@ class EdgeTrainingScheduler:
         self.channels = channels
         self.backhaul_distance_m = backhaul_distance_m
         self.segment_batching = segment_batching
-        if trace_chunk is not None and trace_chunk < 1:
-            raise ValueError("trace_chunk must be >= 1")
+        if trace_chunk is not None:
+            warnings.warn(
+                "EdgeTrainingScheduler(trace_chunk=...) is deprecated; "
+                "declare the policy on the channel spec instead: "
+                "ChannelSpec(trace=TracePolicy(chunk=...))",
+                DeprecationWarning, stacklevel=2)
+            if trace_chunk < 1:
+                raise ValueError("trace_chunk must be >= 1")
         self.trace_chunk = trace_chunk
+        # None lets each channel's own TracePolicy (ChannelSpec.trace)
+        # govern recording; the shim maps the legacy knob onto one.
+        self._trace_policy = (TracePolicy(chunk=trace_chunk)
+                              if trace_chunk is not None else None)
 
     def add_cluster(self, name: str, trainer: OrchestratedTrainer,
                     data: np.ndarray, batch_size: int = 32,
@@ -882,24 +888,25 @@ class EdgeTrainingScheduler:
         A channel is consulted at most once per round (failed uplinks
         skip the downlink), so surplus entries simply go unused.
 
-        Long horizons record **chunked** (``trace_chunk`` entries
-        ahead, refilled lazily from the same RNG stream, consumed
-        entries discarded) so trace memory stays bounded for 1e5+-round
-        runs; the entry sequence — and therefore the run — is identical
+        Recording runs on the channels' vectorized batch kernel; each
+        channel's :class:`~repro.sim.channel.TracePolicy` (from
+        ``ChannelSpec.trace``, or the scheduler's deprecated
+        ``trace_chunk`` override) decides whether a long horizon
+        records **chunked** — one chunk ahead, refilled lazily from the
+        same RNG stream — so trace memory stays bounded for 1e5+-round
+        runs; the entry sequence, and therefore the run, is identical
         either way.
         """
-        chunk = self.trace_chunk
-        if chunk is None and rounds_per_cluster > _TRACE_CHUNK_THRESHOLD:
-            chunk = _TRACE_CHUNK
+        policy = self._trace_policy
         for cluster in self.clusters:
             state = states[cluster.name]
             if state.up_channel is None:
                 continue
             costs = cluster.trainer.round_costs(cluster.batch_size)
             state.up_channel.replay(state.up_channel.record_trace(
-                costs.up_bytes, rounds_per_cluster, chunk=chunk))
+                costs.up_bytes, rounds_per_cluster, policy=policy))
             state.down_channel.replay(state.down_channel.record_trace(
-                costs.down_bytes, rounds_per_cluster, chunk=chunk))
+                costs.down_bytes, rounds_per_cluster, policy=policy))
 
     def _arq_rederiver(self, states: Dict[str, "_EventClusterState"],
                        budget: Dict[str, int], sim: EventScheduler):

@@ -544,7 +544,11 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     # open item): a hop that exhausts its recovery budget severs its
     # subtree from the partial sum, so per-frame loss shows up directly
     # as reconstruction error — and an erasure-coded sensor channel
-    # buys the contributions back for a fixed parity premium.
+    # buys the contributions back for a fixed parity premium.  The TDMA
+    # cost model is loss-adaptive: ancestors of a severed subtree
+    # forward only what was actually delivered, so the charged payloads
+    # shrink with the contributions instead of assuming full
+    # participation.
     rng = np.random.default_rng(seed + 77)
     positions = place_uniform(devices, (80.0, 80.0), rng)
     field = SensorField(regime=FieldRegime(mean=18.0, amplitude=2.0,

@@ -27,11 +27,14 @@ from .channel import (
     GILBERT_ELLIOTT_PRESETS,
     GILBERT_ELLIOTT_TRACE_DIGESTS,
     GilbertElliottLoss,
+    RecoveryStrategy,
+    TracePolicy,
     TransmitResult,
     UnreliableChannel,
     as_loss_model,
     digest_gilbert_elliott,
     fit_gilbert_elliott,
+    ideal_transmit_result,
 )
 from .coding import (
     CodingSpec,
@@ -43,6 +46,13 @@ from .coding import (
     expected_frames_per_delivery,
 )
 from .events import Event, EventScheduler, SimulationError
+from .sampler import (
+    BernoulliSampler,
+    GilbertElliottSampler,
+    LossSampler,
+    make_loss_sampler,
+    parse_arq_stream,
+)
 from .faults import (
     FAULT_KINDS,
     FaultEvent,
@@ -58,11 +68,13 @@ __all__ = [
     "ChannelTraceDigest", "ChannelTraceExhausted", "ChunkedChannelTrace",
     "CodingSpec", "ErasureCodec", "ErasureDecodeError",
     "GILBERT_ELLIOTT_PRESETS", "GILBERT_ELLIOTT_TRACE_DIGESTS",
-    "GilbertElliottLoss",
+    "GilbertElliottLoss", "RecoveryStrategy", "TracePolicy",
     "TransmitResult", "UnreliableChannel", "as_loss_model",
     "decode_floats", "delivery_probability", "digest_gilbert_elliott",
     "encode_floats", "expected_frames_per_delivery",
-    "fit_gilbert_elliott",
+    "fit_gilbert_elliott", "ideal_transmit_result",
+    "BernoulliSampler", "GilbertElliottSampler", "LossSampler",
+    "make_loss_sampler", "parse_arq_stream",
     "Event", "EventScheduler", "SimulationError",
     "FAULT_KINDS", "FaultEvent", "FaultInjector", "FaultSchedule",
     "NetworkFaultTarget", "apply_fault", "apply_fault_to_network",

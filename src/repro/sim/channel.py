@@ -42,6 +42,7 @@ stretch) and still match the unfused live run exactly.
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
 from dataclasses import dataclass, field, replace
 from typing import Callable, Deque, Dict, List, Optional, Tuple, Union
@@ -50,6 +51,8 @@ import numpy as np
 
 from ..wsn.link import LinkModel
 from .coding import CodingSpec
+from .sampler import (LossSampler, exact_message_elapsed, make_loss_sampler,
+                      parse_arq_stream)
 
 
 # ----------------------------------------------------------------------
@@ -158,6 +161,72 @@ class ARQConfig:
 
 
 @dataclass(frozen=True)
+class RecoveryStrategy:
+    """The resolved loss-recovery dispatch of one channel.
+
+    The three transmit paths — uncoded stop-and-wait ARQ, open-loop
+    FEC, hybrid FEC with ARQ repair — used to be chosen by ad-hoc
+    ``coding``/``arq`` inspection at three call sites.  A strategy is
+    resolved once (from :class:`ARQConfig` + optional
+    :class:`~repro.sim.coding.CodingSpec`) and every transmit, batch
+    pricer and trace recorder dispatches on it.  ``kind`` is the
+    user-facing name :attr:`ChannelSpec.recovery` reports.
+    """
+
+    kind: str                          # "none" | "arq" | "fec" | "hybrid"
+    coding: Optional[CodingSpec] = None
+
+    @classmethod
+    def resolve(cls, arq: "ARQConfig",
+                coding: Optional[CodingSpec]) -> "RecoveryStrategy":
+        """Derive the strategy a channel with these policies runs.
+
+        A zero-parity coding spec degenerates to the uncoded path
+        (bit-identical — zero erasure tolerance adds nothing), so only
+        specs with real parity resolve to ``fec``/``hybrid``.
+        """
+        if coding is not None and coding.parity_frames > 0:
+            return cls("hybrid" if coding.arq_fallback else "fec", coding)
+        return cls("arq" if arq.max_retries > 0 else "none")
+
+    @property
+    def coded(self) -> bool:
+        """True when transmits take the erasure-coded burst path."""
+        return self.coding is not None
+
+
+@dataclass(frozen=True)
+class TracePolicy:
+    """Declarative trace-recording policy for one channel.
+
+    Folds the three knobs that accreted across PRs 3–5 —
+    ``record_trace(chunk=)``, the scheduler's ``trace_chunk`` and its
+    hard-wired chunk-past-4096 heuristic — into one place.  ``chunk``
+    forces chunked recording at that size; with ``chunk=None`` horizons
+    longer than ``auto_threshold`` transmits record chunked at
+    ``auto_chunk`` (bounded memory), shorter horizons record in full.
+    """
+
+    chunk: Optional[int] = None
+    auto_threshold: int = 4096
+    auto_chunk: int = 1024
+
+    def __post_init__(self):
+        if self.chunk is not None and self.chunk < 1:
+            raise ValueError("chunk must be >= 1")
+        if self.auto_threshold < 0:
+            raise ValueError("auto_threshold must be >= 0")
+        if self.auto_chunk < 1:
+            raise ValueError("auto_chunk must be >= 1")
+
+    def chunk_for(self, transmits: int) -> Optional[int]:
+        """Chunk size for a ``transmits``-long horizon (None = full)."""
+        if self.chunk is not None:
+            return self.chunk
+        return self.auto_chunk if transmits > self.auto_threshold else None
+
+
+@dataclass(frozen=True)
 class TransmitResult:
     """Outcome of one message transmission over an unreliable channel.
 
@@ -180,6 +249,22 @@ class TransmitResult:
     parity_frames: int = 0         # erasure-code parity frames radiated
     fec_wire_bytes: int = 0        # bytes radiated as parity overhead
     fec_time_s: float = 0.0        # parity airtime (jitter excluded)
+
+
+def ideal_transmit_result(link: LinkModel, n_bytes: int) -> TransmitResult:
+    """The closed-form outcome of a clean transmit on an ideal link.
+
+    Exactly what :meth:`UnreliableChannel.transmit` reports for a
+    lossless, jitterless, uncoded message — the one pricing formula the
+    live channel, the batched kernel and the segment planner's
+    no-trace stand-ins all share.
+    """
+    frames = link.frame_sizes(n_bytes)
+    if not frames:
+        return TransmitResult(0, 0, 0, 0, True, 0, 0.0, 0, 0)
+    wire = link.wire_bytes(n_bytes)
+    return TransmitResult(n_bytes, len(frames), len(frames), 0, True, wire,
+                          link.transfer_time(n_bytes), wire, 0)
 
 
 class ChannelTraceExhausted(RuntimeError):
@@ -276,9 +361,9 @@ class ChunkedChannelTrace:
         while self._base + len(self._entries) <= index:
             burst = min(self.chunk,
                         self.total - self._base - len(self._entries))
-            for _ in range(burst):
-                self._entries.append(
-                    self.channel._transmit_live(self.payload_bytes))
+            # One batched kernel call (one RNG block draw) per chunk.
+            self._entries.extend(
+                self.channel.transmit_batch(self.payload_bytes, burst))
         return self._entries[index - self._base]
 
     def next(self) -> TransmitResult:
@@ -321,12 +406,23 @@ class UnreliableChannel:
         zero-parity spec degenerates to the uncoded path bit-for-bit.
     rng:
         Generator driving loss and jitter draws (deterministic per seed).
+    trace_policy:
+        :class:`TracePolicy` governing how :meth:`record_trace` chunks
+        long horizons; ``None`` uses the defaults.
+    vectorize:
+        Route draws and trace recording through the block-sampling
+        kernel of :mod:`repro.sim.sampler` when the loss model supports
+        it (bit-identical, much faster).  ``False`` forces the scalar
+        per-frame reference path — the baseline the kernel is
+        bench-raced and property-tested against.
     """
 
     def __init__(self, link: LinkModel, loss: LossModelLike = None,
                  arq: Optional[ARQConfig] = None, jitter_s: float = 0.0,
                  coding: Optional[CodingSpec] = None,
-                 rng: Optional[np.random.Generator] = None):
+                 rng: Optional[np.random.Generator] = None,
+                 trace_policy: Optional[TracePolicy] = None,
+                 vectorize: bool = True):
         if jitter_s < 0:
             raise ValueError("jitter_s must be >= 0")
         self.link = link
@@ -336,10 +432,19 @@ class UnreliableChannel:
         self.coding = coding
         self.rng = rng or np.random.default_rng()
         self.trace: Optional[ChannelTraceLike] = None
+        self.trace_policy = trace_policy or TracePolicy()
+        self.strategy = RecoveryStrategy.resolve(self.arq, self.coding)
+        self._sampler: Optional[LossSampler] = (
+            make_loss_sampler(self.loss, self.rng, self.jitter_s)
+            if vectorize else None)
+        # Exact-elapsed memo tables, keyed by payload (see _batch_arq).
+        self._elapsed_memo: Dict[int, dict] = {}
 
     # ------------------------------------------------------------------
     def record_trace(self, payload_bytes: int, transmits: int,
-                     chunk: Optional[int] = None) -> ChannelTraceLike:
+                     chunk: Optional[int] = None, *,
+                     policy: Optional[TracePolicy] = None
+                     ) -> ChannelTraceLike:
         """Pre-sample ``transmits`` fixed-payload transmit outcomes.
 
         Consumes this channel's RNG stream and burst state exactly as
@@ -349,18 +454,29 @@ class UnreliableChannel:
         harmless: each channel owns its RNG, so surplus draws leak into
         nothing.
 
-        With ``chunk`` the trace is a :class:`ChunkedChannelTrace` that
-        records only ``chunk`` transmits ahead and refills lazily from
-        the same RNG stream — identical entry sequence, bounded memory
-        for very long horizons.
+        Chunking is governed by ``policy`` (default: the channel's
+        :class:`TracePolicy`): a chunked horizon records as a
+        :class:`ChunkedChannelTrace` that keeps only one chunk ahead
+        and refills lazily from the same RNG stream — identical entry
+        sequence, bounded memory.  The legacy ``chunk=`` argument is a
+        deprecated alias for ``policy=TracePolicy(chunk=...)``.
         """
         if transmits < 0:
             raise ValueError("transmits must be non-negative")
         if chunk is not None:
-            return ChunkedChannelTrace(self, payload_bytes, transmits, chunk)
-        entries = tuple(self._transmit_live(payload_bytes)
-                        for _ in range(transmits))
-        return ChannelTrace(entries)
+            warnings.warn(
+                "record_trace(chunk=...) is deprecated; pass "
+                "policy=TracePolicy(chunk=...) or set the channel's "
+                "trace policy (ChannelSpec.trace)", DeprecationWarning,
+                stacklevel=2)
+            policy = TracePolicy(chunk=chunk)
+        policy = policy or self.trace_policy
+        chunk_size = policy.chunk_for(transmits)
+        if chunk_size is not None:
+            return ChunkedChannelTrace(self, payload_bytes, transmits,
+                                       chunk_size)
+        return ChannelTrace(tuple(self.transmit_batch(payload_bytes,
+                                                      transmits)))
 
     def replay(self, trace: ChannelTraceLike) -> None:
         """Serve future :meth:`transmit` calls from ``trace`` in order."""
@@ -385,6 +501,17 @@ class UnreliableChannel:
                     f"but {n_bytes} bytes were requested")
             return result
         return self._transmit_live(n_bytes)
+
+    def _frame_lost(self) -> bool:
+        """One loss verdict — from the block sampler when attached.
+
+        The sampler consumes the channel RNG's stream in the same order
+        scalar draws would, so routing every verdict through here keeps
+        the scalar and batched paths on one stream.
+        """
+        if self._sampler is not None:
+            return self._sampler.take()
+        return self.loss is not None and self.loss.frame_lost(self.rng)
 
     def _arq_frame(self, payload: int, elapsed: float,
                    repair: bool) -> Tuple[bool, int, int, int, int, int,
@@ -411,7 +538,7 @@ class UnreliableChannel:
             elapsed += frame_time
             if self.jitter_s > 0.0:
                 elapsed += float(self.rng.exponential(self.jitter_s))
-            if self.loss is not None and self.loss.frame_lost(self.rng):
+            if self._frame_lost():
                 lost += 1
                 elapsed += self.arq.ack_timeout_s
                 continue
@@ -421,15 +548,25 @@ class UnreliableChannel:
         return False, attempts, lost, retransmissions, wire, received, elapsed
 
     def _transmit_live(self, n_bytes: int) -> TransmitResult:
+        """One live transmit, dispatched on the resolved strategy."""
         if n_bytes < 0:
             raise ValueError("n_bytes must be non-negative")
         link = self.link
         frames = link.frame_sizes(n_bytes)
         if not frames:
             return TransmitResult(0, 0, 0, 0, True, 0, 0.0, 0, 0)
-        if self.coding is not None and self.coding.parity_frames > 0:
+        if self.strategy.coded:
             return self._transmit_coded(n_bytes, frames)
+        return self._transmit_arq(n_bytes, frames)
 
+    def _transmit_arq(self, n_bytes: int,
+                      frames: List[int]) -> TransmitResult:
+        """Uncoded path: frame-by-frame stop-and-wait under the budget.
+
+        Covers both the ``"arq"`` and ``"none"`` strategies — a zero
+        retry budget is stop-and-wait with a single attempt per frame.
+        """
+        link = self.link
         elapsed = link.latency_s
         wire = 0
         received = 0
@@ -495,7 +632,7 @@ class UnreliableChannel:
             elapsed += link.frame_time(payload)
             if self.jitter_s > 0.0:
                 elapsed += float(self.rng.exponential(self.jitter_s))
-            if self.loss is not None and self.loss.frame_lost(self.rng):
+            if self._frame_lost():
                 lost += 1
                 erased.append(payload)
                 continue
@@ -524,10 +661,279 @@ class UnreliableChannel:
             coding.parity_frames * (stripe + link.header_bytes),
             coding.parity_frames * link.frame_time(stripe))
 
+    # ------------------------------------------------------------------
+    # Batched pricing (the vectorized kernel)
+    # ------------------------------------------------------------------
+    def transmit_batch(self, n_bytes: int, count: int) -> List[TransmitResult]:
+        """Price ``count`` consecutive fixed-payload transmits at once.
+
+        Bit-identical to ``count`` live :meth:`transmit` calls — same
+        RNG stream, same burst-state evolution, same float accumulation
+        — but the loss horizon is pre-sampled in blocks and ARQ/FEC
+        outcomes are priced in O(count) array ops instead of per-frame
+        generator steps.  Trace recording and chunk refills run on this
+        path; channels whose draws cannot be block-sampled (jitter,
+        exotic loss models, ``vectorize=False``) fall back to the
+        scalar per-frame reference.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if n_bytes < 0:
+            raise ValueError("n_bytes must be non-negative")
+        if count == 0:
+            return []
+        frames = self.link.frame_sizes(n_bytes)
+        if not frames:
+            return [TransmitResult(0, 0, 0, 0, True, 0, 0.0, 0, 0)] * count
+        if self.loss is None and self.jitter_s == 0.0:
+            # Draw-free channel: one outcome, shared (results are
+            # frozen).  Coded channels still radiate parity every time.
+            if self.strategy.coded:
+                return [self._transmit_coded(n_bytes, frames)] * count
+            return [ideal_transmit_result(self.link, n_bytes)] * count
+        if self._sampler is None:
+            return [self._transmit_live(n_bytes) for _ in range(count)]
+        if not self.strategy.coded:
+            return self._batch_arq(n_bytes, frames, count)
+        if self.coding.arq_fallback:
+            return self._batch_hybrid(n_bytes, frames, count)
+        return self._batch_fec(n_bytes, frames, count)
+
+    def _batch_arq(self, n_bytes: int, frames: List[int],
+                   count: int) -> List[TransmitResult]:
+        """Vectorized uncoded pricing over a pre-sampled loss horizon.
+
+        :func:`~repro.sim.sampler.parse_arq_stream` resolves the whole
+        horizon's slot/message structure in closed form; counts and
+        bytes then fall out of segment sums.  Elapsed time is the one
+        quantity array math cannot reproduce bit-for-bit (float adds
+        are order-sensitive), so lossy messages take their elapsed from
+        memoized exact scalar replays — attempt patterns repeat
+        heavily, single-frame payloads have at most ``cap + 1`` of
+        them, so the replay loop runs a handful of times per payload.
+        """
+        sampler = self._sampler
+        link = self.link
+        cap = self.arq.max_retries + 1
+        F = len(frames)
+        mean = min(self.loss.mean_loss_rate, 0.95)
+        est = int(count * F / (1.0 - mean) * 1.25) + 64
+        while True:
+            parsed = parse_arq_stream(sampler.peek(est), F, cap, count)
+            if parsed is not None:
+                break
+            est *= 2
+        sampler.advance(parsed["consumed"])
+        header = link.header_bytes
+        first, last = frames[0], frames[-1]
+        slot_att = parsed["slot_attempts"]
+        m_att = parsed["m_attempts"]
+        m_slots = parsed["m_slots"]
+        m_del = parsed["m_delivered"]
+        m_start, m_end = parsed["m_start"], parsed["m_end"]
+        del_slots = m_slots - (~m_del)
+        lost = m_att - del_slots
+        retx = m_att - m_slots
+        # Every attempt radiates a full-size frame except attempts of
+        # the final (possibly short) fragment, reached iff the message
+        # delivered or failed on its very last frame.
+        reached_last = m_del | (m_slots == F)
+        last_att = slot_att[np.maximum(m_end - 1, 0)]
+        wire = m_att * (first + header) \
+            + np.where(reached_last, last_att * (last - first), 0)
+        received = del_slots * (first + header) \
+            + np.where(m_del, last - first, 0)
+        clean = m_del & (lost == 0)
+        ideal = ideal_transmit_result(link, n_bytes)
+        # Results are frozen, so every clean message shares one object
+        # and lossy outcomes are memoized: a fixed payload only admits
+        # a handful of distinct (attempt pattern, delivered) values.
+        if F == 1:
+            table, failed_elapsed = self._arq_elapsed_tables(
+                n_bytes, frames, cap)
+            cache = self._elapsed_memo.setdefault(("arq1", n_bytes), {})
+            frame_wire = first + header
+            out: List[TransmitResult] = []
+            for attempts, delivered in zip(m_att.tolist(), m_del.tolist()):
+                if delivered and attempts == 1:
+                    out.append(ideal)
+                    continue
+                result = cache.get((attempts, delivered))
+                if result is None:
+                    result = TransmitResult(
+                        n_bytes, 1, attempts,
+                        attempts - 1 if delivered else attempts, delivered,
+                        attempts * frame_wire,
+                        table[attempts] if delivered else failed_elapsed,
+                        frame_wire if delivered else 0, attempts - 1)
+                    cache[(attempts, delivered)] = result
+                out.append(result)
+            return out
+        elapsed = np.full(count, ideal.elapsed_s)
+        memo = self._elapsed_memo.setdefault(n_bytes, {})
+        for i in np.flatnonzero(~clean):
+            key = (tuple(slot_att[m_start[i]:m_end[i]].tolist()),
+                   bool(m_del[i]))
+            value = memo.get(key)
+            if value is None:
+                value = exact_message_elapsed(
+                    link, frames, key[0], key[1], self.arq.ack_timeout_s)
+                if len(memo) < 65536:
+                    memo[key] = value
+            elapsed[i] = value
+        return [ideal if c else TransmitResult(n_bytes, F, a, l, d, w, e,
+                                               r, x)
+                for c, a, l, d, w, e, r, x in zip(
+                    clean.tolist(), m_att.tolist(), lost.tolist(),
+                    m_del.tolist(), wire.tolist(), elapsed.tolist(),
+                    received.tolist(), retx.tolist())]
+
+    def _arq_elapsed_tables(self, n_bytes: int, frames: List[int],
+                            cap: int) -> Tuple[np.ndarray, float]:
+        """Exact elapsed by attempt count for single-frame messages.
+
+        Returns ``(table, failed)``: ``table[a]`` is the elapsed of a
+        message delivered on its ``a``-th attempt, ``failed`` the one
+        elapsed an exhausted budget can produce (``cap`` lost
+        attempts).  ``cap + 2`` scalar replays cover every pattern a
+        single-frame payload admits.
+        """
+        cached = self._elapsed_memo.get(("table", n_bytes))
+        if cached is None:
+            timeout = self.arq.ack_timeout_s
+            table = np.empty(cap + 1)
+            table[0] = 0.0   # unused: a delivery takes >= 1 attempt
+            for attempts in range(1, cap + 1):
+                table[attempts] = exact_message_elapsed(
+                    self.link, frames, (attempts,), True, timeout)
+            failed = exact_message_elapsed(self.link, frames, (cap,),
+                                           False, timeout)
+            cached = (table, failed)
+            self._elapsed_memo[("table", n_bytes)] = cached
+        return cached
+
+    def _coded_constants(self, n_bytes: int, frames: List[int]) -> tuple:
+        """Per-payload constants of the open-loop coded burst.
+
+        A burst always radiates the same ``F + k`` frames, so its wire
+        bytes and elapsed time (no timeouts — losses cost nothing but
+        erasures) are payload constants; elapsed is accumulated in the
+        scalar path's add order.
+        """
+        cached = self._elapsed_memo.get(("coded", n_bytes))
+        if cached is None:
+            link = self.link
+            coding = self.coding
+            stripe = frames[0]
+            elapsed = link.latency_s
+            wire = 0
+            for payload in frames + [stripe] * coding.parity_frames:
+                wire += payload + link.header_bytes
+                elapsed += link.frame_time(payload)
+            cached = (elapsed, wire,
+                      coding.parity_frames * (stripe + link.header_bytes),
+                      coding.parity_frames * link.frame_time(stripe))
+            self._elapsed_memo[("coded", n_bytes)] = cached
+        return cached
+
+    def _batch_fec(self, n_bytes: int, frames: List[int],
+                   count: int) -> List[TransmitResult]:
+        """Vectorized open-loop FEC: every message consumes exactly
+        ``F + k`` verdicts, so the horizon reshapes into per-message
+        rows and delivery is a row-sum threshold."""
+        coding = self.coding
+        F = len(frames)
+        burst = F + coding.parity_frames
+        if burst > 256:
+            # Same guard as the scalar path (kept there for fallbacks).
+            return [self._transmit_coded(n_bytes, frames)
+                    for _ in range(count)]
+        sampler = self._sampler
+        verdicts = np.array(sampler.peek(count * burst)[:count * burst],
+                            dtype=bool).reshape(count, burst)
+        sampler.advance(count * burst)
+        lost = verdicts.sum(axis=1)
+        return self._fec_results(n_bytes, frames, lost.tolist(),
+                                 verdicts[:, F - 1].tolist())
+
+    def _fec_results(self, n_bytes: int, frames: List[int],
+                     lost: List[int],
+                     last_lost: List[bool]) -> List[TransmitResult]:
+        """Coded-burst outcomes from per-message erasure counts.
+
+        A burst's outcome is fully determined by how many frames were
+        erased and whether the (possibly short) final data frame was
+        among them — at most ``2 * (F + k + 1)`` distinct frozen
+        results per payload, so they are memoized and shared.
+        """
+        coding = self.coding
+        F = len(frames)
+        burst = F + coding.parity_frames
+        elapsed, wire, fec_wire, fec_time = \
+            self._coded_constants(n_bytes, frames)
+        header = self.link.header_bytes
+        stripe, last = frames[0], frames[-1]
+        k = coding.parity_frames
+        cache = self._elapsed_memo.setdefault(("fec", n_bytes), {})
+        out: List[TransmitResult] = []
+        for erased, short_lost in zip(lost, last_lost):
+            result = cache.get((erased, short_lost))
+            if result is None:
+                # All arrivals are stripe-sized except the last data
+                # frame.
+                received = (burst - erased) * (stripe + header) \
+                    + (0 if short_lost else last - stripe)
+                result = TransmitResult(
+                    n_bytes, F, burst, erased, burst - erased >= F, wire,
+                    elapsed, received, 0, k, fec_wire, fec_time)
+                cache[(erased, short_lost)] = result
+            out.append(result)
+        return out
+
+    def _batch_hybrid(self, n_bytes: int, frames: List[int],
+                      count: int) -> List[TransmitResult]:
+        """Hybrid FEC+ARQ: vectorize runs of repair-free bursts.
+
+        Repairs interleave extra draws between bursts, so the horizon
+        cannot reshape wholesale; instead each run of bursts that
+        decode outright is priced like pure FEC (delivered by
+        construction) and each shortfall message replays through the
+        scalar coded path — which draws from the same sampler, so the
+        stream stays aligned.
+        """
+        coding = self.coding
+        F = len(frames)
+        burst = F + coding.parity_frames
+        if burst > 256:
+            return [self._transmit_coded(n_bytes, frames)
+                    for _ in range(count)]
+        sampler = self._sampler
+        k = coding.parity_frames
+        results: List[TransmitResult] = []
+        while len(results) < count:
+            remaining = count - len(results)
+            verdicts = np.array(
+                sampler.peek(remaining * burst)[:remaining * burst],
+                dtype=bool).reshape(remaining, burst)
+            shortfall = verdicts.sum(axis=1) > k
+            clean_run = int(np.argmax(shortfall)) if shortfall.any() \
+                else remaining
+            if clean_run:
+                block = verdicts[:clean_run]
+                sampler.advance(clean_run * burst)
+                results.extend(self._fec_results(
+                    n_bytes, frames, block.sum(axis=1).tolist(),
+                    block[:, F - 1].tolist()))
+            if clean_run < remaining:
+                results.append(self._transmit_coded(n_bytes, frames))
+        return results
+
     def reset(self) -> None:
         """Reset bursty loss state (new epoch / new channel realisation)."""
         if self.loss is not None:
             self.loss.reset()
+        if self._sampler is not None:
+            self._sampler.reset()
 
 
 @dataclass(frozen=True)
@@ -541,19 +947,25 @@ class ChannelSpec:
     ``loss`` may be a float (Bernoulli rate) or a zero-argument factory
     returning a fresh loss-model instance (needed for stateful
     Gilbert-Elliott channels, which must not share burst state).
+    ``trace`` is the declarative :class:`TracePolicy` every built
+    channel records under; ``vectorize=False`` pins built channels to
+    the scalar per-frame reference path (testing/benchmarking only).
     """
 
     loss: Union[float, Callable[[], object], None] = None
     arq: ARQConfig = field(default_factory=ARQConfig)
     jitter_s: float = 0.0
     coding: Optional[CodingSpec] = None
+    trace: TracePolicy = field(default_factory=TracePolicy)
+    vectorize: bool = True
 
     def build(self, link: LinkModel,
               rng: np.random.Generator) -> UnreliableChannel:
         loss = self.loss() if callable(self.loss) else self.loss
         return UnreliableChannel(link, loss=loss, arq=self.arq,
                                  jitter_s=self.jitter_s, coding=self.coding,
-                                 rng=rng)
+                                 rng=rng, trace_policy=self.trace,
+                                 vectorize=self.vectorize)
 
     def with_arq(self, arq: ARQConfig) -> "ChannelSpec":
         """This spec with a different retransmission budget.
@@ -581,6 +993,16 @@ class ChannelSpec:
                                 arq_fallback=arq_fallback)
         return replace(self, coding=coding)
 
+    def with_trace(self, trace: TracePolicy) -> "ChannelSpec":
+        """This spec with a different trace-recording policy."""
+        return replace(self, trace=trace)
+
+    @property
+    def recovery_strategy(self) -> RecoveryStrategy:
+        """The :class:`RecoveryStrategy` channels built from this spec
+        dispatch on."""
+        return RecoveryStrategy.resolve(self.arq, self.coding)
+
     @property
     def recovery(self) -> str:
         """The loss-recovery strategy this spec resolves to.
@@ -590,9 +1012,7 @@ class ChannelSpec:
         retransmission budget stands between loss and a failed round,
         ``"none"`` when nothing recovers a lost frame.
         """
-        if self.coding is not None and self.coding.parity_frames > 0:
-            return "hybrid" if self.coding.arq_fallback else "fec"
-        return "arq" if self.arq.max_retries > 0 else "none"
+        return self.recovery_strategy.kind
 
     @property
     def ideal(self) -> bool:

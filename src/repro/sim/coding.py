@@ -274,7 +274,7 @@ class CodingSpec:
 
 
 def delivery_probability(data_frames: int, parity_frames: int,
-                         loss_rate: float) -> float:
+                         loss_rate) -> "float | np.ndarray":
     """P[message decodable] under i.i.d. per-frame loss.
 
     The message survives iff at most ``parity_frames`` of its
@@ -282,33 +282,57 @@ def delivery_probability(data_frames: int, parity_frames: int,
     binomial tail the adaptive-redundancy policy prices.  For bursty
     (Gilbert-Elliott) channels the policy feeds the chain's *mean* loss
     rate in, making this a first-order approximation.
+
+    ``loss_rate`` may be a scalar or a numpy array; arrays are priced
+    elementwise in one vectorized pass (per-element results are
+    bit-identical to the scalar path, which accumulates the binomial
+    terms in the same order).
     """
     if data_frames < 1:
         raise ValueError("data_frames must be >= 1")
     if parity_frames < 0:
         raise ValueError("parity_frames must be >= 0")
-    if not 0.0 <= loss_rate < 1.0:
-        raise ValueError("loss_rate must be in [0, 1)")
-    if loss_rate == 0.0:
-        return 1.0
     total = data_frames + parity_frames
-    keep = 1.0 - loss_rate
-    return float(sum(comb(total, erased)
-                     * loss_rate ** erased * keep ** (total - erased)
-                     for erased in range(parity_frames + 1)))
+    if np.ndim(loss_rate) == 0:
+        loss_rate = float(loss_rate)
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        if loss_rate == 0.0:
+            return 1.0
+        keep = 1.0 - loss_rate
+        return float(sum(comb(total, erased)
+                         * loss_rate ** erased * keep ** (total - erased)
+                         for erased in range(parity_frames + 1)))
+    rates = np.asarray(loss_rate, dtype=float)
+    if np.any(rates < 0.0) or np.any(rates >= 1.0):
+        raise ValueError("loss_rate must be in [0, 1)")
+    keep = 1.0 - rates
+    # Accumulate term by term (the scalar sum order) so each element
+    # matches the scalar path to the last ulp.
+    probs = np.zeros_like(rates)
+    for erased in range(parity_frames + 1):
+        probs += comb(total, erased) * rates ** erased \
+            * keep ** (total - erased)
+    probs[rates == 0.0] = 1.0
+    return probs
 
 
 def expected_frames_per_delivery(data_frames: int, parity_frames: int,
-                                 loss_rate: float) -> float:
+                                 loss_rate) -> "float | np.ndarray":
     """Expected radiated frames per *delivered* message, pure FEC.
 
     Open-loop FEC always radiates ``F + k`` frames; a failed message
     wastes them all, so the per-delivery price is ``(F + k) /
     P[deliver]`` — the quantity the battery-aware redundancy rule
     minimises (more parity costs airtime every round; less parity
-    wastes whole rounds).
+    wastes whole rounds).  Accepts scalar or array ``loss_rate`` like
+    :func:`delivery_probability`.
     """
     p_deliver = delivery_probability(data_frames, parity_frames, loss_rate)
-    if p_deliver <= 0.0:
-        return float("inf")
-    return (data_frames + parity_frames) / p_deliver
+    if np.ndim(p_deliver) == 0:
+        if p_deliver <= 0.0:
+            return float("inf")
+        return (data_frames + parity_frames) / p_deliver
+    frames = float(data_frames + parity_frames)
+    with np.errstate(divide="ignore"):
+        return np.where(p_deliver > 0.0, frames / p_deliver, np.inf)

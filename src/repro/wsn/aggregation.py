@@ -236,41 +236,56 @@ class TDMASchedule:
 
 
 def _simulate_upward(network: WSNetwork, tree: AggregationTree,
-                     values_per_node: Dict[int, int], value_bytes: int,
+                     own_values: Dict[int, int], value_bytes: int,
                      kind: str,
-                     transmitters: Optional[AbstractSet[int]] = None
+                     transmitters: Optional[AbstractSet[int]] = None,
+                     latent_cap: Optional[int] = None
                      ) -> AggregationReport:
-    """Charge the network for an upward pass where node ``i`` transmits
-    ``values_per_node[i]`` scalars to its parent; compute slot makespan.
+    """Charge the network for an upward pass; compute slot makespan.
+
+    Node ``i`` contributes ``own_values[i]`` scalars of its own and
+    forwards whatever its children actually **delivered**: TDMA slots
+    run deepest level first, so by the time a node's slot arrives every
+    child hop has already resolved.  A hop whose recovery budget (ARQ
+    retries / erasure-code parity) is exhausted lands in
+    ``report.failed_hops`` and contributes nothing upstream — ancestors
+    of a severed subtree transmit correspondingly smaller raw payloads
+    instead of padding the round with values they never received.  With
+    ``latent_cap`` set, each node transmits at most that many scalars
+    (the hybrid-CS switchover): the *uncapped* pool of contributing
+    readings still propagates upward so the switchover point tracks
+    surviving contributors, not the static tree shape.  On ideal links
+    every hop delivers and the counts equal the classic subtree sizes.
 
     ``transmitters`` restricts the pass to a surviving subset (masked
     aggregation under faults); other nodes keep their TDMA slots but
-    stay silent.  With an unreliable sensor channel attached, a hop
-    whose recovery budget (ARQ retries / erasure-code parity) is
-    exhausted lands in ``report.failed_hops`` — the caller severs that
-    subtree from the round's partial sum.  Scalar counts still assume
-    full participation (nodes budget their TDMA slot before learning of
-    upstream losses), so loss shows up as wasted airtime plus missing
-    contributions, not shrunken payloads.
+    stay silent.
     """
-    report = AggregationReport(per_node_values=dict(values_per_node))
+    report = AggregationReport()
     schedule = TDMASchedule(tree)
     report.slots = schedule.num_slots
+    delivered_pool: Dict[int, int] = {}
     for slot in schedule.slots:
         slot_time = 0.0
         for node in slot:
             if transmitters is not None and node not in transmitters:
                 continue
-            count = values_per_node.get(node, 0)
+            pool = own_values.get(node, 0) + sum(
+                delivered_pool.get(child, 0)
+                for child in tree.children[node])
+            count = pool if latent_cap is None else min(pool, latent_cap)
             payload = count * value_bytes
             elapsed, delivered = network.unicast_delivered(
                 node, tree.parent[node], payload, kind=kind, force=True)
             if payload > 0 and not delivered:
                 report.failed_hops.add(node)
+            else:
+                delivered_pool[node] = pool
             report.values_transmitted += count
             report.payload_bytes += payload
             report.wire_bytes += network.sensor_link.wire_bytes(payload)
             report.airtime_s += elapsed
+            report.per_node_values[node] = count
             slot_time = max(slot_time, elapsed)
         report.makespan_s += slot_time
     return report
@@ -280,11 +295,13 @@ def simulate_raw_aggregation(network: WSNetwork, tree: AggregationTree,
                              values_per_node: int = 1, value_bytes: int = 4
                              ) -> AggregationReport:
     """Raw (uncompressed) tree aggregation: every node forwards its own
-    plus all descendants' values.  Node ``i`` transmits
-    ``subtree_size(i) * values_per_node`` scalars."""
-    counts = {node: tree.subtree_size(node) * values_per_node
-              for node in tree.nodes if node != tree.root}
-    return _simulate_upward(network, tree, counts, value_bytes, "raw_aggregation")
+    plus all *delivered* descendants' values — ``subtree_size(i) *
+    values_per_node`` scalars on ideal links, less whatever upstream
+    hops failed to deliver on unreliable ones."""
+    own = {node: values_per_node
+           for node in tree.nodes if node != tree.root}
+    return _simulate_upward(network, tree, own, value_bytes,
+                            "raw_aggregation")
 
 
 def simulate_hybrid_aggregation(network: WSNetwork, tree: AggregationTree,
@@ -293,12 +310,14 @@ def simulate_hybrid_aggregation(network: WSNetwork, tree: AggregationTree,
                                 kind: str = "hybrid_aggregation"
                                 ) -> AggregationReport:
     """Hybrid CS aggregation [1]: node ``i`` transmits
-    ``min(subtree_size(i) * values_per_node, latent_dim)`` scalars."""
+    ``min(delivered_pool(i), latent_dim)`` scalars, where the pool is
+    ``subtree_size(i) * values_per_node`` on ideal links."""
     if latent_dim <= 0:
         raise ValueError("latent_dim must be positive")
-    counts = {node: min(tree.subtree_size(node) * values_per_node, latent_dim)
-              for node in tree.nodes if node != tree.root}
-    return _simulate_upward(network, tree, counts, value_bytes, kind)
+    own = {node: values_per_node
+           for node in tree.nodes if node != tree.root}
+    return _simulate_upward(network, tree, own, value_bytes, kind,
+                            latent_cap=latent_dim)
 
 
 def hybrid_encode(tree: AggregationTree, readings: Dict[int, float],
@@ -421,17 +440,10 @@ def simulate_masked_hybrid_aggregation(network: WSNetwork,
     if latent_dim <= 0:
         raise ValueError("latent_dim must be positive")
     alive = reachable_nodes(tree, failed)
-    surviving_subtree: Dict[int, int] = {}
-    for node in tree.post_order():
-        if node not in alive:
-            continue
-        surviving_subtree[node] = 1 + sum(
-            surviving_subtree.get(child, 0) for child in tree.children[node])
-    counts = {node: min(surviving_subtree[node] * values_per_node, latent_dim)
-              for node in tree.nodes
-              if node != tree.root and node in alive}
-    return _simulate_upward(network, tree, counts, value_bytes, kind,
-                            transmitters=alive)
+    own = {node: values_per_node
+           for node in alive if node != tree.root}
+    return _simulate_upward(network, tree, own, value_bytes, kind,
+                            transmitters=alive, latent_cap=latent_dim)
 
 
 def simulate_encoder_distribution(network: WSNetwork, tree: AggregationTree,

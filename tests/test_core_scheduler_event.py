@@ -15,6 +15,7 @@ from repro.sim import (
     CodingSpec,
     FaultEvent,
     FaultSchedule,
+    TracePolicy,
 )
 from repro.wsn import place_uniform
 
@@ -377,13 +378,15 @@ class TestCodedRecovery:
     def _build(self, recovery="fec", segment_batching=True, coding=None,
                loss=0.15, faults=None, policy="round_robin",
                trace_chunk=None, clusters=5, battery_j=1e9):
+        trace = TracePolicy(chunk=trace_chunk) if trace_chunk else None
         spec = ChannelSpec(loss=loss, arq=ARQConfig(max_retries=1),
-                           coding=coding)
+                           coding=coding,
+                           **({"trace": trace} if trace else {}))
         scheduler = EdgeTrainingScheduler(
             policy, rng=np.random.default_rng(0), engine="event",
             channels=spec, fault_schedule=faults,
             resilience=ResilientOrchestrationPolicy(recovery=recovery),
-            segment_batching=segment_batching, trace_chunk=trace_chunk)
+            segment_batching=segment_batching)
         for index in range(clusters):
             config = OrcoDCSConfig(input_dim=DIM, latent_dim=LATENT,
                                    seed=index, noise_sigma=0.05,
@@ -458,6 +461,30 @@ class TestCodedRecovery:
         assert full_report.makespan_s == chunked_report.makespan_s
         assert full_report.completion_times == chunked_report.completion_times
         assert full_report.failed_rounds == chunked_report.failed_rounds
+
+    def test_legacy_trace_chunk_kwarg_warns_and_still_works(self):
+        """Deprecation shim: the scheduler-level override maps onto
+        TracePolicy and reproduces the declarative-spec run exactly."""
+        with pytest.warns(DeprecationWarning, match="trace_chunk"):
+            legacy = EdgeTrainingScheduler(
+                "round_robin", rng=np.random.default_rng(0), engine="event",
+                channels=ChannelSpec(loss=0.15,
+                                     arq=ARQConfig(max_retries=1)),
+                resilience=ResilientOrchestrationPolicy(recovery="fec"),
+                trace_chunk=3)
+        for index in range(3):
+            config = OrcoDCSConfig(input_dim=DIM, latent_dim=LATENT,
+                                   seed=index, noise_sigma=0.05,
+                                   batch_size=BATCH)
+            data = np.random.default_rng(100 + index).random((ROWS, DIM))
+            legacy.add_cluster(f"c{index}", OrcoDCSFramework(config),
+                               data, batch_size=BATCH)
+        legacy_report = legacy.run(rounds_per_cluster=10)
+        modern = self._build(recovery="fec", trace_chunk=3, clusters=3)
+        modern_report = modern.run(rounds_per_cluster=10)
+        assert legacy_report.makespan_s == modern_report.makespan_s
+        assert legacy_report.completion_times \
+            == modern_report.completion_times
 
     def test_fec_loses_fewer_rounds_than_tight_arq_at_high_loss(self):
         """The motivating contrast: at heavy loss a tight ARQ budget

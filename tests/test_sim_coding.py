@@ -11,11 +11,13 @@ from repro.core import ResilientOrchestrationPolicy
 from repro.sim import (
     ARQConfig,
     ChannelSpec,
+    ChannelTrace,
     ChannelTraceExhausted,
     ChunkedChannelTrace,
     CodingSpec,
     ErasureCodec,
     ErasureDecodeError,
+    TracePolicy,
     TransmitResult,
     UnreliableChannel,
     decode_floats,
@@ -304,7 +306,8 @@ class TestChunkedChannelTrace:
     def test_identical_entry_sequence_and_bounded_buffer(self):
         full = self._channel().record_trace(300, 400)
         chunked_channel = self._channel()
-        chunked = chunked_channel.record_trace(300, 400, chunk=16)
+        chunked = chunked_channel.record_trace(
+            300, 400, policy=TracePolicy(chunk=16))
         assert isinstance(chunked, ChunkedChannelTrace)
         assert len(chunked) == 400 and chunked.remaining == 400
         chunked_channel.replay(chunked)
@@ -318,7 +321,8 @@ class TestChunkedChannelTrace:
 
     def test_planner_style_lookahead_then_consume(self):
         full = self._channel().record_trace(300, 100)
-        chunked = self._channel().record_trace(300, 100, chunk=8)
+        chunked = self._channel().record_trace(
+            300, 100, policy=TracePolicy(chunk=8))
         # Planner reads far ahead without moving the cursor...
         assert chunked.entry(63) == full.entry(63)
         assert chunked.cursor == 0
@@ -327,7 +331,8 @@ class TestChunkedChannelTrace:
             assert chunked.next() == full.entry(index)
 
     def test_discarded_entries_are_forward_only(self):
-        chunked = self._channel().record_trace(300, 50, chunk=4)
+        chunked = self._channel().record_trace(
+            300, 50, policy=TracePolicy(chunk=4))
         for _ in range(10):
             chunked.next()
         assert chunked.entry(9) is not None   # one behind the cursor kept
@@ -339,9 +344,32 @@ class TestChunkedChannelTrace:
     def test_validation(self):
         channel = self._channel()
         with pytest.raises(ValueError):
-            channel.record_trace(300, 10, chunk=0)
+            TracePolicy(chunk=0)
         with pytest.raises(ValueError):
-            channel.record_trace(300, -1, chunk=4)
+            channel.record_trace(300, -1, policy=TracePolicy(chunk=4))
+
+    def test_legacy_chunk_argument_warns_and_maps(self):
+        """The one deprecation shim at the channel layer still works."""
+        with pytest.warns(DeprecationWarning, match="chunk"):
+            legacy = self._channel().record_trace(300, 50, chunk=4)
+        assert isinstance(legacy, ChunkedChannelTrace)
+        modern = self._channel().record_trace(
+            300, 50, policy=TracePolicy(chunk=4))
+        assert [legacy.next() for _ in range(50)] \
+            == [modern.next() for _ in range(50)]
+
+    def test_spec_trace_policy_governs_recording(self):
+        """ChannelSpec.trace is the declarative home of the knobs."""
+        spec = ChannelSpec(loss=0.2, arq=ARQConfig(max_retries=1),
+                           trace=TracePolicy(chunk=8))
+        channel = spec.build(sensor_link(), np.random.default_rng(9))
+        assert isinstance(channel.record_trace(300, 100),
+                          ChunkedChannelTrace)
+        # Defaults: full recording below the auto threshold, chunked past.
+        auto = ChannelSpec(loss=0.2).build(sensor_link(),
+                                           np.random.default_rng(9))
+        assert isinstance(auto.record_trace(300, 100), ChannelTrace)
+        assert auto.trace_policy.chunk_for(5000) == 1024
 
 
 # ----------------------------------------------------------------------
@@ -366,6 +394,28 @@ class TestAdaptiveRedundancy:
         lossy = [expected_frames_per_delivery(10, k, 0.35)
                  for k in range(8)]
         assert min(lossy) < lossy[0]
+
+    def test_array_pricing_bit_identical_to_scalar(self):
+        """Vectorized pricing: one call over an array of loss rates
+        equals the scalar loop element for element (exactly — the
+        redundancy policy's decisions must not shift with the API)."""
+        rates = np.array([0.0, 0.05, 0.2, 0.35, 0.6, 0.95])
+        for frames, parity in [(1, 0), (4, 2), (10, 7)]:
+            vec_p = delivery_probability(frames, parity, rates)
+            assert isinstance(vec_p, np.ndarray)
+            assert vec_p.tolist() == [
+                delivery_probability(frames, parity, float(r))
+                for r in rates]
+            vec_e = expected_frames_per_delivery(frames, parity, rates)
+            assert vec_e.tolist() == [
+                expected_frames_per_delivery(frames, parity, float(r))
+                for r in rates]
+
+    def test_array_pricing_validation(self):
+        with pytest.raises(ValueError):
+            delivery_probability(4, 2, np.array([0.1, 1.0]))
+        with pytest.raises(ValueError):
+            delivery_probability(4, 2, np.array([-0.1, 0.5]))
 
     def test_coding_parity_for_rules(self):
         policy = ResilientOrchestrationPolicy(recovery="fec",

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.sim import ARQConfig, UnreliableChannel
 from repro.wsn import (
     AggregationTree,
     TDMASchedule,
@@ -332,3 +333,72 @@ class TestMaskedHybridAggregationCost:
         assert report.per_node_values[4] == 1
         assert 5 not in report.per_node_values
         assert 6 not in report.per_node_values
+
+
+class _FirstFrameLoss:
+    """Loss model that kills exactly the first frame it ever sees —
+    with a zero-retry ARQ budget the first message fails, the rest
+    sail through (deterministic, ignores the RNG)."""
+
+    def __init__(self):
+        self.armed = True
+
+    def frame_lost(self, rng):
+        verdict = self.armed
+        self.armed = False
+        return verdict
+
+    def reset(self):
+        pass
+
+    @property
+    def mean_loss_rate(self):
+        return 0.0
+
+
+def _lossy_line_network():
+    """Line network whose deepest hop (node 6 -> 5) deterministically
+    exhausts its zero-retry budget; every later hop is clean."""
+    net = line_network()
+    channel = UnreliableChannel(net.sensor_link, loss=0.0,
+                                arq=ARQConfig(max_retries=0),
+                                rng=np.random.default_rng(0))
+    channel.loss = _FirstFrameLoss()
+    net.sensor_channel = channel
+    return net
+
+
+class TestLossAdaptiveCounts:
+    """A severed subtree shrinks the payloads its ancestors forward —
+    the TDMA cost model no longer assumes full participation."""
+
+    def test_raw_ancestors_forward_only_delivered_values(self):
+        net = _lossy_line_network()
+        tree = build_aggregation_tree(net)
+        report = simulate_raw_aggregation(net, tree)
+        assert report.failed_hops == {6}
+        # Deepest-first TDMA: 6 fails, so 5..1 forward one value less.
+        assert report.per_node_values == {6: 1, 5: 1, 4: 2, 3: 3,
+                                          2: 4, 1: 5}
+        assert report.values_transmitted == 16   # 21 under full delivery
+        assert report.payload_bytes == 16 * 4
+
+    def test_hybrid_switchover_tracks_surviving_pool(self):
+        net = _lossy_line_network()
+        tree = build_aggregation_tree(net)
+        report = simulate_hybrid_aggregation(net, tree, latent_dim=3)
+        assert report.failed_hops == {6}
+        # Node 3's surviving pool is exactly 3 -> it codes; with full
+        # delivery it would have coded at node 4 already.
+        assert report.per_node_values == {6: 1, 5: 1, 4: 2, 3: 3,
+                                          2: 3, 1: 3}
+        assert report.values_transmitted == 13   # 15 under full delivery
+
+    def test_ideal_links_reproduce_static_subtree_counts(self):
+        net = line_network()
+        tree = build_aggregation_tree(net)
+        report = simulate_raw_aggregation(net, tree)
+        assert report.failed_hops == set()
+        assert report.per_node_values == {
+            node: tree.subtree_size(node) for node in tree.nodes
+            if node != tree.root}
