@@ -18,6 +18,12 @@ baselines (exit code 1 below the floor):
   ``bench_resilience.py``'s kernel benchmarks) against
   ``BENCH_resilience.json``.
 
+One *ceiling* gate rides along with inverted semantics: the
+**telemetry-overhead** gate fails when full JSONL telemetry costs more
+than ``TELEMETRY_OVERHEAD_CEILING`` (5%) over the telemetry-off run on
+the 16-cluster lossy live workload — an absolute contract from ISSUE 7,
+not a relative floor against a committed baseline.
+
 Comparing *ratios* rather than absolute times keeps the gates
 meaningful across machines: CI hardware differs from the baseline box,
 but the engines run on the same core, so their relative cost is stable.
@@ -32,7 +38,8 @@ gate(s) being checked).
 Usage (from the repo root, CI's bench-smoke job)::
 
     PYTHONPATH=src python benchmarks/check_regression.py \
-        [--gate fleet|lossy-fused|coded-fused|all] [--from-json measured.json]
+        [--gate fleet|lossy-fused|coded-fused|vectorized-kernel|\
+telemetry-overhead|all] [--from-json measured.json]
 """
 
 import argparse
@@ -48,10 +55,12 @@ from bench_multicluster import CLUSTERS, run_engine  # noqa: E402
 from bench_resilience import (  # noqa: E402
     FUSED_CLUSTERS,
     KERNEL_TRANSMITS,
+    TELEMETRY_OVERHEAD_CEILING,
     fused_speedup_ratios,
     kernel_speedup_ratios,
     run_coded,
     run_lossy,
+    telemetry_overhead_ratios,
 )
 
 REGRESSION_FLOOR = 0.8
@@ -130,6 +139,52 @@ GATES = {
 }
 
 
+#: (enabled, disabled) benchmark names for the telemetry ceiling gate's
+#: ``--from-json`` mode.
+TELEMETRY_PAIR = ("test_event_lossy_telemetry_16_clusters",
+                  "test_event_lossy_unfused_16_clusters")
+
+
+def measured_telemetry_overhead(trials: int = 5) -> float:
+    """Median enabled/disabled ratio, with one re-measurement allowed.
+
+    Background load windows only inflate wall-clock ratios, so the
+    minimum of two independent medians remains a sound upper bound on
+    the true overhead (mirrors the bench acceptance test's protocol).
+    """
+    overhead = statistics.median(telemetry_overhead_ratios(trials))
+    if overhead > TELEMETRY_OVERHEAD_CEILING:
+        overhead = min(overhead,
+                       statistics.median(telemetry_overhead_ratios(trials)))
+    return overhead
+
+
+def check_telemetry_gate(from_json: pathlib.Path = None) -> bool:
+    """Ceiling gate: enabled telemetry must cost <= 5%, not a floor."""
+    label = (f"telemetry-enabled overhead at {FUSED_CLUSTERS} clusters "
+             f"(lossy live)")
+    enabled, disabled = TELEMETRY_PAIR
+    if from_json:
+        measured = ratio_from_json(from_json, enabled, disabled)
+        if measured is None:
+            print(f"{label}: SKIPPED — {from_json.name} has no "
+                  f"{enabled!r}/{disabled!r} entries (partial artifact); "
+                  f"re-run without --from-json to measure live")
+            return True
+    else:
+        measured = measured_telemetry_overhead()
+    ok = measured <= TELEMETRY_OVERHEAD_CEILING
+    verdict = "OK" if ok else "REGRESSION"
+    print(f"{label}: measured {measured:.3f}x vs ceiling "
+          f"{TELEMETRY_OVERHEAD_CEILING:.2f}x: {verdict}")
+    if not ok:
+        print(f"error: measured {label} {measured:.3f}x exceeded the "
+              f"{TELEMETRY_OVERHEAD_CEILING:.2f}x ceiling — the telemetry "
+              f"hot path regressed (event construction, bus dispatch, or "
+              f"JSONL encoding)", file=sys.stderr)
+    return ok
+
+
 def check_gate(name: str, from_json: pathlib.Path = None) -> bool:
     baseline_path, (slow, fast), measure, label = GATES[name]
     baseline = ratio_from_json(baseline_path, slow, fast)
@@ -162,15 +217,19 @@ def check_gate(name: str, from_json: pathlib.Path = None) -> bool:
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--gate", choices=[*GATES, "all"], default="all",
-                        help="which speedup gate to check (default: all)")
+    all_gates = [*GATES, "telemetry-overhead"]
+    parser.add_argument("--gate", choices=[*all_gates, "all"], default="all",
+                        help="which gate to check (default: all)")
     parser.add_argument("--from-json", type=pathlib.Path, default=None,
                         help="read the measured speedups from an existing "
                              "benchmark JSON instead of re-running")
     args = parser.parse_args()
 
-    names = list(GATES) if args.gate == "all" else [args.gate]
-    ok = all([check_gate(name, args.from_json) for name in names])
+    names = all_gates if args.gate == "all" else [args.gate]
+    ok = all([check_telemetry_gate(args.from_json)
+              if name == "telemetry-overhead"
+              else check_gate(name, args.from_json)
+              for name in names])
     return 0 if ok else 1
 
 

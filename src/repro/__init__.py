@@ -28,9 +28,12 @@ Subpackages
     PSNR / SSIM / NMSE and transmission-cost accounting.
 ``repro.experiments``
     One module per paper figure; CLI: ``python -m repro.experiments``.
+``repro.obs``
+    Fleet observability: telemetry bus, metrics, JSONL exporters and
+    the live console (zero-cost when no subscriber is attached).
 """
 
-from . import apps, baselines, core, cs, datasets, metrics, nn, sim, wsn
+from . import apps, baselines, core, cs, datasets, metrics, nn, obs, sim, wsn
 from .core import (
     AsymmetricAutoencoder,
     EncoderDeployment,
@@ -44,8 +47,8 @@ from .core import (
 __version__ = "1.0.0"
 
 __all__ = [
-    "apps", "baselines", "core", "cs", "datasets", "metrics", "nn", "sim",
-    "wsn",
+    "apps", "baselines", "core", "cs", "datasets", "metrics", "nn", "obs",
+    "sim", "wsn",
     "AsymmetricAutoencoder", "EncoderDeployment", "FineTuningMonitor",
     "OrcoDCSConfig", "OrcoDCSFramework", "gtsrb_task_config",
     "mnist_task_config", "__version__",

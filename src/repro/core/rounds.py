@@ -92,11 +92,15 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..obs.telemetry import (
+    NULL_BUS, DeadlineMissed, RoundCompleted, SegmentFused, WavePlanned,
+)
 from ..sim.channel import TransmitResult, ideal_transmit_result
 from .fleet import FleetTrainer
 from .orchestrator import RoundRecord
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guards (typing only)
+    from ..obs.telemetry import TelemetryBus
     from ..sim.faults import FaultInjector
     from .scheduler import ScheduledCluster
 
@@ -174,18 +178,34 @@ def stretch_record(trainer, record: RoundRecord,
 
 
 def spend_round(budget: Dict[str, int], misses: List[str],
-                cluster: "ScheduledCluster", finish_s: float) -> None:
+                cluster: "ScheduledCluster", finish_s: float,
+                miss_rounds: Optional[Dict[str, int]] = None,
+                bus: "TelemetryBus" = NULL_BUS) -> None:
     """Step 4 tail: consume one budget slot and settle the deadline.
 
     The verdict fires on whichever path exhausts the budget — under the
     event engine failed rounds burn budget too, so this must run on the
     failure paths as well (the ideal engines have no failure paths, so
     their single call site is equivalent).
+
+    ``miss_rounds`` (when passed) additionally records the *first*
+    round each cluster finished past its deadline — any round, not just
+    the budget-exhausting one, so clusters that retire early still
+    report when they went late.  That first-late verdict also emits a
+    :class:`~repro.obs.telemetry.DeadlineMissed` event on ``bus``; the
+    existing ``misses`` semantics (final round late) are untouched.
     """
     budget[cluster.name] -= 1
-    if cluster.deadline_s is not None and budget[cluster.name] == 0 \
-            and finish_s > cluster.deadline_s \
-            and cluster.name not in misses:
+    if cluster.deadline_s is None or finish_s <= cluster.deadline_s:
+        return
+    if miss_rounds is not None and cluster.name not in miss_rounds:
+        miss_rounds[cluster.name] = cluster.rounds_completed
+        if bus.wants(DeadlineMissed.kind):
+            bus.emit(DeadlineMissed(cluster=cluster.name,
+                                    round=cluster.rounds_completed,
+                                    finish_s=finish_s,
+                                    deadline_s=cluster.deadline_s))
+    if budget[cluster.name] == 0 and cluster.name not in misses:
         misses.append(cluster.name)
 
 
@@ -215,6 +235,15 @@ class ScheduleReport:
     when the resilience policy selects ``recovery="fec"|"hybrid"`` and
     derives ``k`` per cluster and link direction from observed loss,
     message frame count and battery headroom).
+
+    ``deadline_miss_rounds`` maps each cluster to its rounds-completed
+    count at the *first* round finishing past its deadline — unlike
+    ``deadline_misses`` (final round late) it also covers clusters
+    that retire before exhausting their budget, the signal
+    scheduler-level deadline renegotiation needs.
+    ``retirement_reasons`` counts retirements by reason (the
+    aggregation of ``dead_clusters``).  Both are populated from the
+    telemetry bus's ``DeadlineMissed``/``ClusterRetired`` events.
     """
 
     policy: str
@@ -223,6 +252,8 @@ class ScheduleReport:
     rounds_per_cluster: Dict[str, int]
     final_loss_per_cluster: Dict[str, float]
     deadline_misses: List[str] = field(default_factory=list)
+    deadline_miss_rounds: Dict[str, int] = field(default_factory=dict)
+    retirement_reasons: Dict[str, int] = field(default_factory=dict)
     engine: str = "sequential"
     completion_times: Dict[str, List[float]] = field(default_factory=dict)
     failed_rounds: Dict[str, int] = field(default_factory=dict)
@@ -273,10 +304,12 @@ class IdealRoundLoop:
     def __init__(self, clusters: Sequence["ScheduledCluster"],
                  rounds_per_cluster: int,
                  pick: Callable,
-                 pick_order: Optional[List["ScheduledCluster"]] = None):
+                 pick_order: Optional[List["ScheduledCluster"]] = None,
+                 bus: "TelemetryBus" = NULL_BUS):
         self.clusters = list(clusters)
         self.pick = pick
         self.pick_order = pick_order
+        self.bus = bus
         self._cursor = 0
         self.budget = {c.name: rounds_per_cluster for c in self.clusters}
         self.cluster_clock = {c.name: 0.0 for c in self.clusters}
@@ -285,6 +318,7 @@ class IdealRoundLoop:
         self.edge_clock = 0.0
         self.edge_busy_s = 0.0
         self.misses: List[str] = []
+        self.miss_rounds: Dict[str, int] = {}
         self._timings = {c.name: c.trainer.round_costs(c.batch_size).timing
                          for c in self.clusters}
 
@@ -319,7 +353,13 @@ class IdealRoundLoop:
         cluster.history.rounds.append(record)
         cluster.rounds_completed += 1
         spend_round(self.budget, self.misses, cluster,
-                    self.cluster_clock[cluster.name])
+                    self.cluster_clock[cluster.name],
+                    self.miss_rounds, self.bus)
+        if self.bus.wants(RoundCompleted.kind):
+            self.bus.emit(RoundCompleted(
+                cluster=cluster.name, round=cluster.rounds_completed,
+                delivered=True, loss=record.train_loss,
+                time_s=self.cluster_clock[cluster.name]))
 
     def run(self, next_record: Callable[["ScheduledCluster"], RoundRecord]
             ) -> None:
@@ -339,6 +379,7 @@ class IdealRoundLoop:
             final_loss_per_cluster={c.name: c.current_loss
                                     for c in self.clusters},
             deadline_misses=self.misses,
+            deadline_miss_rounds=dict(self.miss_rounds),
             engine=engine,
             completion_times=self.completion,
         )
@@ -536,9 +577,11 @@ class SegmentedFleetExecutor:
                  policy: str,
                  resilience,
                  groups: Optional[Sequence[Sequence[int]]] = None,
-                 mode: str = "segment") -> None:
+                 mode: str = "segment",
+                 bus: "TelemetryBus" = NULL_BUS) -> None:
         if mode not in ("segment", "wave"):
             raise ValueError(f"unknown planning mode {mode!r}")
+        self.bus = bus
         self.clusters = list(clusters)
         self.states = states
         self.injector = injector
@@ -655,12 +698,22 @@ class SegmentedFleetExecutor:
                 f"replanning with non-empty queues {stale} — "
                 "planner/loop divergence")
         horizon = self.injector.horizon()
-        if self.mode == "wave":
-            plan = self._plan_wave(current, agg_s, extra_s, horizon)
-        else:
-            plan = self._plan_segment(current, agg_s, extra_s, horizon)
+        with self.bus.span("plan"):
+            if self.mode == "wave":
+                plan = self._plan_wave(current, agg_s, extra_s, horizon)
+            else:
+                plan = self._plan_segment(current, agg_s, extra_s, horizon)
+        if self.bus.wants(SegmentFused.kind):
+            items = [item for items in plan.values() for item in items]
+            self.bus.emit(SegmentFused(
+                index=self.segments, mode=self.mode,
+                horizon_s=None if horizon == float("inf") else horizon,
+                clusters=sum(1 for items in plan.values() if items),
+                successes=sum(1 for kind, _ in items if kind == "success"),
+                failures=sum(1 for kind, _ in items if kind == "fail")))
         self.segments += 1
-        self._run_waves(plan)
+        with self.bus.span("execute"):
+            self._run_waves(plan)
 
     def _plan_segment(self, current: "ScheduledCluster", agg_s: float,
                       extra_s: float, horizon: float
@@ -776,6 +829,9 @@ class SegmentedFleetExecutor:
                     # Already unsafe: the rest of the walk can only
                     # push the bound further, so stop pricing futures
                     # and fall back to the requesting round alone.
+                    if self.bus.wants(WavePlanned.kind):
+                        self.bus.emit(WavePlanned(clusters=1, rounds=1,
+                                                  fused_all=False))
                     return plan
                 if kind == "success":
                     items.append(("success", cursor.extra(up, down)))
@@ -786,6 +842,11 @@ class SegmentedFleetExecutor:
             futures[cluster.name] = items
         for name, items in futures.items():
             plan[name].extend(items)
+        if self.bus.wants(WavePlanned.kind):
+            self.bus.emit(WavePlanned(
+                clusters=sum(1 for items in plan.values() if items),
+                rounds=sum(len(items) for items in plan.values()),
+                fused_all=True))
         return plan
 
     def _run_waves(self, plan: Dict[str, List[tuple]]) -> None:

@@ -104,6 +104,16 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.telemetry import (
+    NULL_BUS,
+    ArqRederived,
+    ClusterRetired,
+    DeadlineMissed,
+    ParityChosen,
+    QuorumCheck,
+    RoundCompleted,
+    TelemetryBus,
+)
 from ..sim.channel import ARQConfig, ChannelSpec, TracePolicy, as_loss_model
 from ..sim.coding import (
     CodingSpec,
@@ -400,10 +410,12 @@ class _EventClusterState:
                  sim: EventScheduler,
                  channels: Tuple[Optional[ChannelSpec], Optional[ChannelSpec]],
                  rng: np.random.Generator,
-                 backhaul_distance_m: float):
+                 backhaul_distance_m: float,
+                 bus: TelemetryBus = NULL_BUS):
         self.cluster = cluster
         self.resilience = resilience
         self.sim = sim
+        self.bus = bus
         trainer = cluster.trainer
         self.alive_mask = np.ones(trainer.input_dim, dtype=bool)
         self.aggregator_device = (
@@ -427,6 +439,8 @@ class _EventClusterState:
             self.down_channel = down_spec.build(
                 trainer.timing.down,
                 np.random.default_rng(rng.integers(2 ** 63)))
+            self.up_channel.bus = bus
+            self.down_channel.bus = bus
         else:
             self.up_channel = None
             self.down_channel = None
@@ -480,6 +494,10 @@ class _EventClusterState:
         if not self.dead:
             self.dead = True
             self.dead_reason = reason
+            if self.bus.wants(ClusterRetired.kind):
+                self.bus.emit(ClusterRetired(cluster=self.cluster.name,
+                                             reason=reason,
+                                             time_s=self.sim.now))
 
     # -- FaultTarget protocol ------------------------------------------
     def kill_device(self, device: int) -> None:
@@ -620,6 +638,14 @@ class EdgeTrainingScheduler:
         ``ChannelSpec(trace=TracePolicy(chunk=...))`` — whose defaults
         reproduce the old automatic behaviour (full traces for short
         horizons, chunked recording past 4096 rounds).
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.TelemetryBus` receiving
+        structured run events (rounds, segments, faults, channel
+        batches, retirements, deadline misses) and phase spans.  The
+        bus never draws randomness and never perturbs accumulation
+        order, so a run is bit-identical with telemetry on or off;
+        ``None`` keeps every instrumented site on a no-subscriber bus
+        that elides event construction entirely.
     """
 
     def __init__(self, policy: str = "round_robin",
@@ -630,7 +656,8 @@ class EdgeTrainingScheduler:
                  channels: Optional[ChannelSpec] = None,
                  backhaul_distance_m: float = 100.0,
                  segment_batching: bool = True,
-                 trace_chunk: Optional[int] = None):
+                 trace_chunk: Optional[int] = None,
+                 telemetry: Optional[TelemetryBus] = None):
         if policy not in _POLICIES:
             raise ValueError(f"unknown policy {policy!r}; choose from {_POLICIES}")
         if engine not in _ENGINES:
@@ -653,6 +680,12 @@ class EdgeTrainingScheduler:
         self.channels = channels
         self.backhaul_distance_m = backhaul_distance_m
         self.segment_batching = segment_batching
+        self.telemetry = telemetry
+        # The session bus every instrumented site reads.  ``run()``
+        # swaps in a tapped bus (ScheduleReport's deadline/retirement
+        # fields are folded from bus events) and restores this default.
+        self._bus: TelemetryBus = (telemetry if telemetry is not None
+                                   else NULL_BUS)
         if trace_chunk is not None:
             warnings.warn(
                 "EdgeTrainingScheduler(trace_chunk=...) is deprecated; "
@@ -807,7 +840,8 @@ class EdgeTrainingScheduler:
     # ------------------------------------------------------------------
     def _run_sequential(self, rounds_per_cluster: int) -> ScheduleReport:
         loop = IdealRoundLoop(self.clusters, rounds_per_cluster, self._pick,
-                              self._static_pick_order(rounds_per_cluster))
+                              self._static_pick_order(rounds_per_cluster),
+                              bus=self._bus)
 
         def live_round(cluster: ScheduledCluster) -> RoundRecord:
             batch = contributor_batch(cluster)
@@ -874,6 +908,13 @@ class EdgeTrainingScheduler:
         down_parity = policy.coding_parity_for(
             cluster.trainer.timing.down.frames_for(costs.down_bytes),
             rate, headroom)
+        if self._bus.wants(ParityChosen.kind):
+            for direction, parity in (("up", up_parity),
+                                      ("down", down_parity)):
+                self._bus.emit(ParityChosen(
+                    cluster=cluster.name, direction=direction,
+                    parity=parity, loss_rate=rate,
+                    headroom_j=cluster.aggregator_battery_j))
         return (spec.with_coding(CodingSpec(up_parity, hybrid)),
                 spec.with_coding(CodingSpec(down_parity, hybrid)))
 
@@ -898,15 +939,16 @@ class EdgeTrainingScheduler:
         either way.
         """
         policy = self._trace_policy
-        for cluster in self.clusters:
-            state = states[cluster.name]
-            if state.up_channel is None:
-                continue
-            costs = cluster.trainer.round_costs(cluster.batch_size)
-            state.up_channel.replay(state.up_channel.record_trace(
-                costs.up_bytes, rounds_per_cluster, policy=policy))
-            state.down_channel.replay(state.down_channel.record_trace(
-                costs.down_bytes, rounds_per_cluster, policy=policy))
+        with self._bus.span("trace_record"):
+            for cluster in self.clusters:
+                state = states[cluster.name]
+                if state.up_channel is None:
+                    continue
+                costs = cluster.trainer.round_costs(cluster.batch_size)
+                state.up_channel.replay(state.up_channel.record_trace(
+                    costs.up_bytes, rounds_per_cluster, policy=policy))
+                state.down_channel.replay(state.down_channel.record_trace(
+                    costs.down_bytes, rounds_per_cluster, policy=policy))
 
     def _arq_rederiver(self, states: Dict[str, "_EventClusterState"],
                        budget: Dict[str, int], sim: EventScheduler):
@@ -940,8 +982,14 @@ class EdgeTrainingScheduler:
             headroom = state.battery.remaining_j / (round_j * remaining)
             retries = self.resilience.arq_retries_for(
                 self.channels.arq.max_retries, slack, headroom)
-            for channel in (state.up_channel, state.down_channel):
+            for direction, channel in (("up", state.up_channel),
+                                       ("down", state.down_channel)):
                 if channel.arq.max_retries != retries:
+                    if self._bus.wants(ArqRederived.kind):
+                        self._bus.emit(ArqRederived(
+                            cluster=event.cluster, direction=direction,
+                            old_retries=channel.arq.max_retries,
+                            new_retries=retries, time_s=sim.now))
                     channel.arq = ARQConfig(
                         max_retries=retries,
                         ack_timeout_s=channel.arq.ack_timeout_s)
@@ -963,16 +1011,43 @@ class EdgeTrainingScheduler:
         steps, or segment-batched fleet waves as the
         :class:`ExecutionPlan` dictates.
         """
+        # The session bus: the user's (when given) or a private one —
+        # real either way, because the report's ``retirement_reasons``
+        # are folded from ClusterRetired bus events by the tap below.
+        # Hot-path kinds stay unsubscribed on a private bus, so their
+        # event construction is still elided.
+        bus = self.telemetry if self.telemetry is not None else TelemetryBus()
+        retirement_reasons: Dict[str, int] = {}
+
+        def _count_retired(event) -> None:
+            retirement_reasons[event.reason] = (
+                retirement_reasons.get(event.reason, 0) + 1)
+
+        unsubscribe = bus.subscribe(_count_retired,
+                                    kinds=(ClusterRetired.kind,))
+        self._bus = bus
+        try:
+            return self._run_event_session(
+                rounds_per_cluster, plan, bus, retirement_reasons)
+        finally:
+            unsubscribe()
+            self._bus = (self.telemetry if self.telemetry is not None
+                         else NULL_BUS)
+
+    def _run_event_session(self, rounds_per_cluster: int,
+                           plan: ExecutionPlan, bus: TelemetryBus,
+                           retirement_reasons: Dict[str, int]
+                           ) -> ScheduleReport:
         sim = EventScheduler()
         states: Dict[str, _EventClusterState] = {
             c.name: _EventClusterState(
                 c, self.resilience, sim,
                 self._channel_specs_for(c, rounds_per_cluster),
-                self.rng, self.backhaul_distance_m)
+                self.rng, self.backhaul_distance_m, bus=bus)
             for c in self.clusters}
         if plan.traced:
             self._record_channel_traces(states, rounds_per_cluster)
-        injector = FaultInjector(self.fault_schedule, states)
+        injector = FaultInjector(self.fault_schedule, states, bus=bus)
         budget = {c.name: rounds_per_cluster for c in self.clusters}
         if self.resilience.adaptive_arq and self.channels is not None:
             injector.on_applied = self._arq_rederiver(states, budget, sim)
@@ -980,6 +1055,7 @@ class EdgeTrainingScheduler:
 
         completion: Dict[str, List[float]] = {c.name: [] for c in self.clusters}
         misses: List[str] = []
+        miss_rounds: Dict[str, int] = {}
         edge_busy = [0.0]
         edge_clock = [0.0]       # exact mirror of the sequential arithmetic
         halted = [False]
@@ -987,7 +1063,7 @@ class EdgeTrainingScheduler:
             executor = SegmentedFleetExecutor(
                 self.clusters, states, injector, budget, edge_clock,
                 self.policy, self.resilience, groups=plan.groups,
-                mode=plan.mode)
+                mode=plan.mode, bus=bus)
         else:
             executor = InlineRoundExecutor()
 
@@ -998,7 +1074,18 @@ class EdgeTrainingScheduler:
                         and len(alive) / len(self.clusters)
                         < self.resilience.quorum):
                     halted[0] = True
+                    if bus.wants(QuorumCheck.kind):
+                        bus.emit(QuorumCheck(
+                            alive=len(alive), total=len(self.clusters),
+                            quorum=self.resilience.quorum, halted=True,
+                            time_s=sim.now))
                     break
+                if self.resilience.quorum > 0.0 \
+                        and bus.wants(QuorumCheck.kind):
+                    bus.emit(QuorumCheck(
+                        alive=len(alive), total=len(self.clusters),
+                        quorum=self.resilience.quorum, halted=False,
+                        time_s=sim.now))
                 pending = [c for c in alive if budget[c.name] > 0]
                 if not pending:
                     break
@@ -1028,7 +1115,16 @@ class EdgeTrainingScheduler:
                     state.charge_backhaul(up.wire_bytes, 0)
                     state.round_failed()
                     state.ready_at = start + agg_s + up.elapsed_s
-                    spend_round(budget, misses, cluster, state.ready_at)
+                    spend_round(budget, misses, cluster, state.ready_at,
+                                miss_rounds, bus)
+                    if bus.wants(RoundCompleted.kind):
+                        bus.emit(RoundCompleted(
+                            cluster=cluster.name,
+                            round=cluster.rounds_completed,
+                            delivered=False, loss=None,
+                            time_s=state.ready_at,
+                            battery_j=state.battery.remaining_j,
+                            radio_energy_j=state.radio_energy_j))
                     continue
 
                 down = state.transmit_down(costs.down_bytes)
@@ -1051,7 +1147,16 @@ class EdgeTrainingScheduler:
                     state.round_failed()
                     state.ready_at = edge_clock[0] + agg_s + up.elapsed_s \
                         + down.elapsed_s
-                    spend_round(budget, misses, cluster, state.ready_at)
+                    spend_round(budget, misses, cluster, state.ready_at,
+                                miss_rounds, bus)
+                    if bus.wants(RoundCompleted.kind):
+                        bus.emit(RoundCompleted(
+                            cluster=cluster.name,
+                            round=cluster.rounds_completed,
+                            delivered=False, loss=None,
+                            time_s=state.ready_at,
+                            battery_j=state.battery.remaining_j,
+                            radio_energy_j=state.radio_energy_j))
                     continue
 
                 # Stragglers and retransmissions stretch the modeled
@@ -1097,7 +1202,16 @@ class EdgeTrainingScheduler:
                 completion[cluster.name].append(state.ready_at)
                 cluster.history.rounds.append(record)
                 cluster.rounds_completed += 1
-                spend_round(budget, misses, cluster, state.ready_at)
+                spend_round(budget, misses, cluster, state.ready_at,
+                            miss_rounds, bus)
+                if bus.wants(RoundCompleted.kind):
+                    bus.emit(RoundCompleted(
+                        cluster=cluster.name,
+                        round=cluster.rounds_completed,
+                        delivered=True, loss=record.train_loss,
+                        time_s=state.ready_at,
+                        battery_j=state.battery.remaining_j,
+                        radio_energy_j=state.radio_energy_j))
 
         sim.process(edge_process())
         sim.run()
@@ -1112,6 +1226,8 @@ class EdgeTrainingScheduler:
             final_loss_per_cluster={c.name: c.current_loss
                                     for c in self.clusters},
             deadline_misses=misses,
+            deadline_miss_rounds=miss_rounds,
+            retirement_reasons=retirement_reasons,
             engine="event",
             completion_times=completion,
             failed_rounds={name: st.failed_rounds
@@ -1208,7 +1324,8 @@ class EdgeTrainingScheduler:
         """
         index_of = {c.name: k for k, c in enumerate(self.clusters)}
         loop = IdealRoundLoop(self.clusters, rounds_per_cluster, self._pick,
-                              self._static_pick_order(rounds_per_cluster))
+                              self._static_pick_order(rounds_per_cluster),
+                              bus=self._bus)
         loop.run(lambda c: records[index_of[c.name]][c.rounds_completed])
         return loop.report(self.policy, engine)
 

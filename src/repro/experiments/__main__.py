@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import argparse
+import inspect
 import os
 import sys
 import time
@@ -22,13 +23,26 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--out", type=str, default=None,
                         help="directory for JSON result dumps")
+    parser.add_argument("--telemetry", type=str, default=None, metavar="PATH",
+                        help="write the telemetry-bus event log (JSONL) here; "
+                             "with 'all', each experiment gets a "
+                             "<stem>.<name>.jsonl next to this path")
     args = parser.parse_args(argv)
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     failures = 0
     for name in names:
+        kwargs = {"scale": args.scale, "seed": args.seed}
+        if args.telemetry:
+            run_fn = EXPERIMENTS[name]
+            if "telemetry" in inspect.signature(run_fn).parameters:
+                path = args.telemetry
+                if len(names) > 1:
+                    stem, ext = os.path.splitext(path)
+                    path = f"{stem}.{name}{ext or '.jsonl'}"
+                kwargs["telemetry"] = path
         started = time.time()
-        result = EXPERIMENTS[name](scale=args.scale, seed=args.seed)
+        result = EXPERIMENTS[name](**kwargs)
         elapsed = time.time() - started
         print(result.format_report())
         print(f"[{name} finished in {elapsed:.1f}s]\n")

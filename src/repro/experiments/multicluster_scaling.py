@@ -34,12 +34,13 @@ advantage over the unfused one grows with the cluster count.
 from __future__ import annotations
 
 import time
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
 from ..core import OrcoDCSConfig, OrcoDCSFramework
 from ..core.scheduler import EdgeTrainingScheduler
+from ..obs import JsonlWriter, TelemetryBus
 from ..datasets import FieldRegime, SensorField
 from ..datasets.sensing import normalized_rounds
 from ..sim import FaultEvent, FaultSchedule
@@ -100,8 +101,23 @@ def _mean_scheduled_time_to_halfway(scheduler, report) -> float:
     return float(np.mean(times))
 
 
-def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
-    """Quantify multi-cluster edge contention and policy effects."""
+def run(scale: float = 1.0, seed: int = 0,
+        telemetry: Optional[str] = None) -> ExperimentResult:
+    """Quantify multi-cluster edge contention and policy effects.
+
+    ``telemetry`` names a JSONL path: every scheduler session in the
+    sweep then streams its structured bus events (rounds, waves,
+    segments, spans) to that event log.
+    """
+    if telemetry is None:
+        return _run_impl(scale, seed, None)
+    bus = TelemetryBus()
+    with JsonlWriter(telemetry, bus):
+        return _run_impl(scale, seed, bus)
+
+
+def _run_impl(scale: float, seed: int,
+              bus: Optional[TelemetryBus]) -> ExperimentResult:
     result = ExperimentResult(
         "Future work — multi-cluster edge scheduling",
         "Edge-busy time / makespan vs concurrent clusters (batched fleet "
@@ -116,7 +132,8 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     makespans, edge_times = [], []
     for count in cluster_counts:
         factory = _make_cluster_factory(count, devices, rounds_data, seed)
-        scheduler = _build_scheduler(factory, "round_robin", seed, "auto")
+        scheduler = _build_scheduler(factory, "round_robin", seed, "auto",
+                                    telemetry=bus)
         report = scheduler.run(rounds_per_cluster=train_rounds)
         makespans.append(report.makespan_s)
         edge_times.append(report.total_edge_time_s)
@@ -150,13 +167,13 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
         ])
         factory = _make_cluster_factory(count, devices, rounds_data, seed)
         fused = _build_scheduler(factory, "round_robin", seed, "event",
-                                 fault_schedule=faults)
+                                 fault_schedule=faults, telemetry=bus)
         start = time.perf_counter()
         fused_report = fused.run(rounds_per_cluster=train_rounds)
         fused_s = time.perf_counter() - start
         unfused = _build_scheduler(factory, "round_robin", seed, "event",
                                    fault_schedule=faults,
-                                   segment_batching=False)
+                                   segment_batching=False, telemetry=bus)
         start = time.perf_counter()
         unfused.run(rounds_per_cluster=train_rounds)
         unfused_s = time.perf_counter() - start
@@ -181,8 +198,10 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     # --- engine equivalence -------------------------------------------
     factory = _make_cluster_factory(2, devices, rounds_data, seed)
     check_rounds = min(train_rounds, 12)
-    seq = _build_scheduler(factory, "round_robin", seed, "sequential")
-    bat = _build_scheduler(factory, "round_robin", seed, "batched")
+    seq = _build_scheduler(factory, "round_robin", seed, "sequential",
+                           telemetry=bus)
+    bat = _build_scheduler(factory, "round_robin", seed, "batched",
+                           telemetry=bus)
     seq.run(rounds_per_cluster=check_rounds)
     bat.run(rounds_per_cluster=check_rounds)
     max_divergence = max(
@@ -197,7 +216,8 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     reports: dict = {}
     halfway: dict = {}
     for policy in ("fifo", "round_robin", "loss_priority", "deadline"):
-        scheduler = _build_scheduler(factory, policy, seed, "auto")
+        scheduler = _build_scheduler(factory, policy, seed, "auto",
+                                    telemetry=bus)
         report = scheduler.run(rounds_per_cluster=train_rounds)
         reports[policy] = report
         halfway[policy] = _mean_scheduled_time_to_halfway(scheduler, report)

@@ -55,6 +55,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..core import OrcoDCSConfig, OrcoDCSFramework, ResilientOrchestrationPolicy
+from ..obs import JsonlWriter, TelemetryBus
 from ..core.deployment import EncoderDeployment
 from ..core.scheduler import EdgeTrainingScheduler
 from ..core.timing import OrchestrationTimingModel
@@ -118,12 +119,13 @@ def _build(factory, seed: int, engine: str,
            channels: Optional[ChannelSpec] = None,
            faults: Optional[FaultSchedule] = None,
            resilience: Optional[ResilientOrchestrationPolicy] = None,
-           segment_batching: bool = True
+           segment_batching: bool = True,
+           telemetry: Optional[TelemetryBus] = None
            ) -> Tuple[EdgeTrainingScheduler, List[np.ndarray]]:
     scheduler = EdgeTrainingScheduler(
         "round_robin", rng=np.random.default_rng(seed), engine=engine,
         channels=channels, fault_schedule=faults, resilience=resilience,
-        segment_batching=segment_batching)
+        segment_batching=segment_batching, telemetry=telemetry)
     held_out = []
     for name, trainer, data, held, positions in factory():
         scheduler.add_cluster(name, trainer, data, batch_size=16,
@@ -170,8 +172,24 @@ def _fleet_wire_bytes(scheduler: EdgeTrainingScheduler) -> int:
     return sum(c.trainer.ledger.total_wire_bytes() for c in scheduler.clusters)
 
 
-def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
-    """Sweep frame loss x fault schedules on the event runtime."""
+def run(scale: float = 1.0, seed: int = 0,
+        telemetry: Optional[str] = None) -> ExperimentResult:
+    """Sweep frame loss x fault schedules on the event runtime.
+
+    ``telemetry`` names a JSONL path: every scheduler session in the
+    sweep then streams its structured bus events (rounds, faults,
+    retirements, channel batches, spans) to that event log, written
+    next to the figures by the CLI's ``--telemetry`` flag.
+    """
+    if telemetry is None:
+        return _run_impl(scale, seed, None)
+    bus = TelemetryBus()
+    with JsonlWriter(telemetry, bus):
+        return _run_impl(scale, seed, bus)
+
+
+def _run_impl(scale: float, seed: int,
+              bus: Optional[TelemetryBus]) -> ExperimentResult:
     result = ExperimentResult(
         "Resilience — unreliable networks and fault injection",
         "Event-engine equivalence anchor, Bernoulli frame-loss sweep "
@@ -185,9 +203,9 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     factory = _make_fleet(num_clusters, devices, rounds_data, seed)
 
     # --- 1. equivalence anchor ----------------------------------------
-    seq, seq_held = _build(factory, seed, "sequential")
+    seq, seq_held = _build(factory, seed, engine="sequential", telemetry=bus)
     seq_report = seq.run(rounds_per_cluster=train_rounds)
-    event, event_held = _build(factory, seed, "event")
+    event, event_held = _build(factory, seed, engine="event", telemetry=bus)
     event_report = event.run(rounds_per_cluster=train_rounds)
     loss_div = max(
         float(np.abs(cs.history.losses - ce.history.losses).max())
@@ -231,7 +249,7 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
             # just retransmission overhead — the degradation axis the
             # sweep is after.
             spec = ChannelSpec(loss=rate, arq=ARQConfig(max_retries=1))
-            scheduler, held = _build(factory, seed, "event", channels=spec)
+            scheduler, held = _build(factory, seed, engine="event", telemetry=bus, channels=spec)
             report = scheduler.run(rounds_per_cluster=train_rounds)
         sweep_nmse = _fleet_nmse(scheduler, held)
         rounds_mean = _mean_rounds_to_threshold(scheduler, thresholds,
@@ -281,11 +299,11 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     # ledger, failed rounds, modeled clock and completion times.
     anchor_rate = LOSS_RATES[2]
     anchor_spec = ChannelSpec(loss=anchor_rate, arq=ARQConfig(max_retries=1))
-    lossy_fused, _ = _build(factory, seed, "event", channels=anchor_spec)
+    lossy_fused, _ = _build(factory, seed, engine="event", telemetry=bus, channels=anchor_spec)
     start = time.perf_counter()
     lossy_fused_report = lossy_fused.run(rounds_per_cluster=train_rounds)
     lossy_fused_s = time.perf_counter() - start
-    lossy_unfused, _ = _build(factory, seed, "event", channels=anchor_spec,
+    lossy_unfused, _ = _build(factory, seed, engine="event", telemetry=bus, channels=anchor_spec,
                               segment_batching=False)
     start = time.perf_counter()
     lossy_unfused_report = lossy_unfused.run(rounds_per_cluster=train_rounds)
@@ -333,7 +351,7 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     # --- 2b. Gilbert-Elliott preset (802.15.4-calibrated burst loss) --
     preset_spec = ChannelSpec.preset("802154_indoor",
                                      arq=ARQConfig(max_retries=1))
-    preset_sched, preset_held = _build(factory, seed, "event",
+    preset_sched, preset_held = _build(factory, seed, engine="event", telemetry=bus,
                                        channels=preset_spec)
     preset_report = preset_sched.run(rounds_per_cluster=train_rounds)
     preset_nmse = _fleet_nmse(preset_sched, preset_held)
@@ -363,7 +381,7 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
             recovery=recovery, max_consecutive_failures=10 ** 6)
         scheduler = EdgeTrainingScheduler(
             "round_robin", rng=np.random.default_rng(seed), engine="event",
-            channels=channels, resilience=resilience)
+            channels=channels, resilience=resilience, telemetry=bus)
         held = []
         for name, trainer, data, held_rows, positions in narrow_factory():
             scheduler.add_cluster(name, trainer, data, batch_size=16,
@@ -459,7 +477,7 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
         on_aggregator_death="replace",
         failover_downtime_s=0.05 * mk,
         min_device_fraction=0.25)
-    faulty, faulty_held = _build(factory, seed, "event",
+    faulty, faulty_held = _build(factory, seed, engine="event", telemetry=bus,
                                  channels=ChannelSpec(loss=0.05),
                                  faults=faults, resilience=resilience)
     faulty_report = faulty.run(rounds_per_cluster=train_rounds)
@@ -493,12 +511,12 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     # Same fault schedule, lossless channels: the fused engine must
     # reproduce the unfused event engine's clock and ledger exactly
     # while pre-executing the fault-free spans as fleet waves.
-    fused, _ = _build(factory, seed, "event", faults=faults,
+    fused, _ = _build(factory, seed, engine="event", telemetry=bus, faults=faults,
                       resilience=resilience)
     start = time.perf_counter()
     fused_report = fused.run(rounds_per_cluster=train_rounds)
     fused_s = time.perf_counter() - start
-    unfused, _ = _build(factory, seed, "event", faults=faults,
+    unfused, _ = _build(factory, seed, engine="event", telemetry=bus, faults=faults,
                         resilience=resilience, segment_batching=False)
     start = time.perf_counter()
     unfused_report = unfused.run(rounds_per_cluster=train_rounds)

@@ -49,6 +49,8 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from ..obs.telemetry import NULL_BUS
+from ..obs.telemetry import TransmitBatch as TransmitBatchEvent
 from ..wsn.link import LinkModel
 from .coding import CodingSpec
 from .sampler import (LossSampler, exact_message_elapsed, make_loss_sampler,
@@ -431,6 +433,7 @@ class UnreliableChannel:
         self.jitter_s = jitter_s
         self.coding = coding
         self.rng = rng or np.random.default_rng()
+        self.bus = NULL_BUS
         self.trace: Optional[ChannelTraceLike] = None
         self.trace_policy = trace_policy or TracePolicy()
         self.strategy = RecoveryStrategy.resolve(self.arq, self.coding)
@@ -682,6 +685,20 @@ class UnreliableChannel:
             raise ValueError("n_bytes must be non-negative")
         if count == 0:
             return []
+        results = self._transmit_batch(n_bytes, count)
+        if self.bus.wants(TransmitBatchEvent.kind):
+            self.bus.emit(TransmitBatchEvent(
+                payload_bytes=n_bytes, count=count,
+                delivered=sum(1 for r in results if r.delivered),
+                attempts=sum(r.attempts for r in results),
+                lost_frames=sum(r.lost_frames for r in results),
+                retransmissions=sum(r.retransmissions for r in results),
+                wire_bytes=sum(r.wire_bytes + r.fec_wire_bytes
+                               for r in results)))
+        return results
+
+    def _transmit_batch(self, n_bytes: int, count: int
+                        ) -> List[TransmitResult]:
         frames = self.link.frame_sizes(n_bytes)
         if not frames:
             return [TransmitResult(0, 0, 0, 0, True, 0, 0.0, 0, 0)] * count

@@ -41,9 +41,11 @@ from typing import (
     Protocol,
 )
 
+from ..obs.telemetry import NULL_BUS, FaultApplied
 from .events import EventScheduler
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.telemetry import TelemetryBus
     from ..wsn.network import WSNetwork
 
 FAULT_KINDS = ("node_death", "node_revive", "aggregator_death", "brownout",
@@ -210,6 +212,7 @@ class FaultInjector:
     targets: dict
     applied: List[FaultEvent] = field(default_factory=list)
     on_applied: Optional[Callable[[FaultEvent], None]] = None
+    bus: "TelemetryBus" = field(default=NULL_BUS, repr=False)
     _sim: Optional[EventScheduler] = field(default=None, repr=False)
 
     #: Event tag the injector arms with; :meth:`horizon` queries it.
@@ -240,6 +243,10 @@ class FaultInjector:
     def _fire(self, event: FaultEvent) -> None:
         apply_fault(event, self.targets[event.cluster])
         self.applied.append(event)
+        if self.bus.wants(FaultApplied.kind):
+            self.bus.emit(FaultApplied(cluster=event.cluster,
+                                       fault=event.kind,
+                                       time_s=event.time_s))
         if self.on_applied is not None:
             self.on_applied(event)
 
