@@ -18,6 +18,18 @@ baselines (exit code 1 below the floor):
   ``bench_resilience.py``'s kernel benchmarks) against
   ``BENCH_resilience.json``.
 
+Two :mod:`repro.scale` gates ride along against ``BENCH_scale.json``
+(the workloads of ``bench_scale.py``):
+
+* the **analytic-ensemble** ratio — unfused 8-cluster event reference
+  over the 1000-cluster analytic sweep — gated at 80% of its committed
+  baseline (the absolute >= 100x extrapolated-speedup contract lives in
+  the bench's own acceptance test);
+* the **shard-parallel** inline/pooled ratio at 2 workers — skipped
+  outright when ``os.cpu_count() < 2`` (a spawn pool on one advertised
+  core can only add startup cost; bit-identity is gated by tests, not
+  by wall clock).
+
 One *ceiling* gate rides along with inverted semantics: the
 **telemetry-overhead** gate fails when full JSONL telemetry costs more
 than ``TELEMETRY_OVERHEAD_CEILING`` (5%) over the telemetry-off run on
@@ -39,11 +51,13 @@ Usage (from the repo root, CI's bench-smoke job)::
 
     PYTHONPATH=src python benchmarks/check_regression.py \
         [--gate fleet|lossy-fused|coded-fused|vectorized-kernel|\
-telemetry-overhead|all] [--from-json measured.json]
+analytic-ensemble|shard-parallel|telemetry-overhead|all] \
+        [--from-json measured.json]
 """
 
 import argparse
 import json
+import os
 import pathlib
 import statistics
 import sys
@@ -61,6 +75,13 @@ from bench_resilience import (  # noqa: E402
     run_coded,
     run_lossy,
     telemetry_overhead_ratios,
+)
+from bench_scale import (  # noqa: E402
+    REF_CLUSTERS,
+    SHARD_WORKERS,
+    SWEEP_CLUSTERS,
+    analytic_speedup_ratios,
+    shard_speedup_ratios,
 )
 
 REGRESSION_FLOOR = 0.8
@@ -112,6 +133,18 @@ def measured_kernel_speedup(trials: int = TRIALS) -> float:
     return statistics.median(kernel_speedup_ratios(trials))
 
 
+def measured_analytic_ratio(trials: int = TRIALS) -> float:
+    """Event-reference / analytic-sweep wall-clock ratio.
+
+    ``analytic_speedup_ratios`` reports the *extrapolated* speedup
+    (per-cluster event cost projected to the sweep size); rescaling by
+    the cluster counts recovers the raw two-benchmark ratio that the
+    committed baseline JSON records.
+    """
+    extrapolated = statistics.median(analytic_speedup_ratios(trials))
+    return extrapolated * REF_CLUSTERS / SWEEP_CLUSTERS
+
+
 #: gate name -> (baseline JSON, (slow, fast) benchmark names, measurer,
 #: human label)
 GATES = {
@@ -136,7 +169,60 @@ GATES = {
                           f"vectorized-kernel trace recording at "
                           f"{FUSED_CLUSTERS} clusters x "
                           f"{KERNEL_TRANSMITS} transmits"),
+    "analytic-ensemble": (REPO_ROOT / "BENCH_scale.json",
+                          ("test_event_reference_8_clusters",
+                           "test_analytic_ensemble_1000_clusters"),
+                          measured_analytic_ratio,
+                          f"analytic ensemble ratio ({REF_CLUSTERS}-cluster "
+                          f"event ref / {SWEEP_CLUSTERS}-cluster sweep)"),
 }
+
+
+#: (inline, pooled) benchmark names for the shard-parallel gate.
+SHARD_PAIR = ("test_sharded_inline_4_fleets", "test_sharded_pooled_4_fleets")
+
+
+def check_shard_gate(from_json: pathlib.Path = None) -> bool:
+    """Shard-parallel floor gate with a single-core soft-pass.
+
+    On a one-core host the pooled run can only lose to inline (spawn
+    startup dominates), so measuring the ratio there gates nothing
+    real — the gate SKIPs and bit-identity tests carry the contract.
+    """
+    label = f"shard-parallel inline/pooled ratio at {SHARD_WORKERS} workers"
+    inline_name, pooled_name = SHARD_PAIR
+    baseline = ratio_from_json(REPO_ROOT / "BENCH_scale.json",
+                               inline_name, pooled_name)
+    if baseline is None:
+        print(f"error: committed baseline BENCH_scale.json lacks "
+              f"{inline_name!r}/{pooled_name!r} — re-commit it from a "
+              f"full benchmark run", file=sys.stderr)
+        return False
+    if from_json:
+        measured = ratio_from_json(from_json, inline_name, pooled_name)
+        if measured is None:
+            print(f"{label}: SKIPPED — {from_json.name} has no "
+                  f"{inline_name!r}/{pooled_name!r} entries (partial "
+                  f"artifact); re-run without --from-json to measure live")
+            return True
+    else:
+        cores = os.cpu_count() or 1
+        if cores < 2:
+            print(f"{label}: SKIPPED — os.cpu_count()={cores} (< 2); a "
+                  f"spawn pool cannot win wall-clock on one core and "
+                  f"bit-identity is gated by tests")
+            return True
+        measured = statistics.median(shard_speedup_ratios(TRIALS))
+    floor = REGRESSION_FLOOR * baseline
+    ok = measured >= floor
+    verdict = "OK" if ok else "REGRESSION"
+    print(f"{label}: measured {measured:.3f}x vs baseline {baseline:.3f}x "
+          f"(floor {REGRESSION_FLOOR:.0%} -> {floor:.3f}x): {verdict}")
+    if not ok:
+        print(f"error: measured {label} {measured:.3f}x fell below "
+              f"{floor:.3f}x — the shard executor regressed (worker "
+              f"init, job dealing, or the merge step)", file=sys.stderr)
+    return ok
 
 
 #: (enabled, disabled) benchmark names for the telemetry ceiling gate's
@@ -217,7 +303,7 @@ def check_gate(name: str, from_json: pathlib.Path = None) -> bool:
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    all_gates = [*GATES, "telemetry-overhead"]
+    all_gates = [*GATES, "shard-parallel", "telemetry-overhead"]
     parser.add_argument("--gate", choices=[*all_gates, "all"], default="all",
                         help="which gate to check (default: all)")
     parser.add_argument("--from-json", type=pathlib.Path, default=None,
@@ -226,10 +312,15 @@ def main() -> int:
     args = parser.parse_args()
 
     names = all_gates if args.gate == "all" else [args.gate]
-    ok = all([check_telemetry_gate(args.from_json)
-              if name == "telemetry-overhead"
-              else check_gate(name, args.from_json)
-              for name in names])
+
+    def run_gate(name):
+        if name == "telemetry-overhead":
+            return check_telemetry_gate(args.from_json)
+        if name == "shard-parallel":
+            return check_shard_gate(args.from_json)
+        return check_gate(name, args.from_json)
+
+    ok = all([run_gate(name) for name in names])
     return 0 if ok else 1
 
 

@@ -89,6 +89,17 @@ exotic losses, data shorter than one batch).
   execution_plan`, which routes every engine gate through one
   :class:`ExecutionPlan` object.
 
+* ``analytic`` — the ensemble-pricing engine
+  (:mod:`repro.scale.analytic`): no rounds execute at all.  Expected
+  delivered rounds, radio energy, battery lifetime and deadline-miss
+  probabilities are folded from the closed-form channel/coding/battery
+  math (truncated-geometric ARQ attempts, binomial FEC delivery,
+  Gilbert-Elliott stationary loss) per cluster in O(frames) — the mode
+  that answers 1000-cluster "what if" sweeps interactively.  The
+  report carries expectations (``expected_values=True``, losses NaN);
+  fault schedules are refused (out of the validity envelope — see the
+  module docstring and README "Scaling out").
+
 Determinism note: each cluster draws its minibatches from its own
 ``stream_rng`` (seeded from the scheduler RNG at registration), so the
 data a cluster sees does not depend on the policy's interleaving — the
@@ -149,7 +160,7 @@ __all__ = [
 ]
 
 _POLICIES = ("fifo", "round_robin", "loss_priority", "deadline")
-_ENGINES = ("auto", "sequential", "batched", "event")
+_ENGINES = ("auto", "sequential", "batched", "event", "analytic")
 
 
 @dataclass
@@ -666,11 +677,17 @@ class EdgeTrainingScheduler:
         degraded = bool(fault_schedule) or (
             channels is not None and (not channels.ideal
                                       or resilience.recovery != "arq"))
-        if degraded and engine != "event":
+        if degraded and engine not in ("event", "analytic"):
             raise ValueError(
                 "fault schedules, unreliable channels and coded recovery "
-                "require engine='event'; the sequential/batched engines "
-                "model an ideal synchronous world")
+                "require engine='event' (or engine='analytic' for "
+                "closed-form channel pricing); the sequential/batched "
+                "engines model an ideal synchronous world")
+        if engine == "analytic" and bool(fault_schedule):
+            raise ValueError(
+                "engine='analytic' prices rounds from closed-form channel/"
+                "coding/battery math and cannot apply fault schedules; "
+                "use engine='event' for fault injection")
         self.policy = policy
         self.engine = engine
         self.rng = rng or np.random.default_rng()
@@ -768,6 +785,11 @@ class EdgeTrainingScheduler:
         """
         groups = self._stacking_groups()
         stackable = any(len(group) >= 2 for group in groups)
+        if self.engine == "analytic":
+            return ExecutionPlan(
+                "analytic", groups,
+                reason="closed-form ensemble pricing — no per-round "
+                       "execution")
         if self.engine == "event":
             if not self.segment_batching:
                 return ExecutionPlan("event", groups,
@@ -827,6 +849,11 @@ class EdgeTrainingScheduler:
         if rounds_per_cluster <= 0:
             raise ValueError("rounds_per_cluster must be positive")
         plan = self.execution_plan()
+        if plan.engine == "analytic":
+            # Lazy import: repro.scale imports core, so the gate must
+            # not close the cycle at module load.
+            from ..scale.analytic import run_analytic
+            return run_analytic(self, rounds_per_cluster)
         if plan.engine == "event":
             return self._run_event(rounds_per_cluster, plan)
         if plan.engine == "batched":

@@ -27,12 +27,21 @@ def main(argv=None) -> int:
                         help="write the telemetry-bus event log (JSONL) here; "
                              "with 'all', each experiment gets a "
                              "<stem>.<name>.jsonl next to this path")
+    parser.add_argument("--processes", type=int, default=1, metavar="N",
+                        help="worker processes for sharded multi-fleet "
+                             "sections (default 1 = in-process; results "
+                             "are bit-identical at any worker count)")
     args = parser.parse_args(argv)
+    if args.processes < 1:
+        parser.error(f"--processes must be >= 1, got {args.processes}")
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     failures = 0
     for name in names:
         kwargs = {"scale": args.scale, "seed": args.seed}
+        run_params = inspect.signature(EXPERIMENTS[name]).parameters
+        if args.processes != 1 and "processes" in run_params:
+            kwargs["processes"] = args.processes
         if args.telemetry:
             run_fn = EXPERIMENTS[name]
             if "telemetry" in inspect.signature(run_fn).parameters:

@@ -1,0 +1,70 @@
+"""Seed spacing for sharded fleets: shard count never perturbs streams.
+
+The shard executor must be **bit-identical to the single-process run**
+for the same seeds, no matter how many workers execute it.  That rules
+out the obvious ``rng.integers(2**63)``-per-fleet seeding the scheduler
+uses internally for clusters: drawing fleet seeds from one shared
+stream couples every fleet's seed to how many fleets were seeded before
+it *in this process* — repartitioning the job list across workers would
+change every stream.
+
+Instead each fleet derives its own :class:`numpy.random.SeedSequence`
+child purely from ``(root_entropy, fleet_index)`` via ``spawn_key`` —
+the construction ``SeedSequence.spawn`` uses under the hood, with the
+index made explicit.  Properties relied on by
+:mod:`repro.scale.sharding` (and property-tested in
+``tests/test_scale_sharding.py``):
+
+* **partition-independent** — the child depends only on the root
+  entropy and the fleet's own index, never on which worker runs it,
+  how many workers exist, or in what order fleets execute;
+* **collision-resistant** — children for distinct indices are
+  independent streams (SeedSequence's hashing guarantees, the same
+  ones backing ``spawn()``);
+* **stable** — a pure function, so re-running a shard (or resuming a
+  failed one) reproduces the stream exactly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+import numpy as np
+
+__all__ = ["fleet_seed_sequence", "fleet_rng", "spaced_seed_sequences"]
+
+#: Entropy accepted for the root: a plain int seed or a SeedSequence.
+RootEntropy = Union[int, np.random.SeedSequence]
+
+
+def fleet_seed_sequence(root: RootEntropy,
+                        fleet_index: int) -> np.random.SeedSequence:
+    """The ``fleet_index``-th child sequence of ``root``.
+
+    Equivalent to ``SeedSequence(root).spawn(fleet_index + 1)[-1]`` but
+    O(1) in the index and independent of any spawn bookkeeping on the
+    root (``spawn`` mutates ``n_children_spawned``; this never does).
+    """
+    if fleet_index < 0:
+        raise ValueError(f"fleet_index must be >= 0, got {fleet_index}")
+    if isinstance(root, np.random.SeedSequence):
+        entropy = root.entropy
+        base_key = tuple(root.spawn_key)
+    else:
+        entropy = root
+        base_key = ()
+    return np.random.SeedSequence(entropy=entropy,
+                                  spawn_key=base_key + (fleet_index,))
+
+
+def fleet_rng(root: RootEntropy, fleet_index: int) -> np.random.Generator:
+    """A fresh generator on the fleet's own spaced stream."""
+    return np.random.default_rng(fleet_seed_sequence(root, fleet_index))
+
+
+def spaced_seed_sequences(root: RootEntropy,
+                          count: int) -> List[np.random.SeedSequence]:
+    """Children for fleets ``0..count-1`` (see the module contract)."""
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    return [fleet_seed_sequence(root, index) for index in range(count)]

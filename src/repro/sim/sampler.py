@@ -326,3 +326,56 @@ def exact_message_elapsed(link: LinkModel, frames: List[int],
             if k < attempts - 1 or not slot_delivered:
                 elapsed += ack_timeout_s
     return elapsed
+
+
+# ----------------------------------------------------------------------
+# Closed-form ARQ pricing (the analytic ensemble mode's fold)
+# ----------------------------------------------------------------------
+def arq_slot_delivery_probability(loss_rate: float,
+                                  max_retries: int) -> float:
+    """P[one frame delivered] under stop-and-wait with ``max_retries``.
+
+    A slot gets ``max_retries + 1`` attempts; it fails only when every
+    attempt is lost: ``1 - p^(R+1)``.  Exact for i.i.d. (Bernoulli)
+    per-frame loss; for Gilbert-Elliott channels the analytic mode
+    feeds the chain's *mean* loss rate in, a first-order approximation
+    (attempts of one frame are burst-correlated).
+    """
+    if not 0.0 <= loss_rate <= 1.0:
+        raise ValueError("loss_rate must be in [0, 1]")
+    if max_retries < 0:
+        raise ValueError("max_retries must be >= 0")
+    return 1.0 - loss_rate ** (max_retries + 1)
+
+
+def expected_slot_attempts(loss_rate: float, max_retries: int) -> float:
+    """E[attempts] for one frame slot under the truncated retry budget.
+
+    The truncated-geometric mean ``(1 - p^(R+1)) / (1 - p)``: with
+    ``R = 0`` exactly one attempt; as ``R -> inf`` the untruncated
+    ``1 / (1 - p)``.  The expectation holds whether or not the slot
+    ultimately delivers (attempt ``j`` happens iff the first ``j - 1``
+    were lost), which is what lets expected wire bytes and airtime fold
+    linearly per slot.
+    """
+    if not 0.0 <= loss_rate < 1.0:
+        raise ValueError("loss_rate must be in [0, 1)")
+    if max_retries < 0:
+        raise ValueError("max_retries must be >= 0")
+    if loss_rate == 0.0:
+        return 1.0
+    return (1.0 - loss_rate ** (max_retries + 1)) / (1.0 - loss_rate)
+
+
+def arq_message_delivery_probability(frames: int, loss_rate: float,
+                                     max_retries: int) -> float:
+    """P[whole uncoded message delivered]: every slot must deliver.
+
+    The sender aborts on the first slot exhausting its budget, but the
+    message survives iff all ``frames`` slots deliver, so the abort
+    rule changes the *cost* of a failure, not its probability:
+    ``(1 - p^(R+1))^F``.
+    """
+    if frames < 0:
+        raise ValueError("frames must be >= 0")
+    return arq_slot_delivery_probability(loss_rate, max_retries) ** frames
