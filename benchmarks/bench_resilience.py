@@ -28,6 +28,13 @@ Acceptance criteria measured directly:
   **3x** faster than the scalar per-frame reference path, with every
   recorded :class:`TransmitResult` bit-identical — and an unfused lossy
   engine run cannot tell the two paths apart.
+* **adaptive-ARQ fusion** (ISSUE 9): the 16-cluster lossy sweep with
+  adaptive ARQ budgets and a brownout schedule — budget re-derivation
+  at the fault boundaries used to force the whole run back to the
+  unfused live loop; trace re-recording (each channel re-records its
+  remaining randomness horizon under the new budgets) keeps it fused at
+  least **2.5x** over the unfused loop, with the same bit-identity
+  contract plus identical re-derived budgets;
 * **telemetry overhead** (ISSUE 7): the 16-cluster lossy live (unfused)
   workload with a fully subscribed telemetry bus streaming every event
   to a write-behind JSONL log costs at most **5%** over the
@@ -243,6 +250,30 @@ def telemetry_overhead_ratios(trials=5, runs_per_sample=3):
     return ratios
 
 
+def adaptive_kwargs():
+    """The lossy sweep with adaptive ARQ budgets plus brownouts that
+    force budget re-derivation mid-run (ISSUE 9): each brownout drops a
+    cluster to its battery knee, the injector re-derives that cluster's
+    retry budget to zero, and the fused engine re-records the affected
+    channels' remaining trace horizons instead of falling back to the
+    live loop."""
+    faults = FaultSchedule([
+        FaultEvent(0.05, "brownout", "cluster-0", magnitude=1e-12),
+        FaultEvent(0.15, "brownout", "cluster-1", magnitude=1e-12),
+    ])
+    return dict(channels=ChannelSpec(loss=0.1, arq=ARQConfig(max_retries=3)),
+                resilience=ResilientOrchestrationPolicy(adaptive_arq=True),
+                fault_schedule=faults)
+
+
+def run_adaptive(segment_batching):
+    scheduler = build_scheduler("event", clusters=FUSED_CLUSTERS,
+                                segment_batching=segment_batching,
+                                **adaptive_kwargs())
+    report = scheduler.run(rounds_per_cluster=FUSED_ROUNDS)
+    return scheduler, report
+
+
 def coded_kwargs():
     """The lossy sweep with erasure-coded channels (ISSUE 5): two
     parity frames per message, open-loop FEC instead of ARQ."""
@@ -339,6 +370,18 @@ class TestEventEngineBenchmarks:
     def test_event_coded_unfused_16_clusters(self, run_once):
         _, report = run_once(run_coded, False)
         assert report.fused_rounds == 0
+
+    def test_event_adaptive_fused_16_clusters(self, run_once):
+        """Baseline for the adaptive-fused regression gate
+        (``benchmarks/check_regression.py``)."""
+        _, report = run_once(run_adaptive, True)
+        assert report.fused_rounds > 0
+        assert report.faults_applied == 2
+
+    def test_event_adaptive_unfused_16_clusters(self, run_once):
+        _, report = run_once(run_adaptive, False)
+        assert report.fused_rounds == 0
+        assert report.faults_applied == 2
 
     def test_kernel_trace_recording_vectorized(self, run_once):
         """Baseline for the vectorized-kernel regression gate
@@ -516,6 +559,59 @@ class TestEventEngineAcceptance:
         assert fused_report.failed_rounds == unfused_report.failed_rounds
         assert fused_report.energy_j == unfused_report.energy_j
         assert fused_report.coding_budgets == unfused_report.coding_budgets
+
+    def test_adaptive_fused_engine_2_5x_over_unfused(self):
+        """Acceptance (ISSUE 9): adaptive-ARQ lossy fusion with mid-run
+        budget re-derivation >= 2.5x @ 16 clusters.
+
+        Before trace re-recording this run class could not fuse at all
+        (the planner refused any run that re-derives budgets over a
+        recorded trace); now the affected channels re-record their
+        remaining horizons at each fault boundary and the run stays on
+        the fused path end to end.
+        """
+        ratios, report = fused_speedup_ratios(run_adaptive)
+        speedup = statistics.median(ratios)
+        print(f"\nadaptive-fused speedup at {FUSED_CLUSTERS} clusters "
+              f"(10% frame loss, adaptive ARQ, 2 brownouts): "
+              f"{speedup:.2f}x unfused "
+              f"(trials: {', '.join(f'{r:.2f}' for r in ratios)}; "
+              f"{report.fused_rounds} fused rounds)")
+        assert report.fused_rounds > 0
+        assert report.faults_applied == 2
+        assert speedup >= 2.5, \
+            f"adaptive-fused speedup {speedup:.2f}x < 2.5x"
+
+    def test_adaptive_fused_run_is_bit_identical(self):
+        """Fused (re-recorded traces) vs unfused (live draws with budget
+        swaps) under mid-run ARQ re-derivation: ledger, failed rounds,
+        modeled clock, completion times and the re-derived budgets all
+        bit-identical."""
+        fused, fused_report = run_adaptive(segment_batching=True)
+        unfused, unfused_report = run_adaptive(segment_batching=False)
+        worst = 0.0
+        for c_f, c_u in zip(fused.clusters, unfused.clusters):
+            if len(c_f.history.losses):
+                worst = max(worst, float(np.abs(c_f.history.losses
+                                                - c_u.history.losses).max()))
+            assert np.array_equal(c_f.history.times, c_u.history.times)
+            assert c_f.trainer.clock_s == c_u.trainer.clock_s
+            assert c_f.trainer.ledger.by_kind() \
+                == c_u.trainer.ledger.by_kind()
+            assert len(c_f.trainer.ledger) == len(c_u.trainer.ledger)
+        print(f"\nadaptive fused-vs-unfused max loss divergence: {worst:.3e}")
+        assert worst <= 1e-9
+        assert fused_report.makespan_s == unfused_report.makespan_s
+        assert fused_report.completion_times \
+            == unfused_report.completion_times
+        assert fused_report.failed_rounds == unfused_report.failed_rounds
+        assert fused_report.energy_j == unfused_report.energy_j
+        assert fused_report.arq_budgets == unfused_report.arq_budgets
+        # The brownouts actually re-derived: browned-out clusters end at
+        # a zero retry budget, untouched clusters keep the adaptive one.
+        assert fused_report.arq_budgets["cluster-0"] == 0
+        assert fused_report.arq_budgets["cluster-1"] == 0
+        assert fused_report.arq_budgets["cluster-2"] > 0
 
     def test_telemetry_enabled_overhead_under_5pct(self):
         """Acceptance (ISSUE 7): full JSONL telemetry costs <= 5% on the

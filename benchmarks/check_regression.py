@@ -1,6 +1,6 @@
 """Speedup regression gates against the committed benchmark baselines.
 
-Four engine-speedup ratios are gated at **80%** of their committed
+Five engine-speedup ratios are gated at **80%** of their committed
 baselines (exit code 1 below the floor):
 
 * the fleet engine's 16-cluster sequential/batched speedup (the
@@ -13,6 +13,10 @@ baselines (exit code 1 below the floor):
 * the event engine's 16-cluster **coded-fused** (erasure-coded lossy)
   speedup — the same fusion contract under FEC channels — against the
   coded benchmarks in ``BENCH_resilience.json``;
+* the event engine's 16-cluster **adaptive-fused** speedup — the lossy
+  sweep with adaptive ARQ budgets re-derived at brownout boundaries,
+  fused via trace re-recording — against the adaptive benchmarks in
+  ``BENCH_resilience.json``;
 * the **vectorized channel kernel**'s trace-recording speedup over the
   scalar per-frame reference path (the workload of
   ``bench_resilience.py``'s kernel benchmarks) against
@@ -47,12 +51,18 @@ reuse an existing pytest-benchmark JSON instead of re-running, e.g. to
 inspect an artifact offline (it must contain the benchmarks of the
 gate(s) being checked).
 
+When ``GITHUB_STEP_SUMMARY`` is set (as in any GitHub Actions step),
+every run also appends a markdown table of the gate verdicts to that
+file, so the job summary page shows the measured ratios without
+digging through the log.
+
 Usage (from the repo root, CI's bench-smoke job)::
 
     PYTHONPATH=src python benchmarks/check_regression.py \
-        [--gate fleet|lossy-fused|coded-fused|vectorized-kernel|\
-analytic-ensemble|shard-parallel|telemetry-overhead|all] \
-        [--from-json measured.json]
+        [--gate fleet|lossy-fused|coded-fused|adaptive-fused|\
+vectorized-kernel|analytic-ensemble|shard-parallel|telemetry-overhead|\
+all] \
+        [--from-json measured.json] [--list-gates]
 """
 
 import argparse
@@ -72,6 +82,7 @@ from bench_resilience import (  # noqa: E402
     TELEMETRY_OVERHEAD_CEILING,
     fused_speedup_ratios,
     kernel_speedup_ratios,
+    run_adaptive,
     run_coded,
     run_lossy,
     telemetry_overhead_ratios,
@@ -128,6 +139,10 @@ def measured_coded_fused_speedup(trials: int = TRIALS) -> float:
     return statistics.median(fused_speedup_ratios(run_coded, trials)[0])
 
 
+def measured_adaptive_fused_speedup(trials: int = TRIALS) -> float:
+    return statistics.median(fused_speedup_ratios(run_adaptive, trials)[0])
+
+
 def measured_kernel_speedup(trials: int = TRIALS) -> float:
     """Median of bench_resilience's interleaved reference/kernel ratios."""
     return statistics.median(kernel_speedup_ratios(trials))
@@ -162,6 +177,12 @@ GATES = {
                      "test_event_coded_fused_16_clusters"),
                     measured_coded_fused_speedup,
                     f"coded-fused (FEC) speedup at {FUSED_CLUSTERS} clusters"),
+    "adaptive-fused": (REPO_ROOT / "BENCH_resilience.json",
+                       ("test_event_adaptive_unfused_16_clusters",
+                        "test_event_adaptive_fused_16_clusters"),
+                       measured_adaptive_fused_speedup,
+                       f"adaptive-fused (ARQ re-derivation) speedup at "
+                       f"{FUSED_CLUSTERS} clusters"),
     "vectorized-kernel": (REPO_ROOT / "BENCH_resilience.json",
                           ("test_kernel_trace_recording_reference",
                            "test_kernel_trace_recording_vectorized"),
@@ -182,7 +203,13 @@ GATES = {
 SHARD_PAIR = ("test_sharded_inline_4_fleets", "test_sharded_pooled_4_fleets")
 
 
-def check_shard_gate(from_json: pathlib.Path = None) -> bool:
+def _record(rows, gate, measured, reference, verdict):
+    """Collect one gate verdict for the markdown step summary."""
+    if rows is not None:
+        rows.append((gate, measured, reference, verdict))
+
+
+def check_shard_gate(from_json: pathlib.Path = None, rows=None) -> bool:
     """Shard-parallel floor gate with a single-core soft-pass.
 
     On a one-core host the pooled run can only lose to inline (spawn
@@ -197,13 +224,17 @@ def check_shard_gate(from_json: pathlib.Path = None) -> bool:
         print(f"error: committed baseline BENCH_scale.json lacks "
               f"{inline_name!r}/{pooled_name!r} — re-commit it from a "
               f"full benchmark run", file=sys.stderr)
+        _record(rows, "shard-parallel", "—", "missing baseline", "ERROR")
         return False
+    floor = REGRESSION_FLOOR * baseline
+    reference = f"floor {floor:.3f}x ({REGRESSION_FLOOR:.0%} of {baseline:.3f}x)"
     if from_json:
         measured = ratio_from_json(from_json, inline_name, pooled_name)
         if measured is None:
             print(f"{label}: SKIPPED — {from_json.name} has no "
                   f"{inline_name!r}/{pooled_name!r} entries (partial "
                   f"artifact); re-run without --from-json to measure live")
+            _record(rows, "shard-parallel", "—", reference, "SKIPPED")
             return True
     else:
         cores = os.cpu_count() or 1
@@ -211,13 +242,14 @@ def check_shard_gate(from_json: pathlib.Path = None) -> bool:
             print(f"{label}: SKIPPED — os.cpu_count()={cores} (< 2); a "
                   f"spawn pool cannot win wall-clock on one core and "
                   f"bit-identity is gated by tests")
+            _record(rows, "shard-parallel", "—", reference, "SKIPPED")
             return True
         measured = statistics.median(shard_speedup_ratios(TRIALS))
-    floor = REGRESSION_FLOOR * baseline
     ok = measured >= floor
     verdict = "OK" if ok else "REGRESSION"
     print(f"{label}: measured {measured:.3f}x vs baseline {baseline:.3f}x "
           f"(floor {REGRESSION_FLOOR:.0%} -> {floor:.3f}x): {verdict}")
+    _record(rows, "shard-parallel", f"{measured:.3f}x", reference, verdict)
     if not ok:
         print(f"error: measured {label} {measured:.3f}x fell below "
               f"{floor:.3f}x — the shard executor regressed (worker "
@@ -245,10 +277,11 @@ def measured_telemetry_overhead(trials: int = 5) -> float:
     return overhead
 
 
-def check_telemetry_gate(from_json: pathlib.Path = None) -> bool:
+def check_telemetry_gate(from_json: pathlib.Path = None, rows=None) -> bool:
     """Ceiling gate: enabled telemetry must cost <= 5%, not a floor."""
     label = (f"telemetry-enabled overhead at {FUSED_CLUSTERS} clusters "
              f"(lossy live)")
+    reference = f"ceiling {TELEMETRY_OVERHEAD_CEILING:.2f}x"
     enabled, disabled = TELEMETRY_PAIR
     if from_json:
         measured = ratio_from_json(from_json, enabled, disabled)
@@ -256,6 +289,7 @@ def check_telemetry_gate(from_json: pathlib.Path = None) -> bool:
             print(f"{label}: SKIPPED — {from_json.name} has no "
                   f"{enabled!r}/{disabled!r} entries (partial artifact); "
                   f"re-run without --from-json to measure live")
+            _record(rows, "telemetry-overhead", "—", reference, "SKIPPED")
             return True
     else:
         measured = measured_telemetry_overhead()
@@ -263,6 +297,7 @@ def check_telemetry_gate(from_json: pathlib.Path = None) -> bool:
     verdict = "OK" if ok else "REGRESSION"
     print(f"{label}: measured {measured:.3f}x vs ceiling "
           f"{TELEMETRY_OVERHEAD_CEILING:.2f}x: {verdict}")
+    _record(rows, "telemetry-overhead", f"{measured:.3f}x", reference, verdict)
     if not ok:
         print(f"error: measured {label} {measured:.3f}x exceeded the "
               f"{TELEMETRY_OVERHEAD_CEILING:.2f}x ceiling — the telemetry "
@@ -271,21 +306,24 @@ def check_telemetry_gate(from_json: pathlib.Path = None) -> bool:
     return ok
 
 
-def check_gate(name: str, from_json: pathlib.Path = None) -> bool:
+def check_gate(name: str, from_json: pathlib.Path = None, rows=None) -> bool:
     baseline_path, (slow, fast), measure, label = GATES[name]
     baseline = ratio_from_json(baseline_path, slow, fast)
     if baseline is None:
         print(f"error: committed baseline {baseline_path.name} lacks "
               f"{slow!r}/{fast!r} — re-commit it from a full "
               "benchmark run", file=sys.stderr)
+        _record(rows, name, "—", "missing baseline", "ERROR")
         return False
     floor = REGRESSION_FLOOR * baseline
+    reference = f"floor {floor:.2f}x ({REGRESSION_FLOOR:.0%} of {baseline:.2f}x)"
     if from_json:
         measured = ratio_from_json(from_json, slow, fast)
         if measured is None:
             print(f"{label}: SKIPPED — {from_json.name} has no "
                   f"{slow!r}/{fast!r} entries (partial artifact); "
                   f"re-run without --from-json to measure live")
+            _record(rows, name, "—", reference, "SKIPPED")
             return True
     else:
         measured = measure()
@@ -293,12 +331,53 @@ def check_gate(name: str, from_json: pathlib.Path = None) -> bool:
     verdict = "OK" if ok else "REGRESSION"
     print(f"{label}: measured {measured:.2f}x vs baseline {baseline:.2f}x "
           f"(floor {REGRESSION_FLOOR:.0%} -> {floor:.2f}x): {verdict}")
+    _record(rows, name, f"{measured:.2f}x", reference, verdict)
     if not ok:
         print(f"error: measured {label} {measured:.2f}x fell below "
               f"{floor:.2f}x — the engine regressed (or the baseline "
               f"needs re-committing after a deliberate change)",
               file=sys.stderr)
     return ok
+
+
+def list_gates() -> None:
+    """Print every gate with its kind, baseline file and benchmark pair."""
+    for name, (path, (slow, fast), _, label) in GATES.items():
+        print(f"{name}: {label}")
+        print(f"    kind: floor ({REGRESSION_FLOOR:.0%} of committed baseline)")
+        print(f"    baseline: {path.name} [{slow} / {fast}]")
+    inline_name, pooled_name = SHARD_PAIR
+    print(f"shard-parallel: inline/pooled ratio at {SHARD_WORKERS} workers")
+    print(f"    kind: floor ({REGRESSION_FLOOR:.0%} of committed baseline; "
+          f"SKIPs on single-core hosts)")
+    print(f"    baseline: BENCH_scale.json [{inline_name} / {pooled_name}]")
+    enabled, disabled = TELEMETRY_PAIR
+    print(f"telemetry-overhead: enabled/disabled overhead at "
+          f"{FUSED_CLUSTERS} clusters (lossy live)")
+    print(f"    kind: ceiling (absolute {TELEMETRY_OVERHEAD_CEILING:.2f}x, "
+          f"no committed baseline)")
+    print(f"    from-json pair: [{enabled} / {disabled}]")
+
+
+def write_step_summary(rows) -> None:
+    """Append a markdown verdict table to ``$GITHUB_STEP_SUMMARY``.
+
+    No-op outside GitHub Actions (the env var is unset).  Appending —
+    not truncating — matches the Actions contract: several steps share
+    one summary file.
+    """
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path or not rows:
+        return
+    lines = ["## Benchmark regression gates", "",
+             "| gate | measured | reference | verdict |",
+             "| --- | --- | --- | --- |"]
+    for gate, measured, reference, verdict in rows:
+        badge = {"OK": "✅", "SKIPPED": "⏭️"}.get(verdict, "❌")
+        lines.append(f"| `{gate}` | {measured} | {reference} "
+                     f"| {badge} {verdict} |")
+    with open(path, "a") as handle:
+        handle.write("\n".join(lines) + "\n\n")
 
 
 def main() -> int:
@@ -309,18 +388,27 @@ def main() -> int:
     parser.add_argument("--from-json", type=pathlib.Path, default=None,
                         help="read the measured speedups from an existing "
                              "benchmark JSON instead of re-running")
+    parser.add_argument("--list-gates", action="store_true",
+                        help="list every gate (name, kind, baseline pair) "
+                             "and exit")
     args = parser.parse_args()
 
+    if args.list_gates:
+        list_gates()
+        return 0
+
     names = all_gates if args.gate == "all" else [args.gate]
+    rows = []
 
     def run_gate(name):
         if name == "telemetry-overhead":
-            return check_telemetry_gate(args.from_json)
+            return check_telemetry_gate(args.from_json, rows)
         if name == "shard-parallel":
-            return check_shard_gate(args.from_json)
-        return check_gate(name, args.from_json)
+            return check_shard_gate(args.from_json, rows)
+        return check_gate(name, args.from_json, rows)
 
     ok = all([run_gate(name) for name in names])
+    write_step_summary(rows)
     return 0 if ok else 1
 
 

@@ -71,9 +71,10 @@ failure streaks advanced, no training update), and successful rounds
 carry their planner-priced clock stretch into the wave.  For the
 loss-coupled ``loss_priority`` policy the planner cannot mirror picks,
 so it plans **wave-by-wave** (:meth:`SegmentedFleetExecutor._plan_wave`)
-— fusing per-cluster futures only when a sound bound proves every
-outstanding round is consumed strictly before the horizon, and
-otherwise executing one round and re-planning at the next request.
+— fusing, per cluster, the earliest-consumed prefix of rounds a sound
+bound proves consumed strictly before the horizon (a terminality
+argument extends the proof to quorum-guarded fleets), and leaving the
+rest to execute inline and re-plan at their next request.
 
 A fused run — fault-only, lossy-but-faultless, or lossy-with-faults
 under an uncoupled policy — therefore reproduces the unfused engine's
@@ -451,8 +452,10 @@ class InlineRoundExecutor:
     """Per-cluster round execution: one autograd pass at its kernel time.
 
     The fallback whenever nothing may run early: segment batching
-    disabled, no stackable cluster group, or channel behaviour that can
-    change mid-run (adaptive ARQ re-derivation under faults).
+    disabled, no stackable cluster group, or channels whose draw stream
+    cannot be re-recorded at a fault's budget re-derivation boundary
+    (jittered or scalar-fallback loss models — see
+    :attr:`~repro.sim.channel.ChannelSpec.rerecordable`).
     """
 
     fused_rounds = 0
@@ -621,11 +624,14 @@ class SegmentedFleetExecutor:
       their true kernel times.
     * ``wave`` (``loss_priority``): picks depend on losses the planner
       cannot foresee, but per-cluster round *math* is pick-independent,
-      so :meth:`_plan_wave` pre-executes whole per-cluster futures
-      whenever a sound bound proves every outstanding round is consumed
-      strictly before the next fault — and otherwise executes just the
-      requesting round and re-plans at the next request (execute one
-      wave, re-pick, re-plan).
+      so :meth:`_plan_wave` pre-executes, per cluster, the
+      earliest-consumed prefix of rounds a sound bound proves consumed
+      strictly before the next fault (all of them when the horizon is
+      clear), leaving the rest to run inline and re-plan at their next
+      request.  A terminality argument extends the proof to
+      quorum-guarded fleets: fusion is admitted only when the alive
+      count after every remaining round still satisfies the quorum, so
+      the halt provably cannot trip inside the fused window.
     """
 
     def __init__(self, clusters: Sequence["ScheduledCluster"],
@@ -750,18 +756,30 @@ class SegmentedFleetExecutor:
               extra_s: float) -> None:
         """Plan from ``current``'s math point, then pre-execute the plan
         as fleet waves."""
-        stale = [name for name in self.queues
-                 if self.queues[name] or self.fail_queues[name]]
-        if stale:
-            raise RuntimeError(
-                f"replanning with non-empty queues {stale} — "
-                "planner/loop divergence")
+        if self.mode == "wave":
+            # Partial-prefix wave plans legitimately leave *other*
+            # clusters' queues non-empty (their prefixes outlive this
+            # cluster's); only the requesting cluster must be drained —
+            # the planner fast-forwards past the rest.
+            if self.queues[current.name] or self.fail_queues[current.name]:
+                raise RuntimeError(
+                    f"replanning {current.name} with its own queue "
+                    "non-empty — planner/loop divergence")
+        else:
+            stale = [name for name in self.queues
+                     if self.queues[name] or self.fail_queues[name]]
+            if stale:
+                raise RuntimeError(
+                    f"replanning with non-empty queues {stale} — "
+                    "planner/loop divergence")
         horizon = self.injector.horizon()
         with self.bus.span("plan"):
             if self.mode == "wave":
-                plan = self._plan_wave(current, agg_s, extra_s, horizon)
+                plan, bound = self._plan_wave(current, agg_s, extra_s,
+                                              horizon)
             else:
-                plan = self._plan_segment(current, agg_s, extra_s, horizon)
+                plan, bound = self._plan_segment(current, agg_s, extra_s,
+                                                 horizon)
         if self.bus.wants(SegmentFused.kind):
             items = [item for items in plan.values() for item in items]
             self.bus.emit(SegmentFused(
@@ -769,14 +787,14 @@ class SegmentedFleetExecutor:
                 horizon_s=None if horizon == float("inf") else horizon,
                 clusters=sum(1 for items in plan.values() if items),
                 successes=sum(1 for kind, _ in items if kind == "success"),
-                failures=sum(1 for kind, _ in items if kind == "fail")))
+                failures=sum(1 for kind, _ in items if kind == "fail"),
+                bound=bound))
         self.segments += 1
         with self.bus.span("execute"):
             self._run_waves(plan)
 
     def _plan_segment(self, current: "ScheduledCluster", agg_s: float,
-                      extra_s: float, horizon: float
-                      ) -> Dict[str, List[tuple]]:
+                      extra_s: float, horizon: float):
         """Dry-run the edge process's arithmetic up to the fault horizon.
 
         Mirrors the kernel loop float-for-float over :class:`_PlanCursor`
@@ -792,7 +810,8 @@ class SegmentedFleetExecutor:
         items: successes pre-execute as waves; failures pre-apply their
         cluster-clock charge between waves (so later successes carry
         the right cumulative clock) and are otherwise left for the
-        kernel to process inline.
+        kernel to process inline.  The second return value names the
+        admitting bound for telemetry.
         """
         edge_clock = self.edge_clock_ref[0]
         cursors = {c.name: _PlanCursor(self, c, self.states[c.name])
@@ -847,27 +866,41 @@ class SegmentedFleetExecutor:
                 plan[cluster.name].append(
                     ("fail", cursor.fail_charge(kind, up, down)))
             cursor.apply(kind, up, down)
-        return plan
+        return plan, "before-horizon"
 
     def _plan_wave(self, current: "ScheduledCluster", agg_s: float,
-                   extra_s: float, horizon: float) -> Dict[str, List[tuple]]:
-        """Loss-coupled planning: fuse per-cluster futures when provably
-        safe, else just the requesting round.
+                   extra_s: float, horizon: float):
+        """Loss-coupled planning: fuse each cluster's earliest-consumed
+        rounds up to the fault horizon, quorum-safely.
 
         ``loss_priority`` picks depend on losses the planner cannot
         foresee, but each cluster's round math, budget burn, battery
         drain and failure streak evolve in its own round order whatever
         the interleaving.  The hazard is timing: a pre-executed round
         must be *consumed* strictly before the next fault can change its
-        contributor mask (or retire clusters under it).  Sound bound:
-        ``max(edge clock, every ready time)`` grows by at most one
-        round's span per processed round, so if that maximum plus the
-        spans of every remaining round (successes and failures alike)
-        stays below the horizon, every remaining round is safe under
-        *any* pick order — fuse them all.  Otherwise only the
-        requesting round (already at its math point) is safe; the next
-        request re-picks and re-plans, by which time the horizon has
-        usually moved past the fault.
+        contributor mask (or retire clusters under it).
+
+        Sound bound: ``max(edge clock, every ready time)`` grows by at
+        most one round's *span* per processed round, so cluster X's
+        ``j``-th future round is consumed no later than that starting
+        maximum plus every other cluster's total remaining span plus
+        X's own spans through ``j`` — whatever the pick order.  The
+        per-cluster prefix whose worst-case consume time stays strictly
+        below the horizon fuses; the rest runs inline and re-plans at
+        its next request (by which time the horizon has usually moved
+        past the fault).  Rounds already pre-executed by an earlier
+        wave but not yet consumed (``queues``/``fail_queues``) are
+        fast-forwarded through each cursor — the trace dictates the
+        same kinds in the same order — and their spans count toward the
+        bound, since new rounds consume after them.
+
+        Quorum safety: cluster death is terminal, so the alive count
+        after walking *all* remaining rounds lower-bounds the alive
+        count at every intermediate point.  If even that final count
+        satisfies the quorum, no pick inside the window can trip the
+        halt — in this engine or the unfused reference — and fusion is
+        safe; otherwise only the requesting round is planned and the
+        kernel walks into the halt inline.
         """
         cursors = {c.name: _PlanCursor(self, c, self.states[c.name])
                    for c in self.clusters}
@@ -875,23 +908,29 @@ class SegmentedFleetExecutor:
         plan: Dict[str, List[tuple]] = {c.name: [] for c in self.clusters}
         plan[current.name].append(("success", extra_s))
 
-        bound = max([self.edge_clock_ref[0]]
-                    + [cursor.ready for cursor in cursors.values()])
+        committed: Dict[str, float] = {}
+        for cluster in self.clusters:
+            name = cluster.name
+            outstanding = len(self.queues[name]) + len(self.fail_queues[name])
+            span_sum = 0.0
+            cursor = cursors[name]
+            for _ in range(outstanding):
+                kind, up, down = cursor.peek()
+                span_sum += cursor.span(kind, up, down)
+                cursor.apply(kind, up, down)
+            committed[name] = span_sum
+
+        bound_start = max([self.edge_clock_ref[0]]
+                          + [cursor.ready for cursor in cursors.values()])
         futures: Dict[str, List[tuple]] = {}
+        spans: Dict[str, List[float]] = {}
         for cluster in self.clusters:
             cursor = cursors[cluster.name]
             items: List[tuple] = []
+            item_spans: List[float] = []
             while cursor.pending:
                 kind, up, down = cursor.peek()
-                bound += cursor.span(kind, up, down)
-                if not bound < horizon:
-                    # Already unsafe: the rest of the walk can only
-                    # push the bound further, so stop pricing futures
-                    # and fall back to the requesting round alone.
-                    if self.bus.wants(WavePlanned.kind):
-                        self.bus.emit(WavePlanned(clusters=1, rounds=1,
-                                                  fused_all=False))
-                    return plan
+                item_spans.append(cursor.span(kind, up, down))
                 if kind == "success":
                     items.append(("success", cursor.extra(up, down)))
                 else:
@@ -899,14 +938,43 @@ class SegmentedFleetExecutor:
                                   cursor.fail_charge(kind, up, down)))
                 cursor.apply(kind, up, down)
             futures[cluster.name] = items
-        for name, items in futures.items():
-            plan[name].extend(items)
-        if self.bus.wants(WavePlanned.kind):
-            self.bus.emit(WavePlanned(
-                clusters=sum(1 for items in plan.values() if items),
-                rounds=sum(len(items) for items in plan.values()),
-                fused_all=True))
-        return plan
+            spans[cluster.name] = item_spans
+
+        def emitted(bound: str):
+            if self.bus.wants(WavePlanned.kind):
+                self.bus.emit(WavePlanned(
+                    clusters=sum(1 for items in plan.values() if items),
+                    rounds=sum(len(items) for items in plan.values()),
+                    fused_all=bound == "all-before-horizon", bound=bound))
+            return plan, bound
+
+        quorum = self.resilience.quorum
+        total = len(self.clusters)
+        if quorum > 0.0 and total:
+            alive = sum(1 for c in self.clusters if not cursors[c.name].dead)
+            if alive / total < quorum:
+                return emitted("quorum-risk")
+
+        totals = {name: committed[name] + sum(spans[name])
+                  for name in committed}
+        grand = bound_start + sum(totals.values())
+        all_taken = True
+        for cluster in self.clusters:
+            name = cluster.name
+            run = grand - totals[name] + committed[name]
+            take = 0
+            for span in spans[name]:
+                run += span
+                if not run < horizon:
+                    break
+                take += 1
+            plan[name].extend(futures[name][:take])
+            if take < len(futures[name]):
+                all_taken = False
+        if all_taken:
+            return emitted("all-before-horizon")
+        fused = sum(len(items) for items in plan.values())
+        return emitted("prefix" if fused > 1 else "requesting-only")
 
     def _run_waves(self, plan: Dict[str, List[tuple]]) -> None:
         """Pre-execute the planned rounds as stacked fleet waves.

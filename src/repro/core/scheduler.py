@@ -591,7 +591,15 @@ class ExecutionPlan:
         :class:`~repro.sim.channel.ChannelTrace`\\ s so the planner can
         price lossy rounds (requires ``fused``).
     reason:
-        Why fusion (or batching) is off — empty when it is on.
+        Why fusion (or batching) is off — empty when it is on.  Human
+        prose; when several gates block at once they are joined with
+        ``"; "``.
+    reasons:
+        The same gates as machine-readable slugs, one per blocker —
+        ``"segment-batching-disabled"``, ``"no-stackable-group"``,
+        ``"non-rerecordable-channel"``, ``"analytic-engine"`` — empty
+        when fusion (or batching) is on.  Tests and experiment drivers
+        match on these instead of parsing the prose.
     """
 
     engine: str
@@ -600,6 +608,7 @@ class ExecutionPlan:
     mode: str = "segment"
     traced: bool = False
     reason: str = ""
+    reasons: Tuple[str, ...] = ()
 
     @property
     def stacked_clusters(self) -> int:
@@ -789,15 +798,17 @@ class EdgeTrainingScheduler:
             return ExecutionPlan(
                 "analytic", groups,
                 reason="closed-form ensemble pricing — no per-round "
-                       "execution")
+                       "execution",
+                reasons=("analytic-engine",))
         if self.engine == "event":
+            blockers: List[Tuple[str, str]] = []
             if not self.segment_batching:
-                return ExecutionPlan("event", groups,
-                                     reason="segment batching disabled")
+                blockers.append(("segment-batching-disabled",
+                                 "segment batching disabled"))
             if not stackable:
-                return ExecutionPlan(
-                    "event", groups,
-                    reason="no homogeneous group of >= 2 clusters to stack")
+                blockers.append((
+                    "no-stackable-group",
+                    "no homogeneous group of >= 2 clusters to stack"))
             lossy = self.channels is not None and not self.channels.ideal
             # Coded channels must be trace-priced even when lossless:
             # parity frames radiate extra bytes and airtime the
@@ -806,18 +817,34 @@ class EdgeTrainingScheduler:
             # base spec being uncoded is not enough to skip tracing.
             traced = lossy or (self.channels is not None
                                and self.resilience.recovery != "arq")
-            if lossy and self.resilience.adaptive_arq \
-                    and bool(self.fault_schedule):
+            # Adaptive budgets re-derive at fault boundaries; a traced
+            # channel then re-records its remaining horizon, which
+            # requires a rewindable draw stream (zero jitter plus a
+            # block-samplable loss model).  Channels that cannot rewind
+            # keep the unfused loop — the only remaining fault/loss
+            # coupling gate.
+            rederives = bool(self.fault_schedule) \
+                and self.channels is not None \
+                and (self.resilience.adaptive_arq
+                     or (self.resilience.recovery in ("fec", "hybrid")
+                         and self.channels.coding is None))
+            if rederives and traced and not self.channels.rerecordable:
+                blockers.append((
+                    "non-rerecordable-channel",
+                    "budget re-derivation at fault boundaries needs a "
+                    "re-recordable draw stream (jittered or "
+                    "scalar-fallback loss models cannot rewind)"))
+            if blockers:
                 return ExecutionPlan(
                     "event", groups,
-                    reason="adaptive ARQ re-derivation at fault boundaries "
-                           "changes lossy-channel behaviour mid-run")
+                    reason="; ".join(human for _, human in blockers),
+                    reasons=tuple(slug for slug, _ in blockers))
             if self.policy == "loss_priority":
-                if self.resilience.quorum > 0.0:
-                    return ExecutionPlan(
-                        "event", groups,
-                        reason="loss_priority pick timing couples to the "
-                               "quorum halt")
+                # Quorum-guarded fleets fuse too: _plan_wave proves per
+                # wave that no death can land inside the outstanding
+                # window (deaths are terminal, so the post-wave alive
+                # count lower-bounds every intermediate one) and falls
+                # back to a requesting-round-only plan otherwise.
                 return ExecutionPlan("event", groups, fused=True,
                                      mode="wave", traced=traced)
             return ExecutionPlan("event", groups, fused=True, traced=traced)
@@ -829,10 +856,12 @@ class EdgeTrainingScheduler:
             return ExecutionPlan("batched", groups)
         if self.engine == "auto" and stackable:
             return ExecutionPlan("batched", groups)
+        if self.engine == "sequential":
+            return ExecutionPlan("sequential", groups)
         return ExecutionPlan(
             "sequential", groups,
-            reason="" if self.engine == "sequential"
-            else "no homogeneous group of >= 2 clusters to stack")
+            reason="no homogeneous group of >= 2 clusters to stack",
+            reasons=("no-stackable-group",))
 
     def run(self, rounds_per_cluster: int = 50) -> ScheduleReport:
         """Execute training until every cluster has its round budget.
@@ -977,19 +1006,29 @@ class EdgeTrainingScheduler:
                 state.down_channel.replay(state.down_channel.record_trace(
                     costs.down_bytes, rounds_per_cluster, policy=policy))
 
-    def _arq_rederiver(self, states: Dict[str, "_EventClusterState"],
-                       budget: Dict[str, int], sim: EventScheduler):
-        """Per-fault ARQ re-derivation hook (adaptive ARQ satellite).
+    def _budget_rederiver(self, states: Dict[str, "_EventClusterState"],
+                          budget: Dict[str, int], sim: EventScheduler):
+        """Per-fault budget re-derivation hook (adaptive ARQ + FEC).
 
         Run-start budgets price each cluster's *initial* deadline slack
         and battery headroom; a brownout, failover or straggler changes
         both.  This callback re-runs
-        :meth:`ResilientOrchestrationPolicy.arq_retries_for` with the
-        cluster's *remaining* rounds, remaining deadline and current
-        battery at every fault application and swaps the channel's
-        retransmission budget in place.
+        :meth:`ResilientOrchestrationPolicy.arq_retries_for` (and, for
+        adaptively-coded fleets, :meth:`ResilientOrchestrationPolicy.
+        coding_parity_for` per link direction) with the cluster's
+        *remaining* rounds, remaining deadline and current battery at
+        every fault application and swaps the channel's budgets in
+        place.  A channel whose budget changed then **re-records** the
+        remaining horizon of its trace from the cursor's resume point
+        (:meth:`~repro.sim.channel.UnreliableChannel.rerecord_trace`),
+        so fused planning keeps pricing past the fault boundary from
+        the exact draw stream a live run would consume.
         """
         by_name = {c.name: c for c in self.clusters}
+        policy = self.resilience
+        wants_fec = (policy.recovery in ("fec", "hybrid")
+                     and self.channels is not None
+                     and self.channels.coding is None)
 
         def rederive(event: FaultEvent) -> None:
             cluster = by_name.get(event.cluster)
@@ -1000,26 +1039,58 @@ class EdgeTrainingScheduler:
             if state.dead or remaining <= 0:
                 return
             costs = cluster.trainer.round_costs(cluster.batch_size)
-            ideal_remaining_s = costs.timing.total_s * remaining
-            slack = (float("inf") if cluster.deadline_s is None
-                     else (cluster.deadline_s - sim.now) / ideal_remaining_s)
             round_j = (state.radio.tx_energy(costs.up_wire_bytes * 8,
                                              state.backhaul_m)
                        + state.radio.rx_energy(costs.down_wire_bytes * 8))
             headroom = state.battery.remaining_j / (round_j * remaining)
-            retries = self.resilience.arq_retries_for(
-                self.channels.arq.max_retries, slack, headroom)
-            for direction, channel in (("up", state.up_channel),
-                                       ("down", state.down_channel)):
-                if channel.arq.max_retries != retries:
-                    if self._bus.wants(ArqRederived.kind):
-                        self._bus.emit(ArqRederived(
-                            cluster=event.cluster, direction=direction,
-                            old_retries=channel.arq.max_retries,
-                            new_retries=retries, time_s=sim.now))
-                    channel.arq = ARQConfig(
-                        max_retries=retries,
-                        ack_timeout_s=channel.arq.ack_timeout_s)
+            changed = {"up": False, "down": False}
+            if policy.adaptive_arq:
+                ideal_remaining_s = costs.timing.total_s * remaining
+                slack = (float("inf") if cluster.deadline_s is None
+                         else (cluster.deadline_s - sim.now)
+                         / ideal_remaining_s)
+                retries = policy.arq_retries_for(
+                    self.channels.arq.max_retries, slack, headroom)
+                for direction, channel in (("up", state.up_channel),
+                                           ("down", state.down_channel)):
+                    if channel.arq.max_retries != retries:
+                        if self._bus.wants(ArqRederived.kind):
+                            self._bus.emit(ArqRederived(
+                                cluster=event.cluster, direction=direction,
+                                old_retries=channel.arq.max_retries,
+                                new_retries=retries, time_s=sim.now))
+                        channel.set_arq(ARQConfig(
+                            max_retries=retries,
+                            ack_timeout_s=channel.arq.ack_timeout_s))
+                        changed[direction] = True
+            if wants_fec:
+                model = as_loss_model(
+                    self.channels.loss() if callable(self.channels.loss)
+                    else self.channels.loss)
+                rate = model.mean_loss_rate if model is not None else 0.0
+                hybrid = policy.recovery == "hybrid"
+                timing = cluster.trainer.timing
+                for direction, channel, frames in (
+                        ("up", state.up_channel,
+                         timing.up.frames_for(costs.up_bytes)),
+                        ("down", state.down_channel,
+                         timing.down.frames_for(costs.down_bytes))):
+                    parity = policy.coding_parity_for(frames, rate, headroom)
+                    current = (channel.coding.parity_frames
+                               if channel.coding is not None else 0)
+                    if parity != current:
+                        if self._bus.wants(ParityChosen.kind):
+                            self._bus.emit(ParityChosen(
+                                cluster=event.cluster, direction=direction,
+                                parity=parity, loss_rate=rate,
+                                headroom_j=state.battery.remaining_j))
+                        channel.set_coding(CodingSpec(parity, hybrid))
+                        changed[direction] = True
+            for channel, was_changed in ((state.up_channel, changed["up"]),
+                                         (state.down_channel,
+                                          changed["down"])):
+                if was_changed:
+                    channel.rerecord_trace()
 
         return rederive
 
@@ -1076,8 +1147,11 @@ class EdgeTrainingScheduler:
             self._record_channel_traces(states, rounds_per_cluster)
         injector = FaultInjector(self.fault_schedule, states, bus=bus)
         budget = {c.name: rounds_per_cluster for c in self.clusters}
-        if self.resilience.adaptive_arq and self.channels is not None:
-            injector.on_applied = self._arq_rederiver(states, budget, sim)
+        if self.channels is not None and (
+                self.resilience.adaptive_arq
+                or (self.resilience.recovery in ("fec", "hybrid")
+                    and self.channels.coding is None)):
+            injector.on_applied = self._budget_rederiver(states, budget, sim)
         injector.arm(sim)
 
         completion: Dict[str, List[float]] = {c.name: [] for c in self.clusters}

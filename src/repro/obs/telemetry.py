@@ -93,17 +93,27 @@ class SegmentFused(TelemetryEvent):
     clusters: int
     successes: int
     failures: int
+    bound: str = ""   # which planner bound admitted the batch
 
 
 @dataclass(frozen=True)
 class WavePlanned(TelemetryEvent):
-    """Wave mode planned its next fleet wave (full fusion or fallback)."""
+    """Wave mode planned its next fleet wave (full fusion or fallback).
+
+    ``bound`` names the planner bound that decided the wave's extent:
+    ``"all-before-horizon"`` (every outstanding round provably finishes
+    before the fault horizon), ``"prefix"`` (per-cluster incremental
+    bound fused the earliest-consumed rounds only), ``"quorum-risk"``
+    (a death inside the window could trip the quorum mid-wave) or
+    ``"requesting-only"`` (nothing beyond the requesting round fit).
+    """
 
     kind = "wave_planned"
 
     clusters: int
     rounds: int
     fused_all: bool
+    bound: str = ""
 
 
 @dataclass(frozen=True)

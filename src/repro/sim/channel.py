@@ -282,10 +282,19 @@ class ChannelTrace:
     :meth:`UnreliableChannel.transmit` will serve.  The scheduler's
     segment planner reads entries by absolute index (:meth:`entry`)
     without disturbing the cursor, so planning never perturbs replay.
+
+    Traces recorded by :meth:`UnreliableChannel.record_trace` carry the
+    re-recording metadata (``channel``, ``payload_bytes``, ``origin`` —
+    the absolute sampler verdict offset of ``entries[0]``) that lets
+    :meth:`rerecord` re-price the unconsumed horizon after the
+    channel's ARQ/coding budgets change mid-run.
     """
 
     entries: Tuple[TransmitResult, ...]
     cursor: int = 0
+    channel: Optional["UnreliableChannel"] = None
+    payload_bytes: int = 0
+    origin: int = 0
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -306,6 +315,33 @@ class ChannelTrace:
         result = self.entries[self.cursor]
         self.cursor += 1
         return result
+
+    def rerecord(self) -> None:
+        """Re-record the unconsumed horizon under the channel's current
+        budgets.
+
+        The loss-verdict stream is budget-independent — an ARQ cap or
+        parity count only changes how verdicts parse into slots and
+        bursts — so re-recording rewinds the channel's sampler to the
+        verdict offset the consumed entries end at (exactly where a
+        live run would stand) and re-batches the remaining transmits.
+        Consumed entries are kept verbatim: they already happened.
+        """
+        channel = self.channel
+        if channel is None:
+            raise ValueError(
+                "trace lacks re-recording metadata; record it via "
+                "UnreliableChannel.record_trace")
+        consumed = self.entries[:self.cursor]
+        remaining = len(self.entries) - self.cursor
+        sampler = channel._sampler
+        if sampler is not None:
+            resume = self.origin + sum(e.attempts for e in consumed)
+            sampler.rewind(resume)
+            sampler.pin(resume)
+        if remaining:
+            self.entries = consumed + tuple(
+                channel.transmit_batch(self.payload_bytes, remaining))
 
 
 class ChunkedChannelTrace:
@@ -338,6 +374,14 @@ class ChunkedChannelTrace:
         self.cursor = 0
         self._entries: Deque[TransmitResult] = deque()
         self._base = 0   # absolute index of _entries[0]
+        # Absolute sampler verdict offset of _entries[0]; advances by the
+        # popped entry's attempts on every discard so a mid-chunk
+        # re-record can compute the exact resume offset.  The pin keeps
+        # the sampler's buffer replayable from there.
+        sampler = channel._sampler
+        self._offset0 = sampler.position if sampler is not None else 0
+        if sampler is not None:
+            sampler.pin(self._offset0)
 
     def __len__(self) -> int:
         return self.total
@@ -375,10 +419,36 @@ class ChunkedChannelTrace:
                 f"trace of {self.total} transmits exhausted")
         result = self.entry(self.cursor)
         self.cursor += 1
+        moved = False
         while self._base < self.cursor - 1:
-            self._entries.popleft()
+            popped = self._entries.popleft()
             self._base += 1
+            self._offset0 += popped.attempts
+            moved = True
+        if moved and self.channel._sampler is not None:
+            self.channel._sampler.pin(self._offset0)
         return result
+
+    def rerecord(self) -> None:
+        """Drop the recorded-ahead frontier; refill under new budgets.
+
+        Keeps every entry up to and including the one ``cursor`` last
+        consumed (``entry(cursor - 1)`` stays readable for the
+        planner's ``seed_current``) and rewinds the sampler to the
+        verdict offset *after* those retained entries — including the
+        already-consumed retained entry's attempts, which is the
+        off-by-one that would otherwise replay consumed draws.
+        Discarded frontier entries re-record lazily on the next
+        :meth:`entry` from the rewound stream.
+        """
+        keep = self.cursor - self._base
+        sampler = self.channel._sampler
+        if sampler is not None:
+            resume = self._offset0 + sum(
+                self._entries[i].attempts for i in range(keep))
+            sampler.rewind(resume)
+        while len(self._entries) > keep:
+            self._entries.pop()
 
 
 #: Either trace flavour serves :meth:`UnreliableChannel.transmit`.
@@ -478,12 +548,56 @@ class UnreliableChannel:
         if chunk_size is not None:
             return ChunkedChannelTrace(self, payload_bytes, transmits,
                                        chunk_size)
+        origin = self._sampler.position if self._sampler is not None else 0
+        if self._sampler is not None:
+            self._sampler.pin(origin)
         return ChannelTrace(tuple(self.transmit_batch(payload_bytes,
-                                                      transmits)))
+                                                      transmits)),
+                            channel=self, payload_bytes=payload_bytes,
+                            origin=origin)
 
     def replay(self, trace: ChannelTraceLike) -> None:
         """Serve future :meth:`transmit` calls from ``trace`` in order."""
         self.trace = trace
+
+    @property
+    def rerecordable(self) -> bool:
+        """True when this channel's trace can re-record mid-run.
+
+        Requires the draw stream to be rewindable: lossless channels
+        draw nothing, block-sampled lossy channels retain their pinned
+        verdict buffer.  Jittered or scalar-fallback channels consume
+        the raw generator irreversibly.
+        """
+        return self.jitter_s == 0.0 and (self.loss is None
+                                         or self._sampler is not None)
+
+    def set_arq(self, arq: ARQConfig) -> None:
+        """Swap the retransmission budget mid-run (fault re-derivation).
+
+        Re-resolves the recovery strategy and drops the exact-elapsed
+        memo tables — their entries are priced under the old retry cap.
+        """
+        self.arq = arq
+        self.strategy = RecoveryStrategy.resolve(self.arq, self.coding)
+        self._elapsed_memo.clear()
+
+    def set_coding(self, coding: Optional[CodingSpec]) -> None:
+        """Swap the erasure-coding budget mid-run (parity re-derivation)."""
+        self.coding = coding
+        self.strategy = RecoveryStrategy.resolve(self.arq, self.coding)
+        self._elapsed_memo.clear()
+
+    def rerecord_trace(self) -> None:
+        """Re-record the attached trace's unconsumed horizon under the
+        current budgets; no-op for live (untraced) channels."""
+        if self.trace is None:
+            return
+        if not self.rerecordable:
+            raise RuntimeError(
+                "channel draws cannot be rewound (jittered or scalar "
+                "fallback); the execution plan should not have fused")
+        self.trace.rerecord()
 
     # ------------------------------------------------------------------
     def transmit(self, n_bytes: int) -> TransmitResult:
@@ -1030,6 +1144,26 @@ class ChannelSpec:
         ``"none"`` when nothing recovers a lost frame.
         """
         return self.recovery_strategy.kind
+
+    @property
+    def rerecordable(self) -> bool:
+        """True when channels built from this spec can re-record traces.
+
+        Re-recording rewinds the sampler's verdict stream, so it needs
+        a block-samplable loss model (or no loss at all) and no jitter
+        — the same conditions :func:`~repro.sim.sampler.make_loss_sampler`
+        checks, probed here on a throwaway model instance (factories
+        draw nothing at construction).
+        """
+        if self.jitter_s != 0.0:
+            return False
+        model = as_loss_model(self.loss() if callable(self.loss)
+                              else self.loss)
+        if model is None:
+            return True
+        if not self.vectorize:
+            return False
+        return make_loss_sampler(model, np.random.default_rng(0)) is not None
 
     @property
     def ideal(self) -> bool:

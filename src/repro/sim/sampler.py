@@ -71,6 +71,39 @@ class LossSampler:
     def reset(self) -> None:
         """Re-derive buffered verdicts after a loss-model reset."""
 
+    # -- absolute stream addressing (trace re-recording support) -------
+    #
+    # Subclasses keep ``_origin`` (absolute verdict offset of the buffer
+    # base), ``_pos`` (consumed frames relative to the base) and
+    # ``_pin`` (absolute offset the buffer must retain, or None).
+
+    @property
+    def position(self) -> int:
+        """Absolute verdict offset of the next unconsumed frame."""
+        return self._origin + self._pos
+
+    def pin(self, offset: Optional[int]) -> None:
+        """Retain buffered verdicts from absolute ``offset`` on.
+
+        Pinned verdicts survive compaction, so a later :meth:`rewind`
+        to any offset at or past the pin replays them bit-identically.
+        ``None`` releases the pin.
+        """
+        if offset is not None and not self._origin <= offset <= self.position:
+            raise ValueError(
+                f"pin offset {offset} outside retained buffer "
+                f"[{self._origin}, {self.position}]")
+        self._pin = offset
+
+    def rewind(self, offset: int) -> None:
+        """Move the cursor back to absolute ``offset`` (pinned region)."""
+        rel = offset - self._origin
+        if not 0 <= rel <= self._pos:
+            raise ValueError(
+                f"rewind offset {offset} outside retained buffer "
+                f"[{self._origin}, {self.position}]")
+        self._pos = rel
+
 
 class BernoulliSampler(LossSampler):
     """i.i.d. losses: one uniform per frame, block-compared to the rate."""
@@ -80,14 +113,19 @@ class BernoulliSampler(LossSampler):
         self.rng = rng
         self._verdicts = np.empty(0, dtype=bool)
         self._pos = 0
+        self._origin = 0
+        self._pin: Optional[int] = None
 
     def peek(self, n: int) -> np.ndarray:
         avail = self._verdicts.size - self._pos
         if avail < n:
-            if self._pos:
-                self._verdicts = self._verdicts[self._pos:]
-                self._pos = 0
-            draw = max(n - self._verdicts.size, _MIN_BLOCK)
+            drop = self._pos if self._pin is None else \
+                min(self._pos, max(self._pin - self._origin, 0))
+            if drop:
+                self._verdicts = self._verdicts[drop:]
+                self._pos -= drop
+                self._origin += drop
+            draw = max(self._pos + n - self._verdicts.size, _MIN_BLOCK)
             fresh = self.rng.random(draw) < self.model.rate
             self._verdicts = np.concatenate([self._verdicts, fresh])
         return self._verdicts[self._pos:self._pos + n]
@@ -121,16 +159,23 @@ class GilbertElliottSampler(LossSampler):
         self._derived = 0    # frames of the buffer with verdicts computed
         self._pos = 0        # frames already consumed
         self._chain_bad = bool(model.bad)   # state after frame _derived-1
+        self._origin = 0
+        self._origin_bad = bool(model.bad)  # state entering frame _origin
+        self._pin: Optional[int] = None
 
     def _compact(self) -> None:
-        if self._pos == 0:
+        drop = self._pos if self._pin is None else \
+            min(self._pos, max(self._pin - self._origin, 0))
+        if drop == 0:
             return
-        self._flip_u = self._flip_u[self._pos:]
-        self._loss_u = self._loss_u[self._pos:]
-        self._verdicts = self._verdicts[self._pos:]
-        self._states = self._states[self._pos:]
-        self._derived -= self._pos
-        self._pos = 0
+        self._origin_bad = bool(self._states[drop - 1])
+        self._flip_u = self._flip_u[drop:]
+        self._loss_u = self._loss_u[drop:]
+        self._verdicts = self._verdicts[drop:]
+        self._states = self._states[drop:]
+        self._derived -= drop
+        self._pos -= drop
+        self._origin += drop
 
     def _derive(self, upto: int) -> None:
         """Extend derived verdicts/states to cover ``upto`` frames."""
@@ -180,18 +225,34 @@ class GilbertElliottSampler(LossSampler):
         if self._pos:
             self.model.bad = bool(self._states[self._pos - 1])
 
+    def rewind(self, offset: int) -> None:
+        """Rewind and re-sync the chain state to the resume point.
+
+        Already-derived verdicts/states are retained and replayed —
+        they depend only on the raw uniforms and the chain state at the
+        buffer base, never on how the stream was parsed downstream.
+        """
+        super().rewind(offset)
+        rel = self._pos
+        self.model.bad = bool(self._states[rel - 1]) if rel > 0 \
+            else self._origin_bad
+
     def reset(self) -> None:
         """Forget derived verdicts past the cursor; re-derive from GOOD.
 
         Called after ``model.reset()``: buffered raw uniforms stay (they
         are the same stream positions the scalar path would consume
         next) but their verdicts are recomputed against the reset chain.
+        Releases any pin — a reset invalidates the retained verdicts a
+        rewind would replay.
         """
+        self._pin = None
         self._compact()
         self._verdicts = self._verdicts[:0]
         self._states = self._states[:0]
         self._derived = 0
         self._chain_bad = bool(self.model.bad)
+        self._origin_bad = bool(self.model.bad)
 
 
 def make_loss_sampler(loss, rng: np.random.Generator,

@@ -133,15 +133,18 @@ class TestFusedEquivalence:
         assert report.rounds_per_cluster == {f"c{i}": ROUNDS
                                              for i in range(4)}
 
-    def test_loss_priority_with_quorum_stays_unfused(self):
-        """The quorum halt's timing couples to pick order the wave
-        planner cannot mirror, so this one combination falls back."""
+    def test_loss_priority_with_quorum_fuses(self):
+        """Quorum-guarded loss_priority fleets fuse now: the wave
+        planner proves per wave that no death can land inside the
+        outstanding window (deaths are terminal), and falls back to a
+        requesting-round-only plan when one could."""
         faults = FaultSchedule([FaultEvent(1e-3, "cluster_death", "c0")])
-        report = build_scheduler(
-            policy="loss_priority", faults=faults,
-            resilience=ResilientOrchestrationPolicy(quorum=0.5)).run(
-            rounds_per_cluster=5)
-        assert report.fused_rounds == 0
+        pair = run_pair(policy="loss_priority", faults=faults,
+                        resilience=ResilientOrchestrationPolicy(quorum=0.5),
+                        rounds=5)
+        assert_fused_matches_unfused(*pair)
+        assert pair[1].fused_rounds > 0
+        assert not pair[1].halted          # 3/4 alive >= 0.5
 
     def test_loss_priority_fault_free_matches_unfused(self):
         pair = run_pair(policy="loss_priority")
@@ -377,22 +380,26 @@ class TestExecutionPlan:
         plan = build_scheduler(policy="loss_priority").execution_plan()
         assert plan.fused and plan.mode == "wave"
 
-    def test_quorum_loss_priority_plan_unfused(self):
+    def test_quorum_loss_priority_plan_fused(self):
+        """The quorum gate is gone: safety is proved per wave instead."""
         plan = build_scheduler(
             policy="loss_priority",
             resilience=ResilientOrchestrationPolicy(
                 quorum=0.5)).execution_plan()
-        assert not plan.fused and "quorum" in plan.reason
+        assert plan.fused and plan.mode == "wave"
+        assert plan.reasons == ()
 
-    def test_adaptive_arq_with_faults_and_loss_unfused(self):
-        """Mid-run ARQ re-derivation invalidates recorded traces."""
+    def test_adaptive_arq_with_faults_and_loss_fuses(self):
+        """Mid-run ARQ re-derivation no longer disables fusion: the
+        affected channels re-record their remaining trace horizon at
+        the fault boundary instead."""
         faults = FaultSchedule([FaultEvent(1.0, "brownout", "c0",
                                            magnitude=0.5)])
         plan = build_scheduler(
             channels=ChannelSpec(loss=0.1), faults=faults,
             resilience=ResilientOrchestrationPolicy(
                 adaptive_arq=True)).execution_plan()
-        assert not plan.fused and "ARQ" in plan.reason
+        assert plan.fused and plan.traced and plan.reasons == ()
         # Lossless channels never consult the retry budget: fusable.
         plan = build_scheduler(
             faults=faults,
@@ -400,13 +407,196 @@ class TestExecutionPlan:
                 adaptive_arq=True)).execution_plan()
         assert plan.fused
 
+    def test_jittered_rederiving_channel_stays_unfused(self):
+        """Jittered draws cannot rewind, so re-derivation under faults
+        keeps the one remaining loss/fault coupling gate closed."""
+        faults = FaultSchedule([FaultEvent(1.0, "brownout", "c0",
+                                           magnitude=0.5)])
+        plan = build_scheduler(
+            channels=ChannelSpec(loss=0.1, jitter_s=0.0005), faults=faults,
+            resilience=ResilientOrchestrationPolicy(
+                adaptive_arq=True)).execution_plan()
+        assert not plan.fused
+        assert plan.reasons == ("non-rerecordable-channel",)
+        assert "re-record" in plan.reason
+        # Without faults nothing re-derives: jittered traces replay fine.
+        plan = build_scheduler(
+            channels=ChannelSpec(loss=0.1, jitter_s=0.0005),
+            resilience=ResilientOrchestrationPolicy(
+                adaptive_arq=True)).execution_plan()
+        assert plan.fused
+
     def test_segment_batching_flag_in_plan(self):
         plan = build_scheduler(fused=False).execution_plan()
         assert not plan.fused and "disabled" in plan.reason
+        assert plan.reasons == ("segment-batching-disabled",)
 
     def test_hetero_plan_groups(self):
         plan = build_scheduler(latents=[4, 6, 4, 6]).execution_plan()
         assert sorted(plan.groups) == [(0, 2), (1, 3)]
+
+    def test_decision_matrix(self):
+        """Enumerate engine × recovery × faults × adaptive_arq × quorum
+        and assert each combination's fused/unfused outcome and reason
+        slugs.  Under the new gates the *only* event-engine blockers
+        are the flag, unstackable fleets and non-rerecordable channels
+        — resilience knobs never disable fusion on rewindable draws."""
+        faults = FaultSchedule([FaultEvent(1.0, "brownout", "c0",
+                                           magnitude=0.5)])
+        lossy = ChannelSpec(loss=0.1)
+        jittery = ChannelSpec(loss=0.1, jitter_s=0.0005)
+        for recovery in ("arq", "fec", "hybrid"):
+            for with_faults in (False, True):
+                for adaptive in (False, True):
+                    for quorum in (0.0, 0.5):
+                        resilience = ResilientOrchestrationPolicy(
+                            recovery=recovery, adaptive_arq=adaptive,
+                            quorum=quorum)
+                        for policy in ("round_robin", "loss_priority"):
+                            combo = (recovery, with_faults, adaptive,
+                                     quorum, policy)
+                            plan = build_scheduler(
+                                policy=policy, channels=lossy,
+                                faults=faults if with_faults else None,
+                                resilience=resilience).execution_plan()
+                            assert plan.fused and plan.traced, combo
+                            assert plan.reasons == (), combo
+                            expected = ("wave" if policy == "loss_priority"
+                                        else "segment")
+                            assert plan.mode == expected, combo
+                            # Jittered channels flip exactly the combos
+                            # that re-derive budgets at fault boundaries.
+                            plan = build_scheduler(
+                                policy=policy, channels=jittery,
+                                faults=faults if with_faults else None,
+                                resilience=resilience).execution_plan()
+                            rederives = with_faults and (
+                                adaptive or recovery != "arq")
+                            assert plan.fused == (not rederives), combo
+                            assert plan.reasons == (
+                                ("non-rerecordable-channel",)
+                                if rederives else ()), combo
+        # The non-event engines and the flag keep their own slugs.
+        plan = build_scheduler(fused=False).execution_plan()
+        assert plan.reasons == ("segment-batching-disabled",)
+        plan = build_scheduler(latents=[3, 4, 5, 6]).execution_plan()
+        assert plan.reasons == ("no-stackable-group",)
+        plan = build_scheduler(engine="analytic").execution_plan()
+        assert plan.reasons == ("analytic-engine",)
+
+
+def assert_rng_states_match(fused, unfused):
+    """The fused run leaves every training RNG stream where the
+    unfused run does — re-recording must not perturb a draw."""
+    for c_f, c_u in zip(fused.clusters, unfused.clusters):
+        assert c_f.trainer.rng.bit_generator.state \
+            == c_u.trainer.rng.bit_generator.state
+        assert c_f.stream_rng.bit_generator.state \
+            == c_u.stream_rng.bit_generator.state
+
+
+class TestRerecordFusion:
+    """The run classes PR 9 unfuses the gates for: adaptive budgets
+    re-derived at fault boundaries (trace re-recording) and
+    quorum-guarded loss_priority fleets (terminality bound)."""
+
+    def _brownout(self, fraction=0.5, cluster="c0", **kwargs):
+        probe = build_scheduler(fused=False, **kwargs)
+        makespan = probe.run(rounds_per_cluster=ROUNDS).makespan_s
+        return FaultSchedule([FaultEvent(fraction * makespan, "brownout",
+                                         cluster, magnitude=1e-12)])
+
+    @pytest.mark.parametrize("policy", ["round_robin", "loss_priority"])
+    def test_adaptive_arq_lossy_faults_fuses_bit_identically(self, policy):
+        """The tentpole contract: a brownout collapses c0's re-derived
+        retry budget mid-run; the fused run re-records c0's remaining
+        trace horizon and still matches the live unfused loop bit for
+        bit — clock, ledger, report and RNG state."""
+        spec = ChannelSpec(loss=0.1, arq=ARQConfig(max_retries=3))
+        resilience = ResilientOrchestrationPolicy(adaptive_arq=True)
+        faults = self._brownout(channels=spec, resilience=resilience,
+                                policy=policy)
+        pair = run_pair(policy=policy, channels=spec,
+                        resilience=resilience, faults=faults)
+        assert_fused_matches_unfused(*pair)
+        assert_rng_states_match(pair[0], pair[2])
+        assert pair[1].fused_rounds > 0
+        assert pair[1].arq_budgets == pair[3].arq_budgets
+        assert pair[1].arq_budgets["c0"] == 0   # battery-poor: minimum
+        assert pair[1].arq_budgets["c1"] == 6   # untouched: slack-rich
+
+    def test_parity_rederivation_at_fault_boundary(self):
+        """Brownouts change the battery headroom the energy-optimal FEC
+        parity depends on: the hook re-derives k per direction and the
+        fused run matches the unfused one exactly."""
+        spec = ChannelSpec(loss=0.12, arq=ARQConfig(max_retries=2))
+        resilience = ResilientOrchestrationPolicy(recovery="fec")
+        faults = self._brownout(cluster="c1", channels=spec,
+                                resilience=resilience)
+        pair = run_pair(channels=spec, resilience=resilience, faults=faults)
+        assert_fused_matches_unfused(*pair)
+        assert_rng_states_match(pair[0], pair[2])
+        assert pair[1].fused_rounds > 0
+        assert pair[1].coding_budgets == pair[3].coding_budgets
+        # The browned-out cluster fell to the energy-optimal budget.
+        assert pair[1].coding_budgets["c1"] < pair[1].coding_budgets["c0"]
+
+    def test_hybrid_adaptive_rederivation_wave_mode(self):
+        """ARQ and parity re-derive together (hybrid recovery) under
+        the loss-coupled wave planner."""
+        spec = ChannelSpec(loss=0.12, arq=ARQConfig(max_retries=2))
+        resilience = ResilientOrchestrationPolicy(recovery="hybrid",
+                                                  adaptive_arq=True)
+        faults = self._brownout(policy="loss_priority", channels=spec,
+                                resilience=resilience)
+        pair = run_pair(policy="loss_priority", channels=spec,
+                        resilience=resilience, faults=faults)
+        assert_fused_matches_unfused(*pair)
+        assert pair[1].fused_rounds > 0
+        assert pair[1].arq_budgets == pair[3].arq_budgets
+        assert pair[1].coding_budgets == pair[3].coding_budgets
+
+    def test_bursty_channel_rerecords_bit_identically(self):
+        """Gilbert-Elliott re-recording must restore the channel-state
+        machine at the resume point, not just the draw offset."""
+        spec = ChannelSpec.preset("noisy_office",
+                                  arq=ARQConfig(max_retries=2))
+        resilience = ResilientOrchestrationPolicy(adaptive_arq=True)
+        faults = self._brownout(channels=spec, resilience=resilience)
+        pair = run_pair(channels=spec, resilience=resilience, faults=faults)
+        assert_fused_matches_unfused(*pair)
+        assert_rng_states_match(pair[0], pair[2])
+        assert pair[1].fused_rounds > 0
+
+    def test_quorum_wave_halt_matches_unfused(self):
+        """Two deaths trip a 0.7 quorum mid-run: the fused wave planner
+        never pre-executes past the halt (terminality bound) and the
+        halted reports match bit for bit."""
+        probe = build_scheduler(fused=False, policy="loss_priority")
+        makespan = probe.run(rounds_per_cluster=ROUNDS).makespan_s
+        faults = FaultSchedule([
+            FaultEvent(0.2 * makespan, "cluster_death", "c0"),
+            FaultEvent(0.4 * makespan, "cluster_death", "c1"),
+        ])
+        pair = run_pair(policy="loss_priority", faults=faults,
+                        resilience=ResilientOrchestrationPolicy(quorum=0.7))
+        assert_fused_matches_unfused(*pair)
+        assert_rng_states_match(pair[0], pair[2])
+        assert pair[1].halted
+        assert pair[1].fused_rounds > 0
+
+    def test_jittered_channel_runs_unfused_under_rederivation(self):
+        """The fallback still works end to end for the one run class
+        that cannot re-record (jittered draws)."""
+        spec = ChannelSpec(loss=0.1, arq=ARQConfig(max_retries=2),
+                           jitter_s=0.0005)
+        resilience = ResilientOrchestrationPolicy(adaptive_arq=True)
+        faults = FaultSchedule([FaultEvent(0.01, "brownout", "c0",
+                                           magnitude=1e-12)])
+        report = build_scheduler(channels=spec, resilience=resilience,
+                                 faults=faults).run(rounds_per_cluster=5)
+        assert report.fused_rounds == 0
+        assert report.arq_budgets["c0"] == 0
 
 
 class TestAdaptiveArqRederivation:

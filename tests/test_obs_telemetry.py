@@ -48,7 +48,7 @@ from repro.obs import (
     read_events,
     summary_table,
 )
-from repro.sim import ARQConfig, ChannelSpec, FaultSchedule
+from repro.sim import ARQConfig, ChannelSpec, FaultEvent, FaultSchedule
 
 DIM = 24
 LATENT = 4
@@ -139,6 +139,99 @@ class TestBitIdentity:
         for kinds in kinds_by_scenario.values():
             assert RoundCompleted.kind in kinds
             assert SpanClosed.kind in kinds
+
+
+class TestFusionBounds:
+    """The ``bound`` field on fusion events names the proof that fired.
+
+    Each planner decision carries a machine-readable slug so post-hoc
+    analysis can attribute fused throughput to the specific bound that
+    justified it (see ``ExecutionPlan.reasons`` for the unfused side).
+    """
+
+    def _bounds(self, rounds=10, **kwargs):
+        events = []
+        bus = TelemetryBus()
+        bus.subscribe(events.append,
+                      kinds=(SegmentFused.kind, WavePlanned.kind))
+        report = build_scheduler(telemetry=bus, **kwargs).run(
+            rounds_per_cluster=rounds)
+        by_kind = {}
+        for event in events:
+            by_kind.setdefault(event.kind, set()).add(event.bound)
+        return by_kind, report
+
+    def test_segment_mode_fault_run_uses_horizon_bound(self):
+        by_kind, _ = self._bounds(
+            fault_schedule=FaultSchedule.first_death("c0", 1e-4, device=5))
+        assert by_kind[SegmentFused.kind] == {"before-horizon"}
+        assert WavePlanned.kind not in by_kind
+
+    def test_quorum_risk_bound_on_projected_battery_deaths(self):
+        # Starved aggregator batteries: every wave's fault horizon
+        # projects cluster deaths that could drop the fleet below
+        # quorum, so no wave may prove more than the requesting round.
+        events = []
+        bus = TelemetryBus()
+        bus.subscribe(events.append,
+                      kinds=(SegmentFused.kind, WavePlanned.kind))
+        scheduler = build_scheduler(
+            telemetry=bus, policy="loss_priority",
+            resilience=ResilientOrchestrationPolicy(quorum=0.5))
+        for cluster in scheduler.clusters:
+            cluster.aggregator_battery_j = 0.015
+        report = scheduler.run(rounds_per_cluster=40)
+        assert report.halted
+        bounds = {e.bound for e in events}
+        assert bounds == {"quorum-risk"}
+
+    def test_wave_mode_fault_run_emits_all_and_requesting_bounds(self):
+        by_kind, _ = self._bounds(
+            policy="loss_priority",
+            channels=ChannelSpec(loss=0.1, arq=ARQConfig(max_retries=1)),
+            fault_schedule=FaultSchedule.first_death("c0", 0.3, device=5))
+        assert by_kind[WavePlanned.kind] \
+            == {"all-before-horizon", "requesting-only"}
+
+    def test_prefix_bound_fuses_partial_wave_near_late_fault(self):
+        # A fault near the end of the run leaves each cluster a tail
+        # that only partially fits before the horizon: the per-cluster
+        # incremental bound fuses the provable prefix.
+        spec = ChannelSpec(loss=0.1, arq=ARQConfig(max_retries=1))
+        makespan = build_scheduler(
+            policy="loss_priority", channels=spec,
+            segment_batching=False).run(rounds_per_cluster=10).makespan_s
+        by_kind, _ = self._bounds(
+            policy="loss_priority", channels=spec,
+            fault_schedule=FaultSchedule([FaultEvent(
+                0.9 * makespan, "node_death", "c0", device=5)]))
+        assert "prefix" in by_kind[WavePlanned.kind]
+
+    def test_adaptive_rederivation_keeps_run_fused(self):
+        # Budget re-derivation at a fault boundary used to force the
+        # whole run back to unfused; trace re-recording keeps it fused
+        # and the ArqRederived events observable mid-segment.
+        spec = ChannelSpec(loss=0.1, arq=ARQConfig(max_retries=3))
+        adaptive = ResilientOrchestrationPolicy(adaptive_arq=True)
+        makespan = build_scheduler(
+            channels=spec, resilience=adaptive,
+            segment_batching=False).run(rounds_per_cluster=10).makespan_s
+        events = []
+        bus = TelemetryBus()
+        bus.subscribe(events.append)
+        report = build_scheduler(
+            telemetry=bus, channels=spec, resilience=adaptive,
+            fault_schedule=FaultSchedule([FaultEvent(
+                0.5 * makespan, "brownout", "c0", magnitude=1e-12)]),
+        ).run(rounds_per_cluster=10)
+        kinds = {e.kind for e in events}
+        assert ArqRederived.kind in kinds
+        assert SegmentFused.kind in kinds
+        assert report.fused_rounds > 0
+        rederived = [e for e in events if e.kind == ArqRederived.kind]
+        assert {(e.cluster, e.direction) for e in rederived} \
+            == {("c0", "up"), ("c0", "down")}
+        assert all(e.new_retries == 0 for e in rederived)
 
 
 def _exploding(kind):

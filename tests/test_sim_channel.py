@@ -328,6 +328,111 @@ class TestChannelTrace:
             assert entry.wire_bytes == link.wire_bytes(3000)
 
 
+class TestTraceRerecord:
+    """Budget swaps mid-trace re-record the remaining horizon from the
+    cursor's resume point, bit-identical to a live channel swapping
+    budgets at the same consume point (PR 9 tentpole)."""
+
+    def _pair(self, seed=7, **kwargs):
+        def build():
+            # Stateful loss models must not be shared between the pair.
+            options = dict(loss=0.2, arq=ARQConfig(max_retries=2))
+            options.update({key: value() if callable(value) else value
+                            for key, value in kwargs.items()})
+            return UnreliableChannel(uplink(), rng=rng(seed), **options)
+        return build(), build()
+
+    def _swap_and_compare(self, live, traced, payload=2000, total=40,
+                          consumed=13, policy=None):
+        from repro.sim import ARQConfig as ARQ
+        traced.replay(traced.record_trace(payload, total, policy=policy))
+        for _ in range(consumed):
+            assert traced.transmit(payload) == live.transmit(payload)
+        for channel in (live, traced):
+            channel.set_arq(ARQ(max_retries=5,
+                                ack_timeout_s=channel.arq.ack_timeout_s))
+        traced.rerecord_trace()
+        for _ in range(total - consumed):
+            assert traced.transmit(payload) == live.transmit(payload)
+
+    def test_full_trace_rerecord_matches_live_swap(self):
+        self._swap_and_compare(*self._pair())
+
+    def test_chunked_mid_chunk_rerecord_never_replays_consumed_draws(self):
+        """The off-by-one regression: ``ChunkedChannelTrace.next``
+        retains the just-consumed entry for ``seed_current``, so the
+        resume offset must count that entry's attempts too.  Resuming
+        one verdict early would re-parse an already-consumed draw and
+        diverge from the live channel immediately."""
+        from repro.sim import TracePolicy
+        live, traced = self._pair(seed=11)
+        # consumed=13 with chunk=8 lands mid-way through chunk two.
+        self._swap_and_compare(live, traced, consumed=13,
+                               policy=TracePolicy(chunk=8))
+
+    def test_chunked_rerecord_at_chunk_boundary(self):
+        from repro.sim import TracePolicy
+        live, traced = self._pair(seed=5)
+        self._swap_and_compare(live, traced, consumed=16,
+                               policy=TracePolicy(chunk=8))
+
+    def test_gilbert_elliott_rerecord_restores_burst_state(self):
+        """Rewinding a bursty sampler must re-sync the Markov state at
+        the resume point, not just the draw offset."""
+        live, traced = self._pair(
+            seed=3, loss=lambda: GilbertElliottLoss(0.1, 0.3, 0.02, 0.7),
+            arq=ARQConfig(max_retries=1))
+        self._swap_and_compare(live, traced)
+
+    def test_double_rerecord_matches_two_live_swaps(self):
+        from repro.sim import ARQConfig as ARQ
+        live, traced = self._pair(seed=9)
+        traced.replay(traced.record_trace(2000, 30))
+        for _ in range(10):
+            assert traced.transmit(2000) == live.transmit(2000)
+        for retries in (5, 0):
+            for channel in (live, traced):
+                channel.set_arq(ARQ(max_retries=retries))
+            traced.rerecord_trace()
+            for _ in range(10):
+                assert traced.transmit(2000) == live.transmit(2000)
+
+    def test_coding_swap_rerecords(self):
+        from repro.sim import CodingSpec
+        live, traced = self._pair(seed=13, loss=0.15,
+                                  coding=CodingSpec(2, arq_fallback=True))
+        traced.replay(traced.record_trace(2000, 30))
+        for _ in range(10):
+            assert traced.transmit(2000) == live.transmit(2000)
+        for channel in (live, traced):
+            channel.set_coding(CodingSpec(4, arq_fallback=True))
+        traced.rerecord_trace()
+        for _ in range(20):
+            assert traced.transmit(2000) == live.transmit(2000)
+
+    def test_rerecordable_property(self):
+        assert UnreliableChannel(uplink(), loss=0.2, rng=rng(0)).rerecordable
+        assert UnreliableChannel(uplink(), rng=rng(0)).rerecordable
+        assert not UnreliableChannel(uplink(), loss=0.2, jitter_s=0.001,
+                                     rng=rng(0)).rerecordable
+        assert ChannelSpec(loss=0.1).rerecordable
+        assert ChannelSpec().rerecordable
+        assert not ChannelSpec(loss=0.1, jitter_s=0.001).rerecordable
+        assert ChannelSpec.preset("noisy_office").rerecordable
+
+    def test_rerecord_refuses_jittered_channel(self):
+        channel = UnreliableChannel(uplink(), loss=0.2, jitter_s=0.001,
+                                    rng=rng(0))
+        channel.replay(channel.record_trace(500, 5))
+        channel.transmit(500)
+        with pytest.raises(RuntimeError, match="cannot be rewound"):
+            channel.rerecord_trace()
+
+    def test_rerecord_without_trace_is_noop(self):
+        channel = UnreliableChannel(uplink(), loss=0.2, rng=rng(0))
+        channel.rerecord_trace()     # no trace: nothing to do
+        channel.transmit(500)
+
 class TestTraceDigests:
     """The presets' calibration data lives in-repo as trace digests;
     the test *fits* Gilbert-Elliott parameters from the digests instead

@@ -132,6 +132,100 @@ class TestSamplerBitIdentity:
 
 
 # ----------------------------------------------------------------------
+# pin/position/rewind: the trace re-recording API (PR 9)
+# ----------------------------------------------------------------------
+class TestSamplerRewindPin:
+    def _samplers(self):
+        return [
+            BernoulliSampler(BernoulliLoss(0.3), np.random.default_rng(5)),
+            GilbertElliottSampler(
+                GilbertElliottLoss(
+                    **GILBERT_ELLIOTT_PRESETS["noisy_office"]),
+                np.random.default_rng(5)),
+        ]
+
+    def test_position_counts_consumed_verdicts(self):
+        for sampler in self._samplers():
+            assert sampler.position == 0
+            sampler.peek(10)
+            assert sampler.position == 0     # peeking never consumes
+            sampler.advance(7)
+            assert sampler.position == 7
+            sampler.take()
+            assert sampler.position == 8
+
+    def test_rewind_replays_identical_verdicts(self):
+        for sampler in self._samplers():
+            first = [bool(v) for v in sampler.peek(200)[:200]]
+            sampler.advance(200)
+            sampler.pin(60)
+            sampler.rewind(60)
+            assert sampler.position == 60
+            assert [bool(v) for v in sampler.peek(140)[:140]] == first[60:]
+
+    def test_pin_survives_compaction(self):
+        """Refills compact consumed verdicts away — but never past the
+        pin, so a later rewind to the pinned offset stays legal."""
+        for sampler in self._samplers():
+            sampler.peek(50)
+            sampler.advance(50)
+            sampler.pin(20)
+            for _ in range(40):
+                sampler.peek(600)
+                sampler.advance(600)
+            sampler.rewind(20)
+            assert sampler.position == 20
+
+    def test_rewind_before_retained_origin_raises(self):
+        for sampler in self._samplers():
+            sampler.peek(50)
+            sampler.advance(50)
+            for _ in range(40):   # unpinned compaction drops history
+                sampler.peek(600)
+                sampler.advance(600)
+            with pytest.raises(ValueError):
+                sampler.rewind(0)
+
+    def test_pin_beyond_consumed_raises(self):
+        for sampler in self._samplers():
+            sampler.peek(10)
+            sampler.advance(10)
+            with pytest.raises(ValueError):
+                sampler.pin(11)
+
+    def test_rewind_then_reconsume_continues_the_same_stream(self):
+        """Externally, rewind + re-consume is a no-op: future draws
+        continue the chain exactly where an un-rewound twin's do —
+        the property Gilbert-Elliott needs its state re-sync for."""
+        for sampler, twin in zip(self._samplers(), self._samplers()):
+            for s in (sampler, twin):
+                s.peek(200)
+                s.advance(200)
+            sampler.pin(90)
+            sampler.rewind(90)
+            sampler.advance(110)
+            sampler.pin(None)
+            got = [bool(v) for v in sampler.peek(700)[:700]]
+            want = [bool(v) for v in twin.peek(700)[:700]]
+            assert got == want
+
+    def test_gilbert_elliott_reset_releases_pin(self):
+        """A chain reset re-derives buffered verdicts from GOOD, so the
+        retained pre-reset verdicts a rewind would replay are invalid.
+        (Bernoulli verdicts are i.i.d. — reset keeps them, and the pin.)"""
+        sampler = self._samplers()[1]
+        sampler.peek(50)
+        sampler.advance(50)
+        sampler.pin(10)
+        sampler.model.reset()
+        sampler.reset()
+        sampler.peek(50)
+        sampler.advance(50)
+        with pytest.raises(ValueError):
+            sampler.rewind(10)   # pre-reset offsets are gone
+
+
+# ----------------------------------------------------------------------
 # Channel layer: batched pricing vs the per-frame reference
 # ----------------------------------------------------------------------
 CODINGS = [None, CodingSpec(parity_frames=2),
