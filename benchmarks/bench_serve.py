@@ -1,0 +1,73 @@
+"""Micro-benchmarks for the control plane's hot paths (not gated).
+
+The numbers that matter for the bit-identity story are producer-side:
+``EventStream.offer`` is what the simulation thread pays per subscribed
+event (must stay O(1) and allocation-light, full or not), and
+``render_prometheus`` is the per-scrape cost of the ``metrics`` op.
+"""
+
+import asyncio
+
+from repro.obs import MetricsCollector, TelemetryBus, render_prometheus
+from repro.obs.telemetry import RoundCompleted
+from repro.serve import EventStream, build_scheduler_from_spec
+
+EVENTS = 10_000
+
+SPEC = {
+    "name": "bench", "clusters": 4, "devices": 16, "rounds_data": 24,
+    "engine": "event", "loss": 0.1, "retries": 1, "seed": 0,
+}
+
+
+def _event(i: int) -> RoundCompleted:
+    return RoundCompleted(cluster="c0", round=i, delivered=True,
+                          loss=0.5, time_s=float(i))
+
+
+def test_event_stream_offer_throughput(benchmark):
+    """Producer cost with a consumer keeping the queue un-full."""
+    loop = asyncio.new_event_loop()
+    try:
+        stream = EventStream(loop, capacity=EVENTS + 1)
+        events = [_event(i) for i in range(EVENTS)]
+
+        def produce():
+            for event in events:
+                stream.offer(event)
+            # Reset by draining under the lock (no loop running here).
+            with stream._lock:
+                stream._queue.clear()
+
+        benchmark(produce)
+        assert stream.dropped == 0
+    finally:
+        loop.close()
+
+
+def test_event_stream_offer_throughput_when_full(benchmark):
+    """Producer cost once a slow subscriber's queue has filled: the
+    shed path must be no slower than the append path."""
+    loop = asyncio.new_event_loop()
+    try:
+        stream = EventStream(loop, capacity=1)
+        stream.offer(_event(0))
+        events = [_event(i) for i in range(EVENTS)]
+
+        def shed():
+            for event in events:
+                stream.offer(event)
+
+        benchmark(shed)
+        assert stream.dropped >= EVENTS
+    finally:
+        loop.close()
+
+
+def test_render_prometheus_scrape_cost(benchmark):
+    bus = TelemetryBus()
+    collector = MetricsCollector(bus)
+    scheduler = build_scheduler_from_spec(dict(SPEC), telemetry=bus)
+    scheduler.run(rounds_per_cluster=8)
+    text = benchmark(render_prometheus, collector)
+    assert "# TYPE repro_transmits_total counter" in text

@@ -365,11 +365,13 @@ class IdealRoundLoop:
                  rounds_per_cluster: int,
                  pick: Callable,
                  pick_order: Optional[List["ScheduledCluster"]] = None,
-                 bus: "TelemetryBus" = NULL_BUS):
+                 bus: "TelemetryBus" = NULL_BUS,
+                 control=None):
         self.clusters = list(clusters)
         self.pick = pick
         self.pick_order = pick_order
         self.bus = bus
+        self.control = control
         self._cursor = 0
         self.budget = {c.name: rounds_per_cluster for c in self.clusters}
         self.cluster_clock = {c.name: 0.0 for c in self.clusters}
@@ -423,7 +425,12 @@ class IdealRoundLoop:
 
     def run(self, next_record: Callable[["ScheduledCluster"], RoundRecord]
             ) -> None:
+        control = self.control
         while True:
+            # Between-round control checkpoint (pause/cancel only on the
+            # ideal engines): one boolean read per round when idle.
+            if control is not None and not control.ideal_checkpoint(self):
+                break
             cluster = self._next_cluster()
             if cluster is None:
                 break
@@ -472,6 +479,10 @@ class InlineRoundExecutor:
                        charge_s: float) -> None:
         """A failed round's modeled time lands on the cluster clock."""
         cluster.trainer.clock_s += charge_s
+
+    def outstanding(self) -> int:
+        """Pre-executed rounds not yet consumed — always zero inline."""
+        return 0
 
     def finalize(self) -> None:
         """Nothing pre-executed, nothing to write back."""
@@ -643,10 +654,18 @@ class SegmentedFleetExecutor:
                  resilience,
                  groups: Optional[Sequence[Sequence[int]]] = None,
                  mode: str = "segment",
-                 bus: "TelemetryBus" = NULL_BUS) -> None:
+                 bus: "TelemetryBus" = NULL_BUS,
+                 command_gate: Optional[Callable[[], bool]] = None) -> None:
         if mode not in ("segment", "wave"):
             raise ValueError(f"unknown planning mode {mode!r}")
         self.bus = bus
+        # Control-plane seam: while ``command_gate()`` reports a pending
+        # runtime command, planners clamp to the requesting round only
+        # ("command-pending" bound) so pre-executed work drains and the
+        # command can apply at an outstanding==0 round boundary.  With
+        # no commands ever submitted the gate never fires and planning
+        # is byte-identical to a gate-less run.
+        self.command_gate = command_gate
         self.clusters = list(clusters)
         self.states = states
         self.injector = injector
@@ -738,6 +757,16 @@ class SegmentedFleetExecutor:
             return
         cluster.trainer.clock_s += charge_s
 
+    def outstanding(self) -> int:
+        """Pre-executed rounds the kernel has not consumed yet.
+
+        The control plane applies mutating commands only when this is
+        zero: at such a boundary no planned round's math could have
+        baked in pre-command world state.
+        """
+        return (sum(len(q) for q in self.queues.values())
+                + sum(len(q) for q in self.fail_queues.values()))
+
     def finalize(self) -> None:
         """Write fleet-trained weights/optimiser state back (run end)."""
         leftovers = {name: len(q) + len(self.fail_queues[name])
@@ -823,6 +852,14 @@ class SegmentedFleetExecutor:
         cursors[current.name].seed_current(edge_clock, agg_s)
         plan[current.name].append(("success", extra_s))
 
+        # A pending runtime command clamps the plan to this round only:
+        # segment plans may truncate at any pick boundary (the kernel
+        # consumes planned rounds in exactly plan order), so the fleet
+        # reaches outstanding==0 at the very next boundary and the
+        # command applies there.
+        if self.command_gate is not None and self.command_gate():
+            return plan, "command-pending"
+
         quorum = self.resilience.quorum
         total = len(self.clusters)
         while True:
@@ -907,6 +944,16 @@ class SegmentedFleetExecutor:
         cursors[current.name].seed_current(self.edge_clock_ref[0], agg_s)
         plan: Dict[str, List[tuple]] = {c.name: [] for c in self.clusters}
         plan[current.name].append(("success", extra_s))
+
+        # Pending runtime command: plan the requesting round only (see
+        # ``_plan_segment``) so earlier waves' leftovers drain and the
+        # command applies at the next outstanding==0 boundary.
+        if self.command_gate is not None and self.command_gate():
+            if self.bus.wants(WavePlanned.kind):
+                self.bus.emit(WavePlanned(clusters=1, rounds=1,
+                                          fused_all=False,
+                                          bound="command-pending"))
+            return plan, "command-pending"
 
         committed: Dict[str, float] = {}
         for cluster in self.clusters:

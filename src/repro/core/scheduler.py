@@ -155,12 +155,32 @@ from .rounds import (
 
 __all__ = [
     "EdgeTrainingScheduler", "ExecutionPlan",
-    "ResilientOrchestrationPolicy",
+    "ResilientOrchestrationPolicy", "RunControlSurface",
     "ScheduledCluster", "ScheduleReport", "compare_policies",
 ]
 
 _POLICIES = ("fifo", "round_robin", "loss_priority", "deadline")
 _ENGINES = ("auto", "sequential", "batched", "event", "analytic")
+
+
+@dataclass
+class RunControlSurface:
+    """Everything a between-round control checkpoint may act on.
+
+    Handed to the run controller's ``checkpoint`` at every safe round
+    boundary of the event engine.  The controller (see
+    :mod:`repro.serve.commands`) is duck-typed — core never imports
+    the control plane — and must only mutate through this surface at
+    boundaries where ``executor.outstanding() == 0``, so no
+    pre-executed fused round can have baked in pre-command state.
+    """
+
+    scheduler: "EdgeTrainingScheduler"
+    sim: EventScheduler
+    states: Dict[str, "_EventClusterState"]
+    injector: FaultInjector
+    budget: Dict[str, int]
+    executor: object
 
 
 @dataclass
@@ -677,7 +697,8 @@ class EdgeTrainingScheduler:
                  backhaul_distance_m: float = 100.0,
                  segment_batching: bool = True,
                  trace_chunk: Optional[int] = None,
-                 telemetry: Optional[TelemetryBus] = None):
+                 telemetry: Optional[TelemetryBus] = None,
+                 control=None):
         if policy not in _POLICIES:
             raise ValueError(f"unknown policy {policy!r}; choose from {_POLICIES}")
         if engine not in _ENGINES:
@@ -707,6 +728,11 @@ class EdgeTrainingScheduler:
         self.backhaul_distance_m = backhaul_distance_m
         self.segment_batching = segment_batching
         self.telemetry = telemetry
+        # Optional run controller (duck-typed; see repro.serve.commands)
+        # checked at every between-round boundary: pause points and the
+        # runtime command queue.  None costs one ``is not None`` per
+        # round.
+        self.control = control
         # The session bus every instrumented site reads.  ``run()``
         # swaps in a tapped bus (ScheduleReport's deadline/retirement
         # fields are folded from bus events) and restores this default.
@@ -725,6 +751,18 @@ class EdgeTrainingScheduler:
         # govern recording; the shim maps the legacy knob onto one.
         self._trace_policy = (TracePolicy(chunk=trace_chunk)
                               if trace_chunk is not None else None)
+
+    def attach_telemetry(self, bus: Optional[TelemetryBus]) -> None:
+        """Attach (or, with ``None``, detach) a telemetry bus post-init.
+
+        The control plane builds schedulers through user-supplied
+        factories that may not expose the ``telemetry=`` parameter;
+        this is the seam that wires the service bus in afterwards.
+        Safe only between runs — an in-flight session holds its own
+        bus reference.
+        """
+        self.telemetry = bus
+        self._bus = bus if bus is not None else NULL_BUS
 
     def add_cluster(self, name: str, trainer: OrchestratedTrainer,
                     data: np.ndarray, batch_size: int = 32,
@@ -897,7 +935,7 @@ class EdgeTrainingScheduler:
     def _run_sequential(self, rounds_per_cluster: int) -> ScheduleReport:
         loop = IdealRoundLoop(self.clusters, rounds_per_cluster, self._pick,
                               self._static_pick_order(rounds_per_cluster),
-                              bus=self._bus)
+                              bus=self._bus, control=self.control)
 
         def live_round(cluster: ScheduledCluster) -> RoundRecord:
             batch = contributor_batch(cluster)
@@ -1160,16 +1198,29 @@ class EdgeTrainingScheduler:
         edge_busy = [0.0]
         edge_clock = [0.0]       # exact mirror of the sequential arithmetic
         halted = [False]
+        control = self.control
         if plan.fused:
             executor = SegmentedFleetExecutor(
                 self.clusters, states, injector, budget, edge_clock,
                 self.policy, self.resilience, groups=plan.groups,
-                mode=plan.mode, bus=bus)
+                mode=plan.mode, bus=bus,
+                command_gate=(control.has_pending
+                              if control is not None else None))
         else:
             executor = InlineRoundExecutor()
+        surface = (RunControlSurface(self, sim, states, injector,
+                                     budget, executor)
+                   if control is not None else None)
 
         def edge_process():
             while True:
+                # Between-round control checkpoint: the safe boundary
+                # where pause blocks and runtime commands apply (the
+                # controller defers mutations until the executor has
+                # zero pre-executed rounds outstanding).  One boolean
+                # read per round when no command or pause is pending.
+                if control is not None and not control.checkpoint(surface):
+                    break
                 alive = [c for c in self.clusters if not states[c.name].dead]
                 if (self.resilience.quorum > 0.0 and self.clusters
                         and len(alive) / len(self.clusters)
@@ -1426,7 +1477,7 @@ class EdgeTrainingScheduler:
         index_of = {c.name: k for k, c in enumerate(self.clusters)}
         loop = IdealRoundLoop(self.clusters, rounds_per_cluster, self._pick,
                               self._static_pick_order(rounds_per_cluster),
-                              bus=self._bus)
+                              bus=self._bus, control=self.control)
         loop.run(lambda c: records[index_of[c.name]][c.rounds_completed])
         return loop.report(self.policy, engine)
 

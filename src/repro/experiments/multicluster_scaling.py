@@ -111,19 +111,24 @@ def _mean_scheduled_time_to_halfway(scheduler, report) -> float:
 
 
 def run(scale: float = 1.0, seed: int = 0,
-        telemetry: Optional[str] = None,
+        telemetry: Optional[object] = None,
         processes: int = 1) -> ExperimentResult:
     """Quantify multi-cluster edge contention and policy effects.
 
     ``telemetry`` names a JSONL path: every scheduler session in the
     sweep then streams its structured bus events (rounds, waves,
-    segments, spans) to that event log.  ``processes`` sets the worker
-    count for the sharded multi-fleet section (1 = inline, today's
-    behavior; N > 1 deals fleets across a spawn pool and asserts the
-    merged report is bit-identical to the inline run).
+    segments, spans) to that event log.  Passing a live
+    :class:`~repro.obs.TelemetryBus` instead wires the events straight
+    onto that bus (the control plane's ``--serve`` path).
+    ``processes`` sets the worker count for the sharded multi-fleet
+    section (1 = inline, today's behavior; N > 1 deals fleets across a
+    spawn pool and asserts the merged report is bit-identical to the
+    inline run).
     """
     if telemetry is None:
         return _run_impl(scale, seed, None, processes)
+    if isinstance(telemetry, TelemetryBus):
+        return _run_impl(scale, seed, telemetry, processes)
     bus = TelemetryBus()
     with JsonlWriter(telemetry, bus):
         return _run_impl(scale, seed, bus, processes)

@@ -174,20 +174,25 @@ def _fleet_wire_bytes(scheduler: EdgeTrainingScheduler) -> int:
 
 
 def run(scale: float = 1.0, seed: int = 0,
-        telemetry: Optional[str] = None,
+        telemetry: Optional[object] = None,
         processes: int = 1) -> ExperimentResult:
     """Sweep frame loss x fault schedules on the event runtime.
 
     ``telemetry`` names a JSONL path: every scheduler session in the
     sweep then streams its structured bus events (rounds, faults,
     retirements, channel batches, spans) to that event log, written
-    next to the figures by the CLI's ``--telemetry`` flag.
+    next to the figures by the CLI's ``--telemetry`` flag.  Passing a
+    live :class:`~repro.obs.TelemetryBus` instead wires the sweep's
+    events straight onto that bus (the control plane's ``--serve``
+    path) with no file in between.
     ``processes`` sets the worker count for the sharded replicate
     section (1 = inline, today's behavior; N > 1 deals replicas across
     a spawn pool and asserts the merged report is bit-identical).
     """
     if telemetry is None:
         return _run_impl(scale, seed, None, processes)
+    if isinstance(telemetry, TelemetryBus):
+        return _run_impl(scale, seed, telemetry, processes)
     bus = TelemetryBus()
     with JsonlWriter(telemetry, bus):
         return _run_impl(scale, seed, bus, processes)

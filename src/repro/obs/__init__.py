@@ -13,7 +13,12 @@ telemetry on or off (asserted in ``tests/test_obs_telemetry.py``).
 """
 
 from .console import LiveConsole
-from .exporters import JsonlWriter, read_events, summary_table
+from .exporters import (
+    JsonlWriter,
+    read_events,
+    render_prometheus,
+    summary_table,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsCollector, RingSeries
 from .telemetry import (
     EVENT_TYPES,
@@ -41,6 +46,6 @@ __all__ = [
     "ArqRederived", "ParityChosen", "TransmitBatch", "QuorumCheck",
     "ClusterRetired", "DeadlineMissed", "SpanClosed",
     "Counter", "Gauge", "Histogram", "RingSeries", "MetricsCollector",
-    "JsonlWriter", "read_events", "summary_table",
+    "JsonlWriter", "read_events", "render_prometheus", "summary_table",
     "LiveConsole",
 ]

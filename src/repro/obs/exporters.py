@@ -1,28 +1,39 @@
-"""`repro.obs.exporters` — JSONL event logs and summary tables.
+"""`repro.obs.exporters` — JSONL event logs, tables, Prometheus text.
 
 * :class:`JsonlWriter` — a bus subscriber that streams every event to
   a JSON-Lines file (one ``{"kind": ..., ...}`` object per line);
 * :func:`read_events` — the matching reader, reconstructing the typed
-  event objects via :data:`~repro.obs.telemetry.EVENT_TYPES`;
+  event objects via :data:`~repro.obs.telemetry.EVENT_TYPES`; pass
+  ``follow=True`` to tail a growing log (live dashboards);
 * :func:`summary_table` — end-of-run per-cluster table rendered from a
   :class:`~repro.obs.metrics.MetricsCollector`;
+* :func:`render_prometheus` — Prometheus text exposition of a
+  :class:`~repro.obs.metrics.MetricsCollector` (or any flat dict),
+  served by the control plane's ``metrics`` request;
 * ``MetricsCollector.flat()`` (in :mod:`repro.obs.metrics`) is the
   bench-friendly flat-dict exporter.
 """
 
 from __future__ import annotations
 
+import atexit
+import functools
 import json
+import re
+import time
+import weakref
 from pathlib import Path
-from typing import IO, Iterator, List, Optional, Sequence, Union
+from typing import (
+    IO, Callable, Iterator, List, Mapping, Optional, Sequence, Union,
+)
 
 from typing import Dict, Tuple
 
-from .metrics import MetricsCollector
+from .metrics import Histogram, MetricsCollector
 from .telemetry import EVENT_TYPES, TelemetryBus, TelemetryEvent
 
 __all__ = ["JsonlWriter", "merge_event_logs", "read_events",
-           "read_sharded_events", "summary_table"]
+           "read_sharded_events", "render_prometheus", "summary_table"]
 
 #: One shared compact encoder — ``json.dumps(obj, separators=...)``
 #: builds a fresh ``JSONEncoder`` per call.  Used as the slow-path
@@ -96,6 +107,12 @@ def _encode_event(event: TelemetryEvent) -> str:
     return "".join(parts)
 
 
+def _flush_on_exit(ref: "weakref.ref[JsonlWriter]") -> None:
+    writer = ref()
+    if writer is not None and writer._handle is not None:
+        writer.flush()
+
+
 class JsonlWriter:
     """Streams bus events to a JSON-Lines file.
 
@@ -112,6 +129,11 @@ class JsonlWriter:
         with JsonlWriter(path, bus):
             scheduler = EdgeTrainingScheduler(..., telemetry=bus)
             scheduler.run(...)
+
+    An ``atexit`` hook flushes any still-open writer at interpreter
+    shutdown, so buffered events survive an interrupted experiment even
+    when :meth:`close` never runs (the hook holds only a weakref and is
+    unregistered by :meth:`close`, so writers stay collectable).
 
     Pass ``flush_every=1`` to trade overhead for a tail-able file that
     is current after every event (live dashboards; crash forensics).
@@ -130,6 +152,11 @@ class JsonlWriter:
         self._unsubscribe = None
         if bus is not None:
             self._unsubscribe = bus.subscribe(self.write_event)
+        # A unique partial per writer makes ``atexit.unregister`` exact
+        # (unregistering one writer cannot drop another's hook).
+        self._atexit_cb = functools.partial(_flush_on_exit,
+                                            weakref.ref(self))
+        atexit.register(self._atexit_cb)
 
     def write_event(self, event: TelemetryEvent) -> None:
         if self._handle is None:
@@ -155,6 +182,7 @@ class JsonlWriter:
             self._unsubscribe()
             self._unsubscribe = None
         if self._handle is not None:
+            atexit.unregister(self._atexit_cb)
             self.flush()
             self._handle.close()
             self._handle = None
@@ -166,7 +194,10 @@ class JsonlWriter:
         self.close()
 
 
-def read_events(path: Union[str, Path]) -> Iterator[TelemetryEvent]:
+def read_events(path: Union[str, Path], follow: bool = False,
+                poll_s: float = 0.2,
+                stop: Optional[Callable[[], bool]] = None
+                ) -> Iterator[TelemetryEvent]:
     """Yield typed events back from a :class:`JsonlWriter` log.
 
     Unknown kinds (from a newer writer) raise ``KeyError`` — logs are a
@@ -174,9 +205,43 @@ def read_events(path: Union[str, Path]) -> Iterator[TelemetryEvent]:
     :func:`merge_event_logs`) is transparently dropped, so merged
     multi-shard logs round-trip through the same reader; use
     :func:`read_sharded_events` to keep the tag.
+
+    With ``follow=True`` the reader replays the file then **tails** it:
+    it keeps polling (every ``poll_s`` seconds) for lines a live
+    :class:`JsonlWriter` appends, buffering partial trailing lines
+    until their newline arrives.  The generator runs until ``stop()``
+    returns True — it performs one final read after observing the stop
+    so nothing flushed before the flag flipped is missed — or until the
+    consumer abandons it.
     """
-    for _, event in read_sharded_events(path):
-        yield event
+    if not follow:
+        for _, event in read_sharded_events(path):
+            yield event
+        return
+
+    def parse(line: str) -> TelemetryEvent:
+        payload = json.loads(line)
+        payload.pop("shard", None)
+        cls = EVENT_TYPES[payload.pop("kind")]
+        return cls(**payload)
+
+    buffer = ""
+    with open(path) as handle:
+        while True:
+            stopping = stop is not None and stop()
+            chunk = handle.read()
+            if chunk:
+                buffer += chunk
+                complete, sep, buffer = buffer.rpartition("\n")
+                if sep:
+                    for line in complete.split("\n"):
+                        line = line.strip()
+                        if line:
+                            yield parse(line)
+            elif stopping:
+                return
+            else:
+                time.sleep(poll_s)
 
 
 def read_sharded_events(path: Union[str, Path]
@@ -272,3 +337,173 @@ def summary_table(collector: MetricsCollector) -> str:
             for name, hist in sorted(collector.span_hists.items()))
         lines.append(f"spans — {spans}")
     return "\n".join(lines)
+
+
+# -- Prometheus text exposition -----------------------------------------
+
+_METRIC_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(namespace: str, name: str) -> str:
+    full = f"{namespace}_{name}" if namespace else name
+    full = _METRIC_NAME_RE.sub("_", full)
+    if full[0].isdigit():
+        full = "_" + full
+    return full
+
+
+def _prom_escape(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _prom_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{key}="{_prom_escape(value)}"'
+                     for key, value in labels.items())
+    return "{" + inner + "}"
+
+
+def _prom_value(value: float) -> str:
+    if value != value:
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    as_float = float(value)
+    if as_float.is_integer() and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _prom_family(lines: List[str], name: str, mtype: str, help_text: str,
+                 samples: Sequence[Tuple[Mapping[str, str], float]]) -> None:
+    if not samples:
+        return
+    lines.append(f"# HELP {name} {help_text}")
+    lines.append(f"# TYPE {name} {mtype}")
+    for labels, value in samples:
+        lines.append(f"{name}{_prom_labels(labels)} {_prom_value(value)}")
+
+
+def _prom_histogram(lines: List[str], name: str, help_text: str,
+                    items: Sequence[Tuple[Mapping[str, str], Histogram]]
+                    ) -> None:
+    """One histogram family; buckets rendered cumulatively per spec."""
+    items = [(labels, hist) for labels, hist in items if hist.count]
+    if not items:
+        return
+    lines.append(f"# HELP {name} {help_text}")
+    lines.append(f"# TYPE {name} histogram")
+    for labels, hist in items:
+        cumulative = 0
+        for edge, count in zip(hist.edges, hist.counts):
+            cumulative += count
+            bucket = dict(labels)
+            bucket["le"] = _prom_value(edge)
+            lines.append(f"{name}_bucket{_prom_labels(bucket)} {cumulative}")
+        cumulative += hist.counts[-1]
+        bucket = dict(labels)
+        bucket["le"] = "+Inf"
+        lines.append(f"{name}_bucket{_prom_labels(bucket)} {cumulative}")
+        lines.append(f"{name}_sum{_prom_labels(labels)} "
+                     f"{_prom_value(hist.total)}")
+        lines.append(f"{name}_count{_prom_labels(labels)} {cumulative}")
+
+
+def render_prometheus(source: Union[MetricsCollector, Mapping[str, float]],
+                      namespace: str = "repro") -> str:
+    """Prometheus text exposition (version 0.0.4) of run metrics.
+
+    Accepts a live :class:`~repro.obs.metrics.MetricsCollector` — the
+    rich path, emitting typed counter/gauge/histogram families with
+    per-cluster, per-reason, and per-span labels — or any flat mapping
+    of scalars (e.g. ``collector.flat()``), rendered as gauges.  The
+    control plane serves this at its ``metrics`` request; the output
+    ends with a trailing newline as scrapers expect.
+    """
+    lines: List[str] = []
+    if not isinstance(source, MetricsCollector):
+        for key, value in sorted(source.items()):
+            _prom_family(lines, _prom_name(namespace, key), "gauge",
+                         f"flat metric {key}", [({}, float(value))])
+        return "\n".join(lines) + "\n" if lines else ""
+
+    collector = source
+
+    def n(name: str) -> str:
+        return _prom_name(namespace, name)
+
+    _prom_family(lines, n("transmits_total"), "counter",
+                 "Payload transmissions attempted",
+                 [({}, collector.transmits.value)])
+    _prom_family(lines, n("frames_sent_total"), "counter",
+                 "Radio frames sent including retransmissions",
+                 [({}, collector.frames_sent.value)])
+    _prom_family(lines, n("retransmissions_total"), "counter",
+                 "ARQ retransmissions",
+                 [({}, collector.retransmissions.value)])
+    _prom_family(lines, n("payloads_delivered_total"), "counter",
+                 "Payloads delivered end to end",
+                 [({}, collector.payloads_delivered.value)])
+    _prom_family(lines, n("wire_bytes_total"), "counter",
+                 "Bytes put on the wire",
+                 [({}, collector.wire_bytes.value)])
+    _prom_family(lines, n("deadline_misses_total"), "counter",
+                 "Rounds first finishing past their deadline",
+                 [({}, collector.deadline_misses.value)])
+    _prom_family(lines, n("radio_energy_joules"), "gauge",
+                 "Fleet-total cumulative radio energy",
+                 [({}, collector.radio_energy_j)])
+    _prom_family(lines, n("clusters"), "gauge",
+                 "Clusters observed in the event stream",
+                 [({}, float(len(collector.clusters)))])
+    _prom_family(
+        lines, n("retired_total"), "counter",
+        "Clusters permanently retired, by reason",
+        [({"reason": reason}, float(count))
+         for reason, count in sorted(collector.retirements.items())])
+
+    ordered = sorted(collector.clusters.items())
+    _prom_family(lines, n("cluster_rounds_total"), "counter",
+                 "Training rounds charged per cluster",
+                 [({"cluster": name}, stats.rounds.value)
+                  for name, stats in ordered])
+    _prom_family(lines, n("cluster_delivered_total"), "counter",
+                 "Delivered rounds per cluster",
+                 [({"cluster": name}, stats.delivered.value)
+                  for name, stats in ordered])
+    _prom_family(lines, n("cluster_faults_total"), "counter",
+                 "Faults applied per cluster",
+                 [({"cluster": name}, stats.faults.value)
+                  for name, stats in ordered])
+    _prom_family(lines, n("cluster_loss"), "gauge",
+                 "Last observed reconstruction loss (NMSE proxy)",
+                 [({"cluster": name}, stats.loss.value)
+                  for name, stats in ordered
+                  if stats.loss.value is not None])
+    _prom_family(lines, n("cluster_battery_joules"), "gauge",
+                 "Last observed battery headroom",
+                 [({"cluster": name}, stats.battery_j.value)
+                  for name, stats in ordered
+                  if stats.battery_j.value is not None])
+
+    _prom_histogram(lines, n("round_loss"),
+                    "Per-round reconstruction loss",
+                    [({}, collector.loss_hist)])
+    _prom_histogram(lines, n("battery_joules"),
+                    "Battery headroom at round completion",
+                    [({}, collector.battery_hist)])
+    _prom_histogram(lines, n("frames_per_transmit"),
+                    "Radio frames per payload transmission",
+                    [({}, collector.frames_hist)])
+    _prom_histogram(lines, n("segment_rounds"),
+                    "Rounds fused per planner segment",
+                    [({}, collector.segment_hist)])
+    _prom_histogram(lines, n("span_seconds"),
+                    "Wall-clock phase timings, by span name",
+                    [({"name": name}, hist)
+                     for name, hist in sorted(collector.span_hists.items())])
+    return "\n".join(lines) + "\n" if lines else ""

@@ -32,7 +32,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Type
+from typing import Callable, Dict, Iterable, Iterator, Optional, Tuple, Type
 
 __all__ = [
     "TelemetryEvent",
@@ -250,7 +250,12 @@ class TelemetryBus:
     """
 
     def __init__(self) -> None:
-        self._subs: List[_Subscription] = []
+        # Copy-on-write subscriber snapshot: ``emit`` iterates one
+        # immutable tuple while subscribe/unsubscribe swap in a new one,
+        # so a control-plane thread may (un)subscribe concurrently with
+        # a simulation thread's emissions without a lock on the hot
+        # path and without an emission ever seeing a half-edited list.
+        self._subs: Tuple[_Subscription, ...] = ()
         self._wanted: frozenset = frozenset()
         self._wants_all = False
         self._span_depth = 0
@@ -268,12 +273,12 @@ class TelemetryBus:
             callback,
             None if kinds is None else frozenset(kinds),
         )
-        self._subs.append(sub)
+        self._subs = self._subs + (sub,)
         self._rebuild_wanted()
 
         def unsubscribe() -> None:
             if sub in self._subs:
-                self._subs.remove(sub)
+                self._subs = tuple(s for s in self._subs if s is not sub)
                 self._rebuild_wanted()
 
         return unsubscribe

@@ -1,0 +1,160 @@
+"""`repro.serve.bridge` — sync telemetry bus to asyncio event streams.
+
+The simulation thread emits :class:`~repro.obs.telemetry.TelemetryEvent`
+objects synchronously; the control plane serves them to asyncio
+consumers.  :class:`EventStream` is the seam: a bounded thread-safe
+queue whose producer side (:meth:`EventStream.offer`) **never blocks
+and never throws** on the hot path — a full queue counts a drop and
+moves on, so a slow TCP subscriber can never stall (or worse, perturb)
+a run — and whose consumer side is a plain ``await stream.next()``.
+
+:class:`AsyncTelemetryBridge` manages the bus subscriptions: one
+``stream(kinds)`` call per subscriber, each with its own bounded queue
+and drop counter, all torn down together when the run finishes.
+
+Bit-identity contract: the bridge subscribes callbacks like any other
+bus consumer — it draws no randomness, perturbs no accumulation order,
+and costs the simulation exactly one bounded-deque append per
+subscribed event.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from collections import deque
+from typing import Deque, Iterable, List, Optional
+
+from ..obs.telemetry import TelemetryBus, TelemetryEvent
+
+__all__ = ["AsyncTelemetryBridge", "EventStream"]
+
+
+class EventStream:
+    """One subscriber's bounded bridge queue.
+
+    Producer side (any thread): :meth:`offer` — O(1), lock-held only
+    for the append, drop-newest when full (``dropped`` counts what was
+    shed).  Consumer side (the event loop): ``await next()`` returns
+    events in emission order and ``None`` once the stream is closed
+    *and* drained.  Wakeups coalesce: at most one
+    ``call_soon_threadsafe`` is in flight regardless of burst size.
+    """
+
+    def __init__(self, loop: asyncio.AbstractEventLoop,
+                 capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._loop = loop
+        self._lock = threading.Lock()
+        self._queue: Deque[TelemetryEvent] = deque()
+        self._capacity = capacity
+        self._ready = asyncio.Event()
+        self._wake_scheduled = False
+        self._closed = False
+        self.dropped = 0
+        self.delivered = 0
+
+    # -- producer side (simulation thread) ------------------------------
+
+    def offer(self, event: TelemetryEvent) -> None:
+        """Enqueue without blocking; shed (and count) when full."""
+        with self._lock:
+            if self._closed:
+                return
+            if len(self._queue) >= self._capacity:
+                self.dropped += 1
+                return
+            self._queue.append(event)
+            if self._wake_scheduled:
+                return
+            self._wake_scheduled = True
+        self._schedule_wake()
+
+    def close(self) -> None:
+        """End the stream (thread-safe); queued events still drain."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._wake_scheduled:
+                return
+            self._wake_scheduled = True
+        self._schedule_wake()
+
+    def _schedule_wake(self) -> None:
+        try:
+            self._loop.call_soon_threadsafe(self._wake)
+        except RuntimeError:
+            # Loop already shut down: nobody is left to wake.
+            pass
+
+    def _wake(self) -> None:
+        with self._lock:
+            self._wake_scheduled = False
+        self._ready.set()
+
+    # -- consumer side (event loop) --------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    async def next(self) -> Optional[TelemetryEvent]:
+        """Next event in emission order; ``None`` = closed and drained."""
+        while True:
+            with self._lock:
+                if self._queue:
+                    self.delivered += 1
+                    return self._queue.popleft()
+                if self._closed:
+                    return None
+                self._ready.clear()
+            await self._ready.wait()
+
+
+class AsyncTelemetryBridge:
+    """Fans one sync :class:`TelemetryBus` out to async subscribers.
+
+    Each :meth:`stream` call subscribes a fresh :class:`EventStream` to
+    the bus; :meth:`close` unsubscribes everything and ends every
+    stream (consumers drain what is queued, then see ``None``).
+    Streams requested after close are born closed, so a late subscriber
+    to a finished run terminates immediately instead of hanging.
+    """
+
+    def __init__(self, bus: TelemetryBus,
+                 loop: asyncio.AbstractEventLoop) -> None:
+        self.bus = bus
+        self._loop = loop
+        self._lock = threading.Lock()
+        self._streams: List[EventStream] = []
+        self._unsubscribes: List = []
+        self._closed = False
+
+    def stream(self, kinds: Optional[Iterable[str]] = None,
+               capacity: int = 1024) -> EventStream:
+        stream = EventStream(self._loop, capacity)
+        with self._lock:
+            if self._closed:
+                stream.close()
+                return stream
+            self._streams.append(stream)
+            self._unsubscribes.append(
+                self.bus.subscribe(stream.offer, kinds=kinds))
+        return stream
+
+    def close(self) -> None:
+        """Unsubscribe and end every stream (idempotent, thread-safe)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            streams = list(self._streams)
+            unsubscribes = list(self._unsubscribes)
+            self._streams.clear()
+            self._unsubscribes.clear()
+        for unsubscribe in unsubscribes:
+            unsubscribe()
+        for stream in streams:
+            stream.close()

@@ -1,0 +1,341 @@
+"""`repro.serve.service` — the fleet run registry and executor.
+
+:class:`FleetService` hosts many concurrent scheduler runs inside one
+asyncio process: each submitted run gets a fresh
+:class:`~repro.obs.telemetry.TelemetryBus`, a
+:class:`~repro.serve.commands.RunController`, an
+:class:`~repro.serve.bridge.AsyncTelemetryBridge` for subscribers and
+a :class:`~repro.obs.metrics.MetricsCollector`, then executes
+``scheduler.run`` on a thread-pool worker.  The asyncio loop itself
+never blocks on simulation work; it only multiplexes event streams
+and control requests.
+
+Runs come from three doors:
+
+* :meth:`FleetService.submit_spec` — a plain-dict spec (the TCP
+  ``submit`` op), built through
+  :func:`build_scheduler_from_spec` /
+  :func:`~repro.scale.sharding.default_fleet_builder`;
+* :meth:`FleetService.submit` — a programmatic, pre-built scheduler
+  (tests; embedding);
+* :meth:`FleetService.register_external` — a run executing elsewhere
+  (e.g. ``python -m repro.experiments ... --serve``) that only wants
+  its bus observable; no controller, commands are rejected.
+
+Bit-identity: attaching a service adds a bus subscriber and an idle
+controller — neither draws randomness nor perturbs accumulation — so
+a command-free service run produces digest-equal clock / ledger /
+report / RNG state vs the same seed offline (asserted in
+``tests/test_serve_control_plane.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+import numpy as np
+
+from ..obs.metrics import MetricsCollector
+from ..obs.telemetry import TelemetryBus
+from ..scale.sharding import FleetJob, default_fleet_builder
+from ..sim.faults import FaultEvent, FaultSchedule
+from .bridge import AsyncTelemetryBridge, EventStream
+from .commands import RunController
+
+__all__ = ["FleetService", "RunHandle", "build_scheduler_from_spec"]
+
+
+def build_scheduler_from_spec(spec: Dict[str, Any],
+                              telemetry: Optional[TelemetryBus] = None,
+                              control: Optional[RunController] = None):
+    """Build a scheduler from a plain-JSON run spec.
+
+    Reuses :func:`~repro.scale.sharding.default_fleet_builder`'s
+    parameter vocabulary (``clusters``, ``devices``, ``batch_size``,
+    ``engine``, ``policy``, ``loss``, ``retries``, ``recovery``,
+    ``deadline_s``, ``battery_j``, ``seed_base``, ``rounds_data``)
+    plus:
+
+    * ``seed`` — the fleet RNG seed (default 0);
+    * ``faults`` — a list of :class:`~repro.sim.faults.FaultEvent`
+      field dicts (requires ``engine: "event"``).
+
+    Service-level keys (``rounds``, ``paused``, ``name``) are consumed
+    by :meth:`FleetService.submit_spec` before this runs.
+    """
+    params = dict(spec)
+    seed = int(params.pop("seed", 0))
+    faults = params.pop("faults", None)
+    job = FleetJob(fleet_id=0, name=str(params.pop("name", "fleet")),
+                   params=params)
+    scheduler = default_fleet_builder(
+        job, None, np.random.default_rng(seed), telemetry=telemetry)
+    if faults:
+        if scheduler.engine != "event":
+            raise ValueError(
+                "spec includes 'faults' but engine is "
+                f"{scheduler.engine!r}; fault schedules require "
+                "engine: 'event'")
+        scheduler.fault_schedule = FaultSchedule(
+            FaultEvent(**event) for event in faults)
+    scheduler.control = control
+    return scheduler
+
+
+class RunHandle:
+    """One hosted run: identity, wiring, and lifecycle state.
+
+    ``state`` walks pending -> running -> (paused <-> running) ->
+    done | failed | cancelled.  External runs (``external=True``) are
+    observe-only: no controller, no report.
+    """
+
+    def __init__(self, run_id: str, name: str, *,
+                 scheduler=None, rounds: int = 0,
+                 bus: TelemetryBus, bridge: AsyncTelemetryBridge,
+                 controller: Optional[RunController] = None,
+                 collector: Optional[MetricsCollector] = None,
+                 external: bool = False) -> None:
+        self.run_id = run_id
+        self.name = name
+        self.scheduler = scheduler
+        self.rounds = rounds
+        self.bus = bus
+        self.bridge = bridge
+        self.controller = controller
+        self.collector = collector
+        self.external = external
+        self.state = "running" if external else "pending"
+        self.report = None
+        self.error: Optional[str] = None
+        self.done = asyncio.Event()
+
+    def describe(self) -> Dict[str, Any]:
+        info: Dict[str, Any] = {
+            "run": self.run_id, "name": self.name, "state": self.state,
+            "external": self.external,
+        }
+        if self.scheduler is not None:
+            info["engine"] = self.scheduler.engine
+            info["policy"] = self.scheduler.policy
+            info["clusters"] = len(self.scheduler.clusters)
+            info["rounds"] = self.rounds
+        if self.error is not None:
+            info["error"] = self.error
+        if self.report is not None:
+            report = self.report
+            info["report"] = {
+                "makespan_s": report.makespan_s,
+                "rounds_per_cluster": report.rounds_per_cluster,
+                "deadline_misses": report.deadline_misses,
+                "dead_clusters": report.dead_clusters,
+                "retirement_reasons": report.retirement_reasons,
+                "faults_applied": report.faults_applied,
+                "fused_rounds": report.fused_rounds,
+                "segments": report.segments,
+                "halted": report.halted,
+                "engine": report.engine,
+            }
+        return info
+
+
+class FleetService:
+    """Hosts, executes, observes and steers many scheduler runs.
+
+    Must be started (``await service.start()``) from the event loop
+    that will own it; the thread-safe entry points
+    (:meth:`submit_threadsafe`, :meth:`register_external`, ...) proxy
+    into that loop so sync callers — experiments, tests — can drive a
+    service running on a background thread.
+    """
+
+    def __init__(self, max_workers: int = 4,
+                 builder: Optional[Callable[..., Any]] = None) -> None:
+        self._builder = builder or build_scheduler_from_spec
+        self._max_workers = max_workers
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._pool: Optional[concurrent.futures.ThreadPoolExecutor] = None
+        self._runs: Dict[str, RunHandle] = {}
+        self._next_id = 0
+        self._closed = False
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self) -> "FleetService":
+        self._loop = asyncio.get_running_loop()
+        self._pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=self._max_workers, thread_name_prefix="fleet-run")
+        return self
+
+    async def close(self, cancel_running: bool = True) -> None:
+        """Cancel live runs, wait for workers, end every stream."""
+        if self._closed:
+            return
+        self._closed = True
+        if cancel_running:
+            for handle in self._runs.values():
+                if handle.controller is not None and not handle.done.is_set():
+                    handle.controller.cancel()
+        for handle in self._runs.values():
+            if not handle.external:
+                await handle.done.wait()
+            handle.bridge.close()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+
+    # -- registry ---------------------------------------------------------
+
+    @property
+    def runs(self) -> Dict[str, RunHandle]:
+        return self._runs
+
+    def get(self, run_id: str) -> RunHandle:
+        handle = self._runs.get(run_id)
+        if handle is None:
+            raise KeyError(f"unknown run {run_id!r}; "
+                           f"known: {sorted(self._runs)}")
+        return handle
+
+    def list_runs(self) -> List[Dict[str, Any]]:
+        return [self._runs[run_id].describe()
+                for run_id in sorted(self._runs)]
+
+    def _allocate_id(self) -> str:
+        self._next_id += 1
+        return f"run-{self._next_id}"
+
+    # -- submission (event-loop thread) -----------------------------------
+
+    def submit_spec(self, spec: Dict[str, Any]) -> RunHandle:
+        """Build and launch a run from a plain-dict spec."""
+        spec = dict(spec)
+        rounds = int(spec.pop("rounds", 30))
+        paused = bool(spec.pop("paused", False))
+        name = str(spec.get("name", "fleet"))
+        bus = TelemetryBus()
+        controller = RunController(paused=paused)
+        scheduler = self._builder(spec, telemetry=bus, control=controller)
+        return self._launch(scheduler, rounds, name=name, bus=bus,
+                            controller=controller)
+
+    def submit(self, scheduler, rounds: int, *,
+               name: Optional[str] = None,
+               paused: bool = False) -> RunHandle:
+        """Launch a pre-built scheduler under service management.
+
+        The service attaches its own bus and controller via
+        :meth:`~repro.core.scheduler.EdgeTrainingScheduler.
+        attach_telemetry` — any bus the caller had set is replaced for
+        the hosted run.
+        """
+        bus = TelemetryBus()
+        controller = RunController(paused=paused)
+        scheduler.attach_telemetry(bus)
+        scheduler.control = controller
+        return self._launch(scheduler, rounds, name=name or "fleet",
+                            bus=bus, controller=controller)
+
+    def _launch(self, scheduler, rounds: int, *, name: str,
+                bus: TelemetryBus, controller: RunController) -> RunHandle:
+        if self._loop is None or self._pool is None:
+            raise RuntimeError("FleetService not started — await start()")
+        if self._closed:
+            raise RuntimeError("FleetService is closed")
+        handle = RunHandle(
+            self._allocate_id(), name, scheduler=scheduler, rounds=rounds,
+            bus=bus, bridge=AsyncTelemetryBridge(bus, self._loop),
+            controller=controller, collector=MetricsCollector(bus))
+        self._runs[handle.run_id] = handle
+        self._pool.submit(self._execute, handle)
+        return handle
+
+    def register_external(self, name: str, bus: TelemetryBus) -> RunHandle:
+        """Expose an elsewhere-executing run's bus to subscribers.
+
+        Thread-safe: proxies into the service loop when called from
+        another thread (the ``--serve`` experiment path).  Call
+        :meth:`finish_external` when the run ends so subscribers see a
+        clean end-of-stream.
+        """
+        def register() -> RunHandle:
+            if self._loop is None:
+                raise RuntimeError("FleetService not started")
+            handle = RunHandle(
+                self._allocate_id(), name, bus=bus,
+                bridge=AsyncTelemetryBridge(bus, self._loop),
+                collector=MetricsCollector(bus), external=True)
+            self._runs[handle.run_id] = handle
+            return handle
+        return self._call_in_loop(register)
+
+    def finish_external(self, handle: RunHandle,
+                        state: str = "done") -> None:
+        def finish() -> None:
+            handle.state = state
+            handle.done.set()
+            handle.bridge.close()
+        self._call_in_loop(finish)
+
+    # -- thread-safe proxies ----------------------------------------------
+
+    def submit_threadsafe(self, spec: Dict[str, Any]) -> RunHandle:
+        return self._call_in_loop(lambda: self.submit_spec(spec))
+
+    def _call_in_loop(self, fn: Callable[[], Any], timeout: float = 30.0):
+        if self._loop is None:
+            raise RuntimeError("FleetService not started — await start()")
+        try:
+            running = asyncio.get_running_loop()
+        except RuntimeError:
+            running = None
+        if running is self._loop:
+            return fn()
+        future: concurrent.futures.Future = concurrent.futures.Future()
+
+        def call() -> None:
+            try:
+                future.set_result(fn())
+            except Exception as exc:   # delivered to the caller
+                future.set_exception(exc)
+
+        self._loop.call_soon_threadsafe(call)
+        return future.result(timeout=timeout)
+
+    # -- streaming --------------------------------------------------------
+
+    def stream_for(self, handle: RunHandle,
+                   kinds: Optional[Iterable[str]] = None,
+                   capacity: int = 4096) -> EventStream:
+        return handle.bridge.stream(kinds=kinds, capacity=capacity)
+
+    async def wait(self, handle: RunHandle):
+        """Await a hosted run's completion; returns its report."""
+        await handle.done.wait()
+        return handle.report
+
+    # -- worker thread ----------------------------------------------------
+
+    def _execute(self, handle: RunHandle) -> None:
+        controller = handle.controller
+        handle.state = "paused" if (controller is not None
+                                    and controller.paused) else "running"
+        try:
+            handle.report = handle.scheduler.run(handle.rounds)
+        except Exception as exc:
+            handle.error = f"{type(exc).__name__}: {exc}"
+            handle.state = "failed"
+        else:
+            handle.state = ("cancelled"
+                            if controller is not None and controller.cancelled
+                            else "done")
+        finally:
+            if controller is not None:
+                controller.finish()
+            if self._loop is not None and not self._loop.is_closed():
+                self._loop.call_soon_threadsafe(self._settle, handle)
+
+    def _settle(self, handle: RunHandle) -> None:
+        handle.done.set()
+        handle.bridge.close()
